@@ -1,0 +1,58 @@
+// Command fabsim runs the fabric-level comparisons: the Rotating Crossbar
+// against the Chapter 2 baselines (FIFO input queueing, VOQ+iSLIP, ideal
+// output queueing, variable-length scheduling), plus the Chapter 8
+// extension studies (QoS, multicast, scaling, second network).
+//
+// Usage:
+//
+//	fabsim [-full] [-exp all|background|ablation|fairness|qos|multicast|scale]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale")
+	flag.Parse()
+
+	q := exp.Quick
+	if *full {
+		q = exp.Full
+	}
+
+	show := func(name string) bool { return *which == "all" || *which == name }
+
+	if show("background") {
+		_, _, _, tb := exp.HOLvsVOQ(q)
+		fmt.Println(tb)
+		_, _, tb2 := exp.CellsVsVariable(q)
+		fmt.Println(tb2)
+	}
+	if show("ablation") {
+		_, _, tb := exp.SecondNetworkAblation(q)
+		fmt.Println(tb)
+	}
+	if show("fairness") {
+		_, tb := exp.Fairness(q)
+		fmt.Println(tb)
+	}
+	if show("qos") {
+		_, tb := exp.QoS(q)
+		fmt.Println(tb)
+	}
+	if show("multicast") {
+		_, _, tb := exp.Multicast(q)
+		fmt.Println(tb)
+	}
+	if show("scale") {
+		fmt.Println(exp.Scale8(q))
+	}
+	if show("lookup") {
+		fmt.Println(exp.LookupCost(5000))
+	}
+}

@@ -1,0 +1,114 @@
+// Command rawrouter runs the cycle-level 4-port Raw router on a synthetic
+// workload and prints throughput, packet rate, and per-port statistics.
+//
+// Usage:
+//
+//	rawrouter [-size 1024] [-pattern perm|uniform|hotspot] [-cycles 200000]
+//	          [-warmup 80000] [-quantum 256] [-crypto] [-layout] [-seed 1]
+//
+// With -layout it prints the Figure 7-2 tile mapping and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func main() {
+	size := flag.Int("size", 1024, "packet size in bytes (header included)")
+	pattern := flag.String("pattern", "perm", "traffic pattern: perm, uniform, hotspot")
+	cycles := flag.Int64("cycles", 200_000, "measured cycles")
+	warmup := flag.Int64("warmup", 80_000, "warmup cycles before measuring")
+	quantum := flag.Int("quantum", 256, "crossbar quantum in words")
+	crypto := flag.Bool("crypto", false, "enable §8.3 computation-in-fabric payload cipher")
+	layout := flag.Bool("layout", false, "print the Figure 7-2 tile mapping and exit")
+	traceRun := flag.Bool("trace", false, "print a per-tile utilization summary of the last 800 measured cycles")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *layout {
+		printLayout()
+		return
+	}
+
+	var rec *trace.Recorder
+	rcfg := router.DefaultConfig()
+	rcfg.QuantumWords = *quantum
+	rcfg.Crypto = *crypto
+	if *traceRun {
+		rec = trace.NewRecorder(16, *warmup+*cycles-800, *warmup+*cycles)
+		rcfg.Tracer = rec
+	}
+	r, err := core.New(core.Options{QuantumWords: *quantum, Crypto: *crypto, RouterConfig: &rcfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(1)
+	}
+
+	var gen core.TrafficGen
+	switch *pattern {
+	case "perm":
+		gen = core.PermutationTraffic(*size, 2)
+	case "uniform":
+		gen = core.UniformTraffic(*size, *seed)
+	case "hotspot":
+		rng := traffic.NewRNG(*seed)
+		gen = func(port int) core.Packet {
+			dst := 0
+			if rng.Float64() >= 0.7 {
+				dst = rng.Intn(4)
+			}
+			return core.Packet{Dst: dst, SizeBytes: *size}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rawrouter: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	res := r.RunMeasured(*warmup, *cycles, gen)
+	fmt.Printf("pattern=%s size=%dB quantum=%dw crypto=%v\n", *pattern, *size, *quantum, *crypto)
+	fmt.Printf("measured %d cycles at %.0f MHz\n", res.Cycles, res.ClockHz/1e6)
+	fmt.Printf("throughput: %.2f Gbps   rate: %.2f Mpps   packets: %d\n",
+		res.Gbps, res.Mpps, res.Packets)
+	fmt.Printf("per-egress packets: %v   denied quanta: %d   reassembled: %d\n",
+		res.PerPort, res.Denied, res.Reassembled)
+
+	st := r.Cycle().Stats
+	fmt.Printf("ingress accepted %v dropped %v\n", st.Accepted, st.Dropped)
+	fmt.Printf("lookups served %v\n", st.Lookups)
+
+	if rec != nil {
+		order := make([]int, 16)
+		for i := range order {
+			order[i] = i
+		}
+		fmt.Println()
+		fmt.Print(rec.Summary(order, func(tile int) string {
+			role, p := router.RoleOf(tile)
+			return fmt.Sprintf("%s/%d", role, p)
+		}))
+	}
+}
+
+func printLayout() {
+	fmt.Println("Figure 7-2 tile mapping (4x4 Raw chip):")
+	for tile := 0; tile < 16; tile++ {
+		role, p := router.RoleOf(tile)
+		if tile%4 == 0 {
+			fmt.Println()
+		}
+		fmt.Printf("  %2d:%-10s", tile, fmt.Sprintf("%s/%d", role, p))
+	}
+	fmt.Println()
+	fmt.Println("\ncrossbar ring (clockwise / token order): 5 -> 6 -> 10 -> 9 -> 5")
+	for p, pt := range router.Layout {
+		fmt.Printf("port %d: in edge of tile %d (%s side), out edge of tile %d (%s side)\n",
+			p, pt.Ingress, pt.InSide, pt.Egress, pt.OutSide)
+	}
+}

@@ -1,0 +1,197 @@
+// Command rawsim runs hand-written Raw assembly on the simulated chip —
+// the substrate exposed directly, independent of the router. A program
+// file holds sections per tile:
+//
+//	.tile 0
+//	    li   $1, 100
+//	    or   $csto, $0, $1
+//	    halt
+//	.switch 0
+//	    route $csto->$cSo
+//	    halt
+//	.tile 4
+//	    move $2, $csti
+//	    halt
+//	.switch 4
+//	    route $cNi->$csti
+//	    halt
+//
+// Usage:
+//
+//	rawsim [-cycles 1000] [-in tile:side:w1,w2,...] [-regs 0,4] prog.rawasm
+//
+// -in pushes words into a boundary static input before the run; -regs
+// dumps those tiles' registers afterwards; all boundary static outputs
+// that received words are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/raw"
+	"repro/internal/raw/asm"
+)
+
+func main() {
+	cycles := flag.Int64("cycles", 1000, "cycles to simulate")
+	inputs := flag.String("in", "", "edge inputs: tile:side:w1,w2,... (comma-free words use ; between specs)")
+	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	chip := raw.NewChip(raw.DefaultConfig())
+	interps, err := loadProgram(chip, string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *inputs != "" {
+		for _, spec := range strings.Split(*inputs, ";") {
+			if err := pushInput(chip, spec); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	chip.Run(*cycles)
+	fmt.Printf("ran %d cycles\n", chip.Cycle())
+
+	for tile := 0; tile < chip.NumTiles(); tile++ {
+		for _, d := range []raw.Dir{raw.DirN, raw.DirE, raw.DirS, raw.DirW} {
+			if !chip.Tile(tile).Boundary(d) {
+				continue
+			}
+			words, cyclesOut := chip.StaticOut(tile, d).Drain()
+			if len(words) == 0 {
+				continue
+			}
+			fmt.Printf("edge out tile %d %s:", tile, d)
+			for i, w := range words {
+				fmt.Printf(" %d@%d", w, cyclesOut[i])
+			}
+			fmt.Println()
+		}
+	}
+
+	if *regs != "" {
+		for _, ts := range strings.Split(*regs, ",") {
+			tile, err := strconv.Atoi(strings.TrimSpace(ts))
+			if err != nil || tile < 0 || tile >= chip.NumTiles() {
+				fatal(fmt.Errorf("bad tile %q", ts))
+			}
+			it, ok := interps[tile]
+			if !ok {
+				fmt.Printf("tile %d: no program\n", tile)
+				continue
+			}
+			fmt.Printf("tile %d (halted=%v, retired=%d):", tile, it.Halted(), it.Retired)
+			for r := 1; r < 32; r++ {
+				if v := it.Reg(r); v != 0 {
+					fmt.Printf(" $%d=%d", r, v)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// loadProgram parses the sectioned file and installs tile and switch
+// programs.
+func loadProgram(chip *raw.Chip, src string) (map[int]*asm.Interp, error) {
+	interps := make(map[int]*asm.Interp)
+	var kind string // "tile" or "switch"
+	var tile int
+	var body strings.Builder
+	flush := func() error {
+		if kind == "" || body.Len() == 0 {
+			body.Reset()
+			return nil
+		}
+		defer body.Reset()
+		if kind == "tile" {
+			it, err := asm.Load(chip.Tile(tile), body.String())
+			if err != nil {
+				return fmt.Errorf("tile %d: %w", tile, err)
+			}
+			interps[tile] = it
+			return nil
+		}
+		prog, err := asm.AssembleSwitch(body.String())
+		if err != nil {
+			return fmt.Errorf("switch %d: %w", tile, err)
+		}
+		return chip.Tile(tile).SetSwitchProgram(prog)
+	}
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, ".tile") || strings.HasPrefix(trimmed, ".switch") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(trimmed)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: bad section header %q", ln+1, trimmed)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n >= chip.NumTiles() {
+				return nil, fmt.Errorf("line %d: bad tile number %q", ln+1, fields[1])
+			}
+			kind = strings.TrimPrefix(fields[0], ".")
+			tile = n
+			continue
+		}
+		body.WriteString(line)
+		body.WriteByte('\n')
+	}
+	return interps, flush()
+}
+
+// pushInput handles a tile:side:w1,w2,... spec.
+func pushInput(chip *raw.Chip, spec string) error {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -in spec %q", spec)
+	}
+	tile, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad tile in %q", spec)
+	}
+	var side raw.Dir
+	switch strings.ToUpper(parts[1]) {
+	case "N":
+		side = raw.DirN
+	case "E":
+		side = raw.DirE
+	case "S":
+		side = raw.DirS
+	case "W":
+		side = raw.DirW
+	default:
+		return fmt.Errorf("bad side in %q", spec)
+	}
+	in := chip.StaticIn(tile, side)
+	for _, ws := range strings.Split(parts[2], ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(ws), 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad word %q in %q", ws, spec)
+		}
+		in.Push(raw.Word(v))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rawsim:", err)
+	os.Exit(1)
+}

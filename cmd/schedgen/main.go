@@ -1,0 +1,70 @@
+// Command schedgen is the §6.4 automatic compile-time scheduler made
+// visible: it enumerates the Rotating Crossbar configuration space,
+// performs the §6.2 minimization, generates the per-tile static switch
+// programs, and prints the memory-budget report that motivates the whole
+// chapter.
+//
+// Usage:
+//
+//	schedgen [-port 0] [-dump] [-configs]
+//
+// -dump prints the generated switch program of one crossbar tile;
+// -configs lists the minimized configuration table (Table 6.1 vocabulary).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/rotor"
+	"repro/internal/router"
+)
+
+func main() {
+	port := flag.Int("port", 0, "crossbar tile to generate code for (0-3)")
+	dump := flag.Bool("dump", false, "dump the generated switch program")
+	configs := flag.Bool("configs", false, "list the minimized configuration table")
+	mixed := flag.Bool("mixed", false, "use the §8.6 mixed unicast/multicast space (51 routines)")
+	flag.Parse()
+
+	fmt.Println(exp.ConfigSpaceTable())
+
+	ci := rotor.NewConfigIndex(4)
+	if *mixed {
+		ci = rotor.NewMixedConfigIndex(4)
+		fmt.Printf("mixed unicast/multicast space (§8.6): %d per-tile configurations over 16^4 x 4 = %d global\n\n",
+			ci.Len(), 16*16*16*16*4)
+	}
+	if *configs {
+		fmt.Println("minimized per-tile configurations (out/cwnext/ccwnext <- client, expansion hops):")
+		for i := 0; i < ci.Len(); i++ {
+			k := ci.Key(i)
+			fmt.Printf("  %2d: out<-%s/%d  cwnext<-%s/%d  ccwnext<-%s/%d\n",
+				i, k.Out, k.OutHops, k.CWNext, k.CWHops, k.CCWNext, k.CCWHops)
+		}
+		fmt.Println()
+	}
+
+	xp, err := router.GenXbarProgram(*port, ci)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crossbar tile of port %d: %d switch instructions for %d routines (+6 preamble)\n",
+		*port, len(xp.Prog), ci.Len())
+
+	if *dump {
+		fmt.Println()
+		for pc, in := range xp.Prog {
+			marker := "  "
+			for i, addr := range xp.RoutineAddr {
+				if int(addr) == pc {
+					marker = fmt.Sprintf("%2d", i)
+				}
+			}
+			fmt.Printf("%s %4d: %s\n", marker, pc, in)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Controlplane: the Chapter 2 network processor driving the data plane —
+// a RIP-style distance-vector protocol converges over a small AS of four
+// routers, each router's forwarding table is compiled and installed, a
+// cycle-level Raw router forwards by the computed routes, a link fails,
+// the protocol reconverges, and the network processor hot-swaps the
+// table with the §2.2.1 double-buffered update while packets flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ip"
+	"repro/internal/netproc"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// AS topology: our router is node 0 in a 4-node ring; each node
+	// attaches one stub /8 on its port 0 (ports 1 and 2 are the ring).
+	//
+	//      10/8          11/8
+	//       |             |
+	//      [0] --1/2--> [1]
+	//       |2           |1
+	//      [3] <--2/1-- [2]
+	//       |             |
+	//      13/8          12/8
+	nw := netproc.NewNetwork()
+	for i := 0; i < 4; i++ {
+		nw.AddNode(i).Attach(netproc.Prefix{Addr: uint32(10+i) << 24, Len: 8}, 0)
+	}
+	for i := 0; i < 4; i++ {
+		nw.Link(i, 1, (i+1)%4, 2)
+	}
+	ticks := nw.RunUntilStable(100)
+	fmt.Printf("RIP converged in %d protocol rounds\n", ticks)
+	for _, e := range nw.Nodes[0].Routes() {
+		fmt.Printf("  node 0: %d.0.0.0/8  metric %d\n", e.Prefix.Addr>>24, e.Metric)
+	}
+
+	ft, err := nw.Nodes[0].ForwardingTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := router.DefaultConfig()
+	cfg.Table = ft
+	r, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 13/8 lives one counterclockwise hop away: out port 2.
+	probe := func(tag uint16) int {
+		pkt := ip.NewPacket(traffic.PortAddr(0, uint32(tag)), ip.AddrFrom(13, 1, 1, 1), 64, 128, tag)
+		r.OfferPacket(0, &pkt)
+		var before [4]int64
+		for p := 0; p < 4; p++ {
+			before[p] = r.Stats.PktsOut[p]
+		}
+		for i := 0; i < 400; i++ {
+			r.Run(100)
+			for p := 0; p < 4; p++ {
+				if r.Stats.PktsOut[p] > before[p] {
+					return p
+				}
+			}
+		}
+		return -1
+	}
+	fmt.Printf("\npacket to 13.1.1.1 leaves on port %d (counterclockwise, 1 hop)\n", probe(1))
+
+	// The counterclockwise link fails; RIP reroutes 13/8 the long way.
+	fmt.Println("\n*** link 0<->3 fails ***")
+	nw.Fail(0, 2)
+	for i := 0; i < 40; i++ {
+		nw.Tick()
+	}
+	ft2, err := nw.Nodes[0].ForwardingTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.UpdateTable(ft2) // §2.2.1 double-buffered hot swap
+	for _, e := range nw.Nodes[0].Routes() {
+		if e.Prefix.Addr == 13<<24 {
+			fmt.Printf("reconverged: 13/8 now metric %d\n", e.Metric)
+		}
+	}
+	fmt.Printf("packet to 13.1.1.1 now leaves on port %d (clockwise, 3 hops)\n", probe(2))
+}

@@ -1,0 +1,84 @@
+// Edgerouter: a realistic 4-port edge router session on the cycle-level
+// engine — a BGP-sized synthetic prefix table in simulated DRAM, a mixed
+// packet-size workload with bursty flows and a hotspot, end-to-end packet
+// validation (checksums, TTLs), and per-port accounting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lookup"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// A route table with a default route, the four port /8s, and a few
+	// thousand random longer prefixes spread across the ports.
+	table := router.CanonicalTable()
+	rng := traffic.NewRNG(2026)
+	if err := table.Insert(0, 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		plen := 9 + rng.Intn(16)
+		if err := table.Insert(uint32(rng.Uint64()), plen, lookup.NextHop(rng.Intn(4))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("installed %d routes\n", table.Len())
+
+	cfg := router.DefaultConfig()
+	cfg.Table = table
+	r, err := core.New(core.Options{RouterConfig: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mixed workload: bursty flows, a size mix, 30% of traffic piling on
+	// port 2 (a busy uplink).
+	sizes := []int{64, 256, 1024}
+	weights := []float64{0.5, 0.3, 0.2}
+	gens := make([]traffic.Source, 4)
+	for p := 0; p < 4; p++ {
+		inner := traffic.NewBursty(4, 64, p, 8, rng.Fork(uint64(p)))
+		gens[p] = traffic.NewSizeMix(inner, sizes, weights, rng.Fork(uint64(p)+100))
+	}
+	hot := traffic.NewRNG(7)
+	gen := func(port int) core.Packet {
+		pkt := gens[port].Next()
+		dst := pkt.Dst
+		if hot.Float64() < 0.3 {
+			dst = 2
+		}
+		return core.Packet{Dst: dst, SizeBytes: pkt.SizeBytes}
+	}
+
+	res := r.RunMeasured(60_000, 200_000, gen)
+
+	fmt.Printf("\nmeasured %d cycles (%.2f ms of router time at 250 MHz)\n",
+		res.Cycles, 1e3*float64(res.Cycles)/res.ClockHz)
+	fmt.Printf("forwarded %d packets: %.2f Gbps, %.2f Mpps\n", res.Packets, res.Gbps, res.Mpps)
+	fmt.Printf("per-egress packets: %v (port 2 is the hotspot)\n", res.PerPort)
+	fmt.Printf("arbitration denials (head-of-line waits): %d\n", res.Denied)
+
+	// Pull some delivered packets off the pins and verify them like a
+	// downstream device would.
+	cyc := r.Cycle()
+	verified := 0
+	for p := 0; p < 4; p++ {
+		pkts, err := cyc.DrainOutput(p)
+		if err != nil {
+			log.Fatalf("output %d: %v", p, err)
+		}
+		for _, pkt := range pkts {
+			if pkt.Header.TTL == 0 {
+				log.Fatalf("output %d: TTL zero escaped", p)
+			}
+			verified++
+		}
+	}
+	fmt.Printf("drained and checksum-verified %d packets at the output pins\n", verified)
+}

@@ -1,0 +1,161 @@
+// LEO: the §8.8 future-work direction — routing in a low-earth-orbit
+// satellite constellation built from Raw routers. An Iridium-like
+// constellation is modeled as a P-plane × S-satellite torus; every
+// satellite carries a 4-port Rotating Crossbar fabric whose ports are its
+// inter-satellite links (north/south within the orbital plane, east/west
+// across planes). Packets hop satellite to satellite under
+// dimension-ordered routing (cross planes first, then along the plane),
+// each hop arbitrated by that satellite's token crossbar.
+//
+// The §8.8 concerns — per-satellite memory and transmission overhead —
+// show up directly: queue depths and per-hop quanta are first-class
+// outputs.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/rotor"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+const (
+	planes  = 6 // orbital planes
+	perRing = 8 // satellites per plane
+	// Port numbering on each satellite's crossbar.
+	portN = 0 // next satellite in the plane
+	portS = 1 // previous satellite in the plane
+	portE = 2 // eastward plane
+	portW = 3 // westward plane
+)
+
+type satID struct{ plane, slot int }
+
+type flight struct {
+	src, dst satID
+	born     int64 // global quantum when injected
+	hops     int
+}
+
+func main() {
+	fmt.Printf("constellation: %d planes x %d satellites, 4 inter-satellite links each\n",
+		planes, perRing)
+
+	sats := make(map[satID]*rotor.Fabric)
+	for p := 0; p < planes; p++ {
+		for s := 0; s < perRing; s++ {
+			cfg := rotor.DefaultFabricConfig()
+			cfg.QuantumWords = 64 // short quanta: latency matters in space
+			sats[satID{p, s}] = rotor.NewFabric(cfg)
+		}
+	}
+
+	inflight := make(map[int64]*flight)
+	var nextTag int64
+	var delivered, hops int64
+	delay := stats.NewHistogram(20)
+	var round int64
+
+	// nextPort picks the outgoing link at sat cur toward dst:
+	// dimension-ordered (planes first, shortest way around each ring).
+	nextPort := func(cur, dst satID) int {
+		if cur.plane != dst.plane {
+			d := (dst.plane - cur.plane + planes) % planes
+			if d <= planes/2 {
+				return portE
+			}
+			return portW
+		}
+		d := (dst.slot - cur.slot + perRing) % perRing
+		if d <= perRing/2 {
+			return portN
+		}
+		return portS
+	}
+	opposite := func(port int) int {
+		switch port {
+		case portN:
+			return portS
+		case portS:
+			return portN
+		case portE:
+			return portW
+		}
+		return portE
+	}
+	neighbor := func(cur satID, port int) satID {
+		switch port {
+		case portN:
+			return satID{cur.plane, (cur.slot + 1) % perRing}
+		case portS:
+			return satID{cur.plane, (cur.slot - 1 + perRing) % perRing}
+		case portE:
+			return satID{(cur.plane + 1) % planes, cur.slot}
+		}
+		return satID{(cur.plane - 1 + planes) % planes, cur.slot}
+	}
+
+	// Wire deliveries: a packet leaving sat X on port P arrives at the
+	// neighbor and is re-offered there, or retires at its destination.
+	for id, f := range sats {
+		id, f := id, f
+		f.OnDeliver = func(port int, pkt rotor.FabricPkt) {
+			fl := inflight[pkt.Tag]
+			nb := neighbor(id, port)
+			fl.hops++
+			if nb == fl.dst {
+				delivered++
+				hops += int64(fl.hops)
+				delay.Observe(round - fl.born)
+				delete(inflight, pkt.Tag)
+				return
+			}
+			// Re-offer at the neighbor: it arrives on the link opposite
+			// the one it left on, heading toward its next hop.
+			sats[nb].OfferTagged(opposite(port), nextPort(nb, fl.dst), pkt.Words, pkt.Tag)
+		}
+	}
+
+	rng := traffic.NewRNG(42)
+	randSat := func() satID { return satID{rng.Intn(planes), rng.Intn(perRing)} }
+
+	const rounds = 30_000
+	var maxQueue int
+	for round = 0; round < rounds; round++ {
+		// Ground stations inject fresh traffic at random satellites.
+		for k := 0; k < 6; k++ {
+			src, dst := randSat(), randSat()
+			if src == dst {
+				continue
+			}
+			nextTag++
+			fl := &flight{src: src, dst: dst, born: round}
+			inflight[nextTag] = fl
+			// Ground uplink: the packet enters on the link opposite its
+			// first hop (sharing that queue with transit traffic).
+			out := nextPort(src, dst)
+			sats[src].OfferTagged(opposite(out), out, 16+rng.Intn(48), nextTag)
+		}
+		// All satellites arbitrate one routing quantum.
+		for p := 0; p < planes; p++ {
+			for s := 0; s < perRing; s++ {
+				f := sats[satID{p, s}]
+				f.StepQuantum()
+				for port := 0; port < 4; port++ {
+					if q := f.QueueLen(port); q > maxQueue {
+						maxQueue = q
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\nafter %d routing rounds:\n", rounds)
+	fmt.Printf("  delivered:        %d packets (%d still in flight)\n", delivered, len(inflight))
+	fmt.Printf("  mean path length: %.2f satellite hops (torus diameter %d)\n",
+		float64(hops)/float64(delivered), planes/2+perRing/2)
+	fmt.Printf("  mean delay:       %.1f rounds, p99 ≤ %d rounds\n",
+		delay.Mean(), delay.Quantile(0.99))
+	fmt.Printf("  worst link queue: %d packets — the §8.8 satellite memory question\n", maxQueue)
+}

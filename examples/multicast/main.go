@@ -1,0 +1,74 @@
+// Multicast: the §8.6 extension — fanout-splitting in the Rotating
+// Crossbar lets one ingress reach several egresses in a single quantum,
+// because the static switch crossbar replicates a word to multiple
+// outputs in one cycle. Compares against sending unicast copies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ip"
+	"repro/internal/rotor"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+func main() {
+	fmt.Println("One quantum, input 0 multicasting to {1,2,3}, token at 0:")
+	a := rotor.AllocateMcast([]rotor.McastReq{rotor.McastTo(1, 2, 3), 0, 0, 0}, 0)
+	fmt.Printf("  served members: %d of 3\n", a.Granted[0].Count())
+	for tile := 0; tile < 4; tile++ {
+		fmt.Printf("  crossbar tile %d config: %s\n", tile, a.Tiles[tile])
+	}
+
+	fmt.Println("\nContention trims the served subset (input 1 already owns egress 1):")
+	b := rotor.AllocateMcast([]rotor.McastReq{0, rotor.McastTo(1), rotor.McastTo(1, 3), 0}, 1)
+	fmt.Printf("  input 1 granted: %v, input 2 granted members: %d (egress 3 only)\n",
+		b.Granted[1].Has(1), b.Granted[2].Count())
+
+	// Long-run comparison: deliveries per quantum.
+	const quanta = 100_000
+	served := 0
+	for i := 0; i < quanta; i++ {
+		a := rotor.AllocateMcast([]rotor.McastReq{rotor.McastTo(1, 2, 3), 0, 0, 0}, i%4)
+		served += a.Granted[0].Count()
+	}
+	fanout := float64(served) / quanta
+
+	f := rotor.NewFabric(rotor.DefaultFabricConfig())
+	d := 0
+	for i := 0; i < quanta; i++ {
+		for f.QueueLen(0) < 4 {
+			f.Offer(0, 1+d%3, 64)
+			d++
+		}
+		f.StepQuantum()
+	}
+	copies := float64(f.TotalPkts()) / float64(f.Quanta)
+
+	fmt.Printf("\ndeliveries per quantum over %d quanta:\n", quanta)
+	fmt.Printf("  unicast copies:    %.2f\n", copies)
+	fmt.Printf("  fanout-splitting:  %.2f  (the §2.2.2 ~40%%+ multicast win, here 3x)\n", fanout)
+
+	// And at full cycle-level fidelity: a group packet through the real
+	// router, one fanout-split stream, three intact copies on the pins.
+	cfg := router.DefaultConfig()
+	cfg.Multicast = true
+	cfg.Groups = map[ip.Addr]uint8{ip.AddrFrom(224, 1, 1, 1): 0b1110}
+	r, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(224, 1, 1, 1), 64, 512, 7)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool {
+		return r.Stats.PktsOut[1] >= 1 && r.Stats.PktsOut[2] >= 1 && r.Stats.PktsOut[3] >= 1
+	}, 50_000) {
+		log.Fatal("cycle-level multicast did not deliver")
+	}
+	fmt.Printf("\ncycle-level router: group 224.1.1.1 -> egress copies on ports 1,2,3 after %d cycles\n",
+		r.Cycle())
+	fmt.Printf("  ingress streamed %d fragment(s); crossbar produced %d copies (mixed jump table: 51 routines)\n",
+		r.Stats.FragsSent[0], r.Stats.McastCopies[0])
+}

@@ -1,0 +1,257 @@
+// Package click implements a Click-style modular software router (Kohler
+// et al., SOSP 1999) running on a conventional single-processor cost
+// model. It is the general-purpose-CPU baseline of the paper's Figure 7-1
+// ("the Click Router ... another router implemented on a general-purpose
+// processor", 0.23 Gbps): every packet crosses one memory bus and one CPU,
+// which is precisely the bottleneck the Raw design removes.
+//
+// The element graph mirrors Click's standard IP forwarding path:
+//
+//	FromDevice -> Classifier -> CheckIPHeader -> DecIPTTL ->
+//	LookupIPRoute -> Queue -> ToDevice
+//
+// Each element charges a per-packet CPU cost calibrated so the pipeline
+// totals ≈1,550 cycles/packet: at the 700 MHz of the era's PCs that is
+// ≈450 kpps, i.e. ≈0.23 Gbps for 64-byte packets — the bar in Figure 7-1.
+// Payload bytes do not touch the CPU (DMA) but cross the shared bus twice,
+// so large packets are bus-bound instead (BusBytesPerSec).
+package click
+
+import (
+	"fmt"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+// Packet is a packet traversing the element graph.
+type Packet struct {
+	Words []uint32
+	Port  int // input port
+	Out   int // output chosen by routing
+}
+
+// Element is one node of the graph.
+type Element interface {
+	// Name identifies the element in configuration dumps.
+	Name() string
+	// Process handles a packet, returning the CPU cycles consumed and
+	// whether the packet continues downstream (false = dropped or
+	// consumed).
+	Process(p *Packet) (cycles int64, ok bool)
+}
+
+// CPU cost calibration (cycles/packet). See the package comment.
+const (
+	CostFromDevice  = 340
+	CostClassifier  = 120
+	CostCheckHeader = 200
+	CostDecTTL      = 70
+	CostLookupBase  = 200
+	CostLookupProbe = 15
+	CostQueue       = 60
+	CostToDevice    = 380
+)
+
+// FromDevice models the input DMA ring service.
+type FromDevice struct{ Dev int }
+
+// Name implements Element.
+func (e *FromDevice) Name() string { return fmt.Sprintf("FromDevice(eth%d)", e.Dev) }
+
+// Process implements Element.
+func (e *FromDevice) Process(p *Packet) (int64, bool) { return CostFromDevice, true }
+
+// Classifier drops anything that is not an IPv4 packet.
+type Classifier struct{ NonIP int64 }
+
+// Name implements Element.
+func (e *Classifier) Name() string { return "Classifier(12/0800)" }
+
+// Process implements Element.
+func (e *Classifier) Process(p *Packet) (int64, bool) {
+	if len(p.Words) == 0 || p.Words[0]>>28 != 4 {
+		e.NonIP++
+		return CostClassifier, false
+	}
+	return CostClassifier, true
+}
+
+// CheckIPHeader validates length and checksum, as Click's element does.
+type CheckIPHeader struct{ Bad int64 }
+
+// Name implements Element.
+func (e *CheckIPHeader) Name() string { return "CheckIPHeader" }
+
+// Process implements Element.
+func (e *CheckIPHeader) Process(p *Packet) (int64, bool) {
+	if _, err := ip.Unmarshal(p.Words); err != nil {
+		e.Bad++
+		return CostCheckHeader, false
+	}
+	return CostCheckHeader, true
+}
+
+// DecIPTTL decrements the TTL with incremental checksum update, dropping
+// expired packets.
+type DecIPTTL struct{ Expired int64 }
+
+// Name implements Element.
+func (e *DecIPTTL) Name() string { return "DecIPTTL" }
+
+// Process implements Element.
+func (e *DecIPTTL) Process(p *Packet) (int64, bool) {
+	if err := ip.DecrementTTL(p.Words); err != nil {
+		e.Expired++
+		return CostDecTTL, false
+	}
+	return CostDecTTL, true
+}
+
+// LookupIPRoute resolves the output port via a Patricia table.
+type LookupIPRoute struct {
+	Table    *lookup.Patricia
+	NoRoute  int64
+	ProbeSum int64
+}
+
+// Name implements Element.
+func (e *LookupIPRoute) Name() string { return "LookupIPRoute" }
+
+// Process implements Element.
+func (e *LookupIPRoute) Process(p *Packet) (int64, bool) {
+	h, err := ip.Unmarshal(p.Words)
+	if err != nil {
+		return CostLookupBase, false
+	}
+	nh, probes := e.Table.Lookup(uint32(h.Dst))
+	e.ProbeSum += int64(probes)
+	cost := int64(CostLookupBase + CostLookupProbe*probes)
+	if nh == lookup.NoRoute {
+		e.NoRoute++
+		return cost, false
+	}
+	p.Out = int(nh)
+	return cost, true
+}
+
+// Queue is Click's bounded push-to-pull queue; overflow drops the packet.
+type Queue struct {
+	Cap   int
+	Drops int64
+	buf   []*Packet
+}
+
+// Name implements Element.
+func (e *Queue) Name() string { return fmt.Sprintf("Queue(%d)", e.Cap) }
+
+// Process implements Element (the push side).
+func (e *Queue) Process(p *Packet) (int64, bool) {
+	if e.Cap > 0 && len(e.buf) >= e.Cap {
+		e.Drops++
+		return CostQueue, false
+	}
+	e.buf = append(e.buf, p)
+	return CostQueue, true
+}
+
+// Pull removes the head packet (the pull side driven by ToDevice).
+func (e *Queue) Pull() *Packet {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	p := e.buf[0]
+	e.buf = e.buf[1:]
+	return p
+}
+
+// Len returns the queue occupancy.
+func (e *Queue) Len() int { return len(e.buf) }
+
+// ToDevice models the output DMA ring.
+type ToDevice struct{ Dev int }
+
+// Name implements Element.
+func (e *ToDevice) Name() string { return fmt.Sprintf("ToDevice(eth%d)", e.Dev) }
+
+// Process implements Element.
+func (e *ToDevice) Process(p *Packet) (int64, bool) { return CostToDevice, true }
+
+// REDQueue is Click's random-early-detection queue: above MinThresh the
+// drop probability ramps linearly to MaxP at MaxThresh, using an EWMA of
+// the occupancy — the congestion-avoidance discipline an edge router's
+// output queues would run.
+type REDQueue struct {
+	Cap       int
+	MinThresh int
+	MaxThresh int
+	// MaxP is the drop probability at MaxThresh, in 1/256 units.
+	MaxP int
+
+	Drops     int64
+	EarlyDrop int64
+	buf       []*Packet
+	avg       float64 // EWMA occupancy
+	rng       uint64
+}
+
+// NewREDQueue builds a RED queue with the classic 1/4–3/4 thresholds.
+func NewREDQueue(capacity int, seed uint64) *REDQueue {
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &REDQueue{
+		Cap:       capacity,
+		MinThresh: capacity / 4,
+		MaxThresh: capacity * 3 / 4,
+		MaxP:      64, // 25% at the knee
+		rng:       seed,
+	}
+}
+
+// Name implements Element.
+func (e *REDQueue) Name() string { return fmt.Sprintf("REDQueue(%d)", e.Cap) }
+
+func (e *REDQueue) rand() uint64 {
+	e.rng ^= e.rng << 13
+	e.rng ^= e.rng >> 7
+	e.rng ^= e.rng << 17
+	return e.rng
+}
+
+// Process implements Element (the push side).
+func (e *REDQueue) Process(p *Packet) (int64, bool) {
+	const w = 0.25 // EWMA weight
+	e.avg = (1-w)*e.avg + w*float64(len(e.buf))
+	switch {
+	case len(e.buf) >= e.Cap:
+		e.Drops++
+		return CostQueue, false
+	case e.avg >= float64(e.MaxThresh):
+		e.Drops++
+		e.EarlyDrop++
+		return CostQueue, false
+	case e.avg >= float64(e.MinThresh):
+		ramp := (e.avg - float64(e.MinThresh)) / float64(e.MaxThresh-e.MinThresh)
+		if float64(e.rand()%256) < ramp*float64(e.MaxP) {
+			e.Drops++
+			e.EarlyDrop++
+			return CostQueue, false
+		}
+	}
+	e.buf = append(e.buf, p)
+	return CostQueue, true
+}
+
+// Pull removes the head packet.
+func (e *REDQueue) Pull() *Packet {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	p := e.buf[0]
+	e.buf = e.buf[1:]
+	return p
+}
+
+// Len returns the queue occupancy.
+func (e *REDQueue) Len() int { return len(e.buf) }

@@ -1,0 +1,170 @@
+package click_test
+
+import (
+	"testing"
+
+	"repro/internal/click"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/traffic"
+)
+
+func table4(t *testing.T) *lookup.Patricia {
+	t.Helper()
+	var tbl lookup.Patricia
+	for p := 0; p < 4; p++ {
+		prefix, plen := traffic.PortPrefix(p)
+		if err := tbl.Insert(prefix, plen, lookup.NextHop(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &tbl
+}
+
+// TestForwardingPath checks a valid packet traverses the graph, gets its
+// TTL decremented, and lands on the routed output.
+func TestForwardingPath(t *testing.T) {
+	r := click.NewRouter(4, table4(t))
+	pkt := ip.NewPacket(ip.AddrFrom(1, 1, 1, 1), traffic.PortAddr(2, 5), 64, 128, 1)
+	if !r.Push(0, pkt.Words()) {
+		t.Fatal("valid packet dropped")
+	}
+	sent := r.PullAll()
+	if len(sent) != 1 {
+		t.Fatalf("%d packets sent", len(sent))
+	}
+	if sent[0].Out != 2 {
+		t.Fatalf("routed to %d, want 2", sent[0].Out)
+	}
+	h, err := ip.Unmarshal(sent[0].Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TTL != 63 {
+		t.Fatalf("TTL %d, want 63", h.TTL)
+	}
+}
+
+// TestDropPaths checks the classifier, checksum, TTL, and no-route drops.
+func TestDropPaths(t *testing.T) {
+	r := click.NewRouter(4, table4(t))
+
+	if r.Push(0, []uint32{0x60000000, 0, 0, 0, 0}) { // IPv6 version nibble
+		t.Fatal("non-IPv4 accepted")
+	}
+	badPkt := ip.NewPacket(1, traffic.PortAddr(0, 1), 64, 64, 2)
+	bad := badPkt.Words()
+	bad[4] ^= 1 // corrupt destination: checksum now wrong
+	if r.Push(0, bad) {
+		t.Fatal("bad checksum accepted")
+	}
+	expired := ip.NewPacket(1, traffic.PortAddr(0, 1), 1, 64, 3)
+	if r.Push(0, expired.Words()) {
+		t.Fatal("TTL=1 packet accepted")
+	}
+	noroute := ip.NewPacket(1, ip.AddrFrom(99, 0, 0, 1), 64, 64, 4)
+	if r.Push(0, noroute.Words()) {
+		t.Fatal("unroutable packet accepted")
+	}
+	if r.Dropped != 4 {
+		t.Fatalf("dropped %d, want 4", r.Dropped)
+	}
+}
+
+// TestQueueOverflow checks tail drop.
+func TestQueueOverflow(t *testing.T) {
+	r := click.NewRouter(4, table4(t))
+	pkt := ip.NewPacket(1, traffic.PortAddr(0, 1), 64, 64, 0)
+	accepted := 0
+	for i := 0; i < 200; i++ { // queue cap is 128
+		if r.Push(0, pkt.Words()) {
+			accepted++
+		}
+	}
+	if accepted != 128 {
+		t.Fatalf("accepted %d, want 128 (queue cap)", accepted)
+	}
+}
+
+// TestCalibration64B: the model must land near the paper's 0.23 Gbps bar
+// for minimum-size packets (CPU-bound regime).
+func TestCalibration64B(t *testing.T) {
+	gbps, kpps := click.MLFFR(table4(t), 4, 64, 20000)
+	if gbps < 0.18 || gbps > 0.30 {
+		t.Fatalf("Click 64B forwarding = %.3f Gbps, want ≈ 0.23 (Figure 7-1)", gbps)
+	}
+	if kpps < 350 || kpps > 600 {
+		t.Fatalf("Click 64B forwarding = %.0f kpps, want ≈ 450", kpps)
+	}
+}
+
+// TestBusBoundLargePackets: for 1,024-byte packets the shared bus binds,
+// far below multigigabit rates — the §2.4 claim that conventional
+// general-purpose processors lack I/O bandwidth.
+func TestBusBoundLargePackets(t *testing.T) {
+	gbps, _ := click.MLFFR(table4(t), 4, 1024, 5000)
+	if gbps > 1.0 {
+		t.Fatalf("Click 1024B forwarding = %.3f Gbps, should be bus-bound ≲ 0.6", gbps)
+	}
+	small, _ := click.MLFFR(table4(t), 4, 64, 5000)
+	if gbps <= small {
+		t.Fatalf("large packets (%.3f) should outrun small (%.3f) until the bus caps", gbps, small)
+	}
+}
+
+// TestElementNames exercises the configuration dump strings.
+func TestElementNames(t *testing.T) {
+	for _, e := range []click.Element{
+		&click.FromDevice{Dev: 1}, &click.Classifier{}, &click.CheckIPHeader{},
+		&click.DecIPTTL{}, &click.LookupIPRoute{}, &click.Queue{Cap: 8}, &click.ToDevice{Dev: 2},
+	} {
+		if e.Name() == "" {
+			t.Fatalf("%T has empty name", e)
+		}
+	}
+}
+
+// TestREDQueueBehavior: no early drops below MinThresh, ramped early drops
+// in the RED band, everything dropped at the hard cap.
+func TestREDQueueBehavior(t *testing.T) {
+	q := click.NewREDQueue(64, 7)
+	pkt := &click.Packet{}
+	// Fill below MinThresh (16): no early drops.
+	for i := 0; i < 12; i++ {
+		if _, ok := q.Process(pkt); !ok {
+			t.Fatalf("drop below MinThresh at %d", i)
+		}
+	}
+	if q.EarlyDrop != 0 {
+		t.Fatalf("early drops below MinThresh: %d", q.EarlyDrop)
+	}
+	// Flood into the RED band without draining.
+	accepted := 12
+	for i := 0; i < 500 && q.Len() < 64; i++ {
+		if _, ok := q.Process(pkt); ok {
+			accepted++
+		}
+	}
+	if q.EarlyDrop == 0 {
+		t.Fatal("no early drops in the RED band")
+	}
+	// Saturated: hard drops.
+	before := q.Drops
+	for i := 0; i < 10 && q.Len() >= 64; i++ {
+		q.Process(pkt)
+	}
+	if q.Drops == before && q.Len() >= 64 {
+		t.Fatal("full queue accepted a packet")
+	}
+	// Draining restores acceptance.
+	for q.Len() > 0 {
+		q.Pull()
+	}
+	for i := 0; i < 40; i++ { // EWMA decays over a few accepts
+		q.Process(pkt)
+		q.Pull()
+	}
+	if _, ok := q.Process(pkt); !ok {
+		t.Fatal("drained queue still dropping")
+	}
+}

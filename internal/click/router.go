@@ -1,0 +1,155 @@
+package click
+
+import (
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+// Router is an assembled Click forwarding path on a single-CPU machine
+// model.
+type Router struct {
+	// ClockHz is the CPU clock (default 700 MHz, a Pentium III of the
+	// paper's era).
+	ClockHz float64
+	// BusBytesPerSec caps the shared I/O bus; every forwarded packet
+	// crosses it twice (NIC->memory, memory->NIC). Default models 32-bit
+	// 33 MHz PCI ≈ 1 Gbps.
+	BusBytesPerSec float64
+
+	from    []*FromDevice
+	class   *Classifier
+	check   *CheckIPHeader
+	dec     *DecIPTTL
+	route   *LookupIPRoute
+	queues  []*Queue
+	to      []*ToDevice
+	ports   int
+	started bool
+
+	// Accounting.
+	CPUCycles int64
+	BusBytes  int64
+	Forwarded int64
+	Dropped   int64
+}
+
+// NewRouter assembles an n-port IP forwarding configuration over table.
+func NewRouter(n int, table *lookup.Patricia) *Router {
+	r := &Router{
+		ClockHz:        700e6,
+		BusBytesPerSec: 133e6, // 32-bit, 33 MHz PCI
+		class:          &Classifier{},
+		check:          &CheckIPHeader{},
+		dec:            &DecIPTTL{},
+		route:          &LookupIPRoute{Table: table},
+		ports:          n,
+	}
+	for i := 0; i < n; i++ {
+		r.from = append(r.from, &FromDevice{Dev: i})
+		r.queues = append(r.queues, &Queue{Cap: 128})
+		r.to = append(r.to, &ToDevice{Dev: i})
+	}
+	return r
+}
+
+// Ports returns the port count.
+func (r *Router) Ports() int { return r.ports }
+
+// Push runs one packet through the push path (device to queue), charging
+// CPU and bus costs. It reports whether the packet reached a queue.
+func (r *Router) Push(inPort int, words []uint32) bool {
+	p := &Packet{Words: words, Port: inPort, Out: -1}
+	r.BusBytes += int64(len(words) * 4) // NIC -> memory
+
+	chain := []Element{r.from[inPort], r.class, r.check, r.dec, r.route}
+	for _, e := range chain {
+		cycles, ok := e.Process(p)
+		r.CPUCycles += cycles
+		if !ok {
+			r.Dropped++
+			return false
+		}
+	}
+	q := r.queues[p.Out]
+	cycles, ok := q.Process(p)
+	r.CPUCycles += cycles
+	if !ok {
+		r.Dropped++
+		return false
+	}
+	return true
+}
+
+// PullAll drains every output queue through its ToDevice, charging costs,
+// and returns the packets transmitted.
+func (r *Router) PullAll() []*Packet {
+	var sent []*Packet
+	for o, q := range r.queues {
+		for {
+			p := q.Pull()
+			if p == nil {
+				break
+			}
+			cycles, _ := r.to[o].Process(p)
+			r.CPUCycles += cycles
+			r.BusBytes += int64(len(p.Words) * 4) // memory -> NIC
+			r.Forwarded++
+			sent = append(sent, p)
+		}
+	}
+	return sent
+}
+
+// Forward pushes and immediately pulls one packet — the common benchmark
+// loop.
+func (r *Router) Forward(inPort int, words []uint32) bool {
+	if !r.Push(inPort, words) {
+		return false
+	}
+	r.PullAll()
+	return true
+}
+
+// ElapsedSeconds returns the wall-clock time the run took on this machine
+// model: the CPU and the bus work in parallel, so the slower one binds.
+func (r *Router) ElapsedSeconds() float64 {
+	cpu := float64(r.CPUCycles) / r.ClockHz
+	bus := float64(r.BusBytes) / r.BusBytesPerSec
+	if bus > cpu {
+		return bus
+	}
+	return cpu
+}
+
+// ThroughputGbps returns delivered bandwidth for a run that forwarded
+// packets of sizeBytes each.
+func (r *Router) ThroughputGbps(sizeBytes int) float64 {
+	sec := r.ElapsedSeconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(r.Forwarded) * float64(sizeBytes) * 8 / sec / 1e9
+}
+
+// Kpps returns delivered thousands of packets per second.
+func (r *Router) Kpps() float64 {
+	sec := r.ElapsedSeconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(r.Forwarded) / sec / 1e3
+}
+
+// MLFFR measures the maximum loss-free forwarding rate for a packet size:
+// it forwards count packets with valid headers addressed round-robin
+// across ports and reports throughput. (With unbounded offered load the
+// Click model is work-conserving, so this is its saturation rate.)
+func MLFFR(table *lookup.Patricia, ports, sizeBytes, count int) (gbps, kpps float64) {
+	r := NewRouter(ports, table)
+	for i := 0; i < count; i++ {
+		dst := ip.Addr(uint32(10+i%ports)<<24 | uint32(i)&0xffff)
+		pkt := ip.NewPacket(ip.AddrFrom(1, 2, 3, 4), dst, 64, sizeBytes, uint16(i))
+		r.Forward(i%ports, pkt.Words())
+	}
+	return r.ThroughputGbps(sizeBytes), r.Kpps()
+}

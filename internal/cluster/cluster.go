@@ -1,0 +1,165 @@
+// Package cluster composes multiple cycle-level 4-port Raw routers into a
+// larger router — §8.5's prescription: "build a larger router out of
+// multiple of these small 4-port routers", connected gluelessly at the
+// pins. Two chips joined by trunk links form an 8-external-port system
+// (each chip keeps two external ports and dedicates two to the trunk);
+// the word streams crossing the trunk are the same pin streams a line
+// card would see, so no chip is aware it is part of a cluster.
+//
+// The composition makes §8.5's trade measurable: a packet crossing chips
+// takes two lookups and two crossbar traversals, and the trunk's two
+// ports carry all inter-chip traffic — the bisection that caps scaling.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// Port identifies an external port of the cluster: 0..3, where 0,1 are
+// chip A's ports 0,1 and 2,3 are chip B's ports 0,1.
+// Chip-local ports 2,3 of each chip are the trunk.
+const (
+	// TrunkPorts are the chip-local ports wired chip-to-chip.
+	trunkLo = 2
+	trunkHi = 3
+	// ExternalPorts is the cluster's external port count.
+	ExternalPorts = 4
+)
+
+// TwoChip is a 4-external-port router built from two chips (each chip
+// contributes two external ports; the other two form the inter-chip
+// trunk). It demonstrates the §8.5 composition while keeping the external
+// port count equal to a single chip's, so the cost of crossing the trunk
+// is directly comparable.
+type TwoChip struct {
+	A, B *router.Router
+
+	// Stats
+	TrunkWords [2]int64 // words crossing A->B and B->A
+}
+
+// external maps a cluster port to (chip, chip-local port): ports 0,1 live
+// on A, ports 2,3 on B.
+func external(p int) (chip int, local int) {
+	if p < 2 {
+		return 0, p
+	}
+	return 1, p - 2
+}
+
+// NewTwoChip builds the cluster. Addressing: cluster port p owns
+// (10+p).0.0.0/8, like the single-chip canonical table. Chip A's table
+// sends ports 2,3's prefixes to its trunk ports; chip B symmetrically.
+func NewTwoChip(cfg router.Config) (*TwoChip, error) {
+	mkTable := func(chip int) *lookup.Patricia {
+		var t lookup.Patricia
+		for p := 0; p < ExternalPorts; p++ {
+			prefix, plen := traffic.PortPrefix(p)
+			c, local := external(p)
+			nh := lookup.NextHop(local)
+			if c != chip {
+				// Remote port: send over the trunk, spread across both
+				// trunk links by parity for bisection balance.
+				nh = lookup.NextHop(trunkLo + p%2)
+			}
+			if err := t.Insert(prefix, plen, nh); err != nil {
+				panic(err)
+			}
+		}
+		return &t
+	}
+
+	cfgA := cfg
+	cfgA.Table = mkTable(0)
+	a, err := router.New(cfgA)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: chip A: %w", err)
+	}
+	cfgB := cfg
+	cfgB.Table = mkTable(1)
+	b, err := router.New(cfgB)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: chip B: %w", err)
+	}
+	return &TwoChip{A: a, B: b}, nil
+}
+
+// chipOf returns the router for chip index c.
+func (c2 *TwoChip) chipOf(c int) *router.Router {
+	if c == 0 {
+		return c2.A
+	}
+	return c2.B
+}
+
+// OfferPacket enqueues a packet at a cluster external port.
+func (c2 *TwoChip) OfferPacket(p int, pkt *ip.Packet) {
+	chip, local := external(p)
+	c2.chipOf(chip).OfferPacket(local, pkt)
+}
+
+// InputBacklogWords reports the external line buffer depth.
+func (c2 *TwoChip) InputBacklogWords(p int) int {
+	chip, local := external(p)
+	return c2.chipOf(chip).InputBacklogWords(local)
+}
+
+// Run advances both chips n cycles, bridging the trunk pins every step
+// slice. The bridge moves whole drained bursts; the per-slice granularity
+// models the small elastic buffers real chip-to-chip links have.
+func (c2 *TwoChip) Run(n int64) {
+	const slice = 64
+	for done := int64(0); done < n; done += slice {
+		step := slice
+		if n-done < slice {
+			step = int(n - done)
+		}
+		c2.A.Run(int64(step))
+		c2.B.Run(int64(step))
+		c2.bridge()
+	}
+}
+
+// bridge shuttles words that left one chip's trunk egress pins into the
+// other chip's trunk ingress pins.
+func (c2 *TwoChip) bridge() {
+	for _, trunk := range []int{trunkLo, trunkHi} {
+		aw, _ := c2.A.OutputSink(trunk).Drain()
+		for _, w := range aw {
+			c2.B.InputPins(trunk).Push(w)
+		}
+		c2.TrunkWords[0] += int64(len(aw))
+
+		bw, _ := c2.B.OutputSink(trunk).Drain()
+		for _, w := range bw {
+			c2.A.InputPins(trunk).Push(w)
+		}
+		c2.TrunkWords[1] += int64(len(bw))
+	}
+}
+
+// DrainOutput parses packets delivered at a cluster external port.
+func (c2 *TwoChip) DrainOutput(p int) ([]ip.Packet, error) {
+	chip, local := external(p)
+	return c2.chipOf(chip).DrainOutput(local)
+}
+
+// Cycle returns chip A's cycle count (both chips run in lockstep slices).
+func (c2 *TwoChip) Cycle() int64 { return c2.A.Cycle() }
+
+// ExternalPktsOut sums packets delivered on external ports only.
+func (c2 *TwoChip) ExternalPktsOut() int64 {
+	return c2.A.Stats.PktsOut[0] + c2.A.Stats.PktsOut[1] +
+		c2.B.Stats.PktsOut[0] + c2.B.Stats.PktsOut[1]
+}
+
+// ExternalWordsOut sums words delivered on external ports only.
+func (c2 *TwoChip) ExternalWordsOut() int64 {
+	return c2.A.OutputWords(0) + c2.A.OutputWords(1) +
+		c2.B.OutputWords(0) + c2.B.OutputWords(1)
+}

@@ -1,0 +1,155 @@
+// Package lookup implements the longest-prefix-match route tables a
+// router's lookup processors consult (§2.1 of the paper cites Patricia
+// trees as the traditional implementation; §8.2 points at Degermark-style
+// small forwarding tables as the future-work direction). Both structures
+// report the number of memory probes a lookup performed so the cycle-level
+// simulator can charge realistic lookup costs.
+package lookup
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NextHop identifies an output port of the router.
+type NextHop int32
+
+// NoRoute is returned when no prefix covers an address.
+const NoRoute NextHop = -1
+
+// node is a binary (path-compressed) trie node.
+type node struct {
+	child [2]*node
+	// route is the next hop installed at this node, or NoRoute.
+	route NextHop
+	// prefix/plen is the full prefix this node represents.
+	prefix uint32
+	plen   int
+}
+
+// Patricia is a path-compressed binary trie with longest-prefix matching
+// over 32-bit IPv4 prefixes.
+//
+// The zero value is an empty table.
+type Patricia struct {
+	root   *node
+	routes int
+}
+
+// Len returns the number of installed routes.
+func (t *Patricia) Len() int { return t.routes }
+
+// bit returns bit i (0 = most significant) of a.
+func bit(a uint32, i int) int { return int(a >> (31 - i) & 1) }
+
+// Insert installs or replaces prefix/plen -> nh. plen 0 installs a default
+// route.
+func (t *Patricia) Insert(prefix uint32, plen int, nh NextHop) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("lookup: bad prefix length %d", plen)
+	}
+	if nh < 0 {
+		return fmt.Errorf("lookup: bad next hop %d", nh)
+	}
+	prefix = maskPrefix(prefix, plen)
+	if t.root == nil {
+		t.root = &node{route: NoRoute}
+	}
+	n := t.root
+	for depth := 0; depth < plen; depth++ {
+		b := bit(prefix, depth)
+		if n.child[b] == nil {
+			n.child[b] = &node{route: NoRoute, prefix: maskPrefix(prefix, depth+1), plen: depth + 1}
+		}
+		n = n.child[b]
+	}
+	if n.route == NoRoute {
+		t.routes++
+	}
+	n.route = nh
+	return nil
+}
+
+func maskPrefix(p uint32, plen int) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	return p & (^uint32(0) << (32 - plen))
+}
+
+// Lookup returns the longest-prefix-match next hop for addr, and the
+// number of trie nodes visited (the memory-probe count a lookup processor
+// pays for).
+func (t *Patricia) Lookup(addr uint32) (NextHop, int) {
+	best := NoRoute
+	probes := 0
+	n := t.root
+	for depth := 0; n != nil; depth++ {
+		probes++
+		if n.route != NoRoute {
+			best = n.route
+		}
+		if depth == 32 {
+			break
+		}
+		n = n.child[bit(addr, depth)]
+	}
+	return best, probes
+}
+
+// Walk visits every installed route in prefix order.
+func (t *Patricia) Walk(f func(prefix uint32, plen int, nh NextHop)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.route != NoRoute {
+			f(n.prefix, n.plen, n.route)
+		}
+		rec(n.child[0])
+		rec(n.child[1])
+	}
+	rec(t.root)
+}
+
+// Delete removes prefix/plen if present, reporting whether it existed.
+// (Nodes are left in place; the trie is rebuilt by callers that care about
+// compaction.)
+func (t *Patricia) Delete(prefix uint32, plen int) bool {
+	prefix = maskPrefix(prefix, plen)
+	n := t.root
+	for depth := 0; n != nil && depth < plen; depth++ {
+		n = n.child[bit(prefix, depth)]
+	}
+	if n == nil || n.route == NoRoute {
+		return false
+	}
+	n.route = NoRoute
+	t.routes--
+	return true
+}
+
+// MaxDepth returns the deepest probe chain in the table — the worst-case
+// lookup cost.
+func (t *Patricia) MaxDepth() int {
+	var rec func(n *node, d int) int
+	rec = func(n *node, d int) int {
+		if n == nil {
+			return d
+		}
+		a := rec(n.child[0], d+1)
+		b := rec(n.child[1], d+1)
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return rec(t.root, 0)
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of a and
+// b — a helper for table generators.
+func CommonPrefixLen(a, b uint32) int {
+	return bits.LeadingZeros32(a ^ b)
+}

@@ -1,0 +1,133 @@
+// Package mem models the off-chip DRAM and the edge memory controllers
+// that answer the data caches' miss traffic over the Raw memory dynamic
+// network (§3.3, §8.2 of the paper). One Controller (a shared DRAM bank)
+// serves the whole chip through one port per mesh row on the east edge,
+// mirroring the Raw system's edge memory ports. Each port keeps its own
+// message framing state: words from different rows never interleave
+// within a message, but different ports deliver concurrently.
+package mem
+
+import "repro/internal/raw"
+
+// Controller is the DRAM bank plus its per-row edge ports.
+type Controller struct {
+	// Latency is the DRAM access time in cycles between a request
+	// completing arrival and the first response word entering the chip.
+	Latency int
+	// ServiceInterval is the minimum number of cycles between starting
+	// two requests on one port (bank occupancy); 0 means fully pipelined.
+	ServiceInterval int
+
+	width int
+	store map[raw.Word]raw.Word
+
+	// Stats
+	Reads, Writes int64
+}
+
+// port is the raw.DynDevice bound to one boundary link.
+type port struct {
+	c        *Controller
+	buf      []raw.Word
+	queue    [][]raw.Word
+	nextFree int64
+	inflight []response
+}
+
+type response struct {
+	due   int64
+	words []raw.Word
+}
+
+// NewController builds a controller for a chip of the given mesh width
+// (needed to address read replies) with the given DRAM latency.
+func NewController(meshWidth, latency int) *Controller {
+	return &Controller{
+		Latency: latency,
+		width:   meshWidth,
+		store:   make(map[raw.Word]raw.Word),
+	}
+}
+
+// Poke writes a word directly into DRAM (test and workload setup).
+func (c *Controller) Poke(addr, val raw.Word) { c.store[addr] = val }
+
+// Peek reads a word directly from DRAM.
+func (c *Controller) Peek(addr raw.Word) raw.Word { return c.store[addr] }
+
+// PokeWords writes a sequence starting at addr.
+func (c *Controller) PokeWords(addr raw.Word, words []raw.Word) {
+	for i, w := range words {
+		c.store[addr+raw.Word(i)] = w
+	}
+}
+
+// NewPort returns a raw.DynDevice serving this bank on one edge link.
+func (c *Controller) NewPort() raw.DynDevice { return &port{c: c} }
+
+// Attach connects the controller to the east edge of every row of chip —
+// the standard placement used by the router.
+func Attach(chip *raw.Chip, latency int) *Controller {
+	cfg := chip.Config()
+	c := NewController(cfg.Width, latency)
+	for y := 0; y < cfg.Height; y++ {
+		chip.AttachDynDevice(y*cfg.Width+cfg.Width-1, raw.DirE, raw.DynMemory, c.NewPort())
+	}
+	return c
+}
+
+// Tick implements raw.DynDevice for one edge port.
+func (p *port) Tick(cycle int64, arrived []raw.Word) []raw.Word {
+	p.buf = append(p.buf, arrived...)
+	for len(p.buf) > 0 {
+		_, _, plen := raw.DecodeDynHeader(p.buf[0])
+		if len(p.buf) < 1+plen {
+			break
+		}
+		msg := append([]raw.Word(nil), p.buf[:1+plen]...)
+		p.buf = p.buf[1+plen:]
+		p.queue = append(p.queue, msg)
+	}
+	// Start queued requests subject to the service interval.
+	for len(p.queue) > 0 && cycle >= p.nextFree {
+		msg := p.queue[0]
+		p.queue = p.queue[1:]
+		p.serve(cycle, msg)
+		p.nextFree = cycle + int64(p.c.ServiceInterval)
+	}
+	// Release responses that are due.
+	var out []raw.Word
+	keep := p.inflight[:0]
+	for _, r := range p.inflight {
+		if r.due <= cycle {
+			out = append(out, r.words...)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	p.inflight = keep
+	return out
+}
+
+func (p *port) serve(cycle int64, msg []raw.Word) {
+	c := p.c
+	op, tile := raw.DecodeMemCmd(msg[1])
+	addr := msg[2]
+	switch op {
+	case raw.MemCmdRead:
+		c.Reads++
+		words := make([]raw.Word, 0, 2+raw.CacheLineWords)
+		words = append(words,
+			raw.DynHeader(tile%c.width, tile/c.width, 1+raw.CacheLineWords),
+			addr)
+		for i := 0; i < raw.CacheLineWords; i++ {
+			words = append(words, c.store[addr+raw.Word(i)])
+		}
+		p.inflight = append(p.inflight, response{due: cycle + int64(c.Latency), words: words})
+	case raw.MemCmdWrite:
+		c.Writes++
+		for i := 0; i < raw.CacheLineWords; i++ {
+			c.store[addr+raw.Word(i)] = msg[3+i]
+		}
+	}
+}

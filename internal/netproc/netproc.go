@@ -1,0 +1,320 @@
+// Package netproc implements the Network Processor of Chapter 2: the
+// control-plane CPU that "is used to calculate the best path from packet
+// source to destination" by running a routing protocol with neighboring
+// routers and building the forwarding tables the data plane consults
+// ("Managing Routing and Forwarding Tables", §2.2.1: the network
+// processor keeps complete routing information and builds per-engine
+// forwarding tables that "simply indicate the next hop").
+//
+// The protocol is a RIP-style distance vector (§2.1 names RIP among the
+// protocols network processors implement): periodic advertisements to
+// neighbors, Bellman-Ford relaxation with split horizon, hop-count metric
+// with a 16-hop infinity, and route timeout for failure detection. It
+// runs over an abstract adjacency graph — each node is one router whose
+// data plane is a Rotating Crossbar — and compiles, per node, the
+// lookup.Patricia forwarding table mapping destination prefixes to output
+// ports.
+package netproc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lookup"
+)
+
+// Infinity is RIP's unreachable metric.
+const Infinity = 16
+
+// Prefix is an advertised destination.
+type Prefix struct {
+	Addr uint32
+	Len  int
+}
+
+// route is one RIB entry.
+type route struct {
+	metric   int
+	viaPort  int   // local output port toward the next hop
+	viaNode  int   // advertising neighbor (-1 for connected routes)
+	lastSeen int64 // tick the route was last refreshed
+}
+
+// Node is one router's network processor.
+type Node struct {
+	ID int
+
+	// neighbors maps local port -> adjacent node ID (-1 = line card /
+	// stub network).
+	neighbors map[int]int
+
+	// connected prefixes are advertised with metric 1.
+	connected map[Prefix]int // prefix -> local port
+
+	rib map[Prefix]route
+
+	// Timing (in protocol ticks).
+	AdvertiseEvery int64
+	RouteTimeout   int64
+
+	// Stats
+	Advertisements int64
+	Updates        int64
+}
+
+// NewNode builds a network processor for router id.
+func NewNode(id int) *Node {
+	return &Node{
+		ID:             id,
+		neighbors:      make(map[int]int),
+		connected:      make(map[Prefix]int),
+		rib:            make(map[Prefix]route),
+		AdvertiseEvery: 1,
+		RouteTimeout:   6,
+	}
+}
+
+// Connect declares that local port leads to neighbor node nb.
+func (n *Node) Connect(port, nb int) { n.neighbors[port] = nb }
+
+// Attach declares a directly connected (stub) prefix on a local port.
+func (n *Node) Attach(p Prefix, port int) {
+	n.connected[p] = port
+	n.rib[p] = route{metric: 1, viaPort: port, viaNode: -1}
+}
+
+// Advertisement is one RIP update: the sender's view of its reachable
+// prefixes.
+type Advertisement struct {
+	From    int
+	Entries []AdvEntry
+}
+
+// AdvEntry is one advertised route.
+type AdvEntry struct {
+	Prefix Prefix
+	Metric int
+}
+
+// Advertise produces this node's update for the neighbor reached through
+// port, applying split horizon with poisoned reverse (routes learned via
+// that neighbor are advertised back as unreachable).
+func (n *Node) Advertise(port int) Advertisement {
+	n.Advertisements++
+	nb := n.neighbors[port]
+	adv := Advertisement{From: n.ID}
+	prefixes := make([]Prefix, 0, len(n.rib))
+	for p := range n.rib {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		a, b := prefixes[i], prefixes[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Len < b.Len
+	})
+	for _, p := range prefixes {
+		r := n.rib[p]
+		m := r.metric
+		if r.viaNode == nb {
+			m = Infinity // poisoned reverse
+		}
+		adv.Entries = append(adv.Entries, AdvEntry{Prefix: p, Metric: m})
+	}
+	return adv
+}
+
+// Receive processes a neighbor's advertisement heard on port at tick now.
+func (n *Node) Receive(adv Advertisement, port int, now int64) {
+	for _, e := range adv.Entries {
+		metric := e.Metric + 1
+		if metric > Infinity {
+			metric = Infinity
+		}
+		cur, ok := n.rib[e.Prefix]
+		switch {
+		case !ok && metric < Infinity:
+			n.rib[e.Prefix] = route{metric: metric, viaPort: port, viaNode: adv.From, lastSeen: now}
+			n.Updates++
+		case ok && cur.viaNode == adv.From:
+			// Our current next hop re-advertised: accept unconditionally
+			// (metric may worsen — counting-to-infinity bounded by 16).
+			if metric >= Infinity {
+				if cur.metric < Infinity {
+					n.Updates++
+				}
+				if _, conn := n.connected[e.Prefix]; !conn {
+					cur.metric = Infinity
+				}
+			} else {
+				if cur.metric != metric {
+					n.Updates++
+				}
+				cur.metric = metric
+			}
+			cur.lastSeen = now
+			n.rib[e.Prefix] = cur
+		case ok && metric < cur.metric:
+			n.rib[e.Prefix] = route{metric: metric, viaPort: port, viaNode: adv.From, lastSeen: now}
+			n.Updates++
+		}
+	}
+}
+
+// Expire times out routes whose next hop went silent.
+func (n *Node) Expire(now int64) {
+	for p, r := range n.rib {
+		if r.viaNode < 0 {
+			continue // connected
+		}
+		if r.metric < Infinity && now-r.lastSeen > n.RouteTimeout {
+			r.metric = Infinity
+			n.rib[p] = r
+			n.Updates++
+		}
+	}
+}
+
+// Routes returns the current RIB as (prefix, metric, port) rows, sorted.
+func (n *Node) Routes() []AdvEntry {
+	var out []AdvEntry
+	for p, r := range n.rib {
+		out = append(out, AdvEntry{Prefix: p, Metric: r.metric})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Prefix, out[j].Prefix
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Len < b.Len
+	})
+	return out
+}
+
+// ForwardingTable compiles the RIB into the data plane's table: prefix ->
+// output port only, "much smaller than the routing table maintained by
+// the network processor" (§2.2.1).
+func (n *Node) ForwardingTable() (*lookup.Patricia, error) {
+	var t lookup.Patricia
+	for p, r := range n.rib {
+		if r.metric >= Infinity {
+			continue
+		}
+		if err := t.Insert(p.Addr, p.Len, lookup.NextHop(r.viaPort)); err != nil {
+			return nil, fmt.Errorf("netproc: node %d prefix %x/%d: %w", n.ID, p.Addr, p.Len, err)
+		}
+	}
+	return &t, nil
+}
+
+// Network is a set of nodes with bidirectional adjacencies, stepped in
+// protocol ticks.
+type Network struct {
+	Nodes map[int]*Node
+	// links[node][port] = (peer node, peer port); failed links are
+	// removed from both sides.
+	links map[int]map[int][2]int
+	tick  int64
+}
+
+// NewNetwork builds an empty topology.
+func NewNetwork() *Network {
+	return &Network{Nodes: make(map[int]*Node), links: make(map[int]map[int][2]int)}
+}
+
+// AddNode creates (or returns) node id.
+func (nw *Network) AddNode(id int) *Node {
+	if n, ok := nw.Nodes[id]; ok {
+		return n
+	}
+	n := NewNode(id)
+	nw.Nodes[id] = n
+	nw.links[id] = make(map[int][2]int)
+	return n
+}
+
+// Link wires a.port <-> b.port bidirectionally.
+func (nw *Network) Link(a, aPort, b, bPort int) {
+	nw.AddNode(a).Connect(aPort, b)
+	nw.AddNode(b).Connect(bPort, a)
+	nw.links[a][aPort] = [2]int{b, bPort}
+	nw.links[b][bPort] = [2]int{a, aPort}
+}
+
+// Fail cuts the link at a.port (both directions): advertisements stop and
+// routes through it time out.
+func (nw *Network) Fail(a, aPort int) {
+	peer, ok := nw.links[a][aPort]
+	if !ok {
+		return
+	}
+	delete(nw.links[a], aPort)
+	delete(nw.links[peer[0]], peer[1])
+}
+
+// Tick runs one protocol round: every node advertises to every live
+// neighbor, updates are applied, and stale routes expire. Deterministic:
+// nodes and ports are iterated in sorted order.
+func (nw *Network) Tick() {
+	nw.tick++
+	type delivery struct {
+		to   int
+		port int
+		adv  Advertisement
+	}
+	var ds []delivery
+	ids := nw.nodeIDs()
+	for _, id := range ids {
+		ports := make([]int, 0, len(nw.links[id]))
+		for p := range nw.links[id] {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		for _, p := range ports {
+			peer := nw.links[id][p]
+			ds = append(ds, delivery{to: peer[0], port: peer[1], adv: nw.Nodes[id].Advertise(p)})
+		}
+	}
+	for _, d := range ds {
+		nw.Nodes[d.to].Receive(d.adv, d.port, nw.tick)
+	}
+	for _, id := range ids {
+		nw.Nodes[id].Expire(nw.tick)
+	}
+}
+
+// RunUntilStable ticks until no node reports updates for two consecutive
+// rounds (or maxTicks), returning the tick count.
+func (nw *Network) RunUntilStable(maxTicks int) int {
+	quiet := 0
+	for t := 0; t < maxTicks; t++ {
+		var before int64
+		for _, n := range nw.Nodes {
+			before += n.Updates
+		}
+		nw.Tick()
+		var after int64
+		for _, n := range nw.Nodes {
+			after += n.Updates
+		}
+		if after == before {
+			quiet++
+			if quiet >= 2 {
+				return t + 1
+			}
+		} else {
+			quiet = 0
+		}
+	}
+	return maxTicks
+}
+
+func (nw *Network) nodeIDs() []int {
+	ids := make([]int, 0, len(nw.Nodes))
+	for id := range nw.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,240 @@
+package netproc_test
+
+import (
+	"testing"
+
+	"repro/internal/lookup"
+	"repro/internal/netproc"
+)
+
+// line builds the 3-node chain A(0) -- B(1) -- C(2) with a stub prefix on
+// each end.
+func line() *netproc.Network {
+	nw := netproc.NewNetwork()
+	nw.AddNode(0).Attach(netproc.Prefix{Addr: 0x0A000000, Len: 8}, 0) // 10/8 behind A port 0
+	nw.AddNode(2).Attach(netproc.Prefix{Addr: 0x0B000000, Len: 8}, 0) // 11/8 behind C port 0
+	nw.Link(0, 1, 1, 0)                                               // A.1 <-> B.0
+	nw.Link(1, 1, 2, 1)                                               // B.1 <-> C.1
+	return nw
+}
+
+// TestConvergenceOnChain: after convergence every node reaches both stub
+// prefixes with correct hop counts and ports.
+func TestConvergenceOnChain(t *testing.T) {
+	nw := line()
+	ticks := nw.RunUntilStable(50)
+	if ticks >= 50 {
+		t.Fatal("did not converge")
+	}
+	// B sees 10/8 at metric 2 via port 0 and 11/8 at metric 2 via port 1.
+	ft, err := nw.Nodes[1].ForwardingTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh, _ := ft.Lookup(0x0A010203); nh != 0 {
+		t.Fatalf("B routes 10/8 to port %d, want 0", nh)
+	}
+	if nh, _ := ft.Lookup(0x0B010203); nh != 1 {
+		t.Fatalf("B routes 11/8 to port %d, want 1", nh)
+	}
+	// C reaches 10/8 in 3 hops via its port 1.
+	ftC, _ := nw.Nodes[2].ForwardingTable()
+	if nh, _ := ftC.Lookup(0x0A000001); nh != 1 {
+		t.Fatalf("C routes 10/8 to port %d, want 1", nh)
+	}
+	for _, e := range nw.Nodes[2].Routes() {
+		if e.Prefix.Addr == 0x0A000000 && e.Metric != 3 {
+			t.Fatalf("C's metric to 10/8 is %d, want 3", e.Metric)
+		}
+	}
+}
+
+// TestShortestPathOnRing: a 4-node ring prefers the shorter direction.
+func TestShortestPathOnRing(t *testing.T) {
+	nw := netproc.NewNetwork()
+	for i := 0; i < 4; i++ {
+		nw.AddNode(i).Attach(netproc.Prefix{Addr: uint32(10+i) << 24, Len: 8}, 0)
+	}
+	// Ring: node i port 1 -> i+1 port 2.
+	for i := 0; i < 4; i++ {
+		nw.Link(i, 1, (i+1)%4, 2)
+	}
+	if nw.RunUntilStable(50) >= 50 {
+		t.Fatal("ring did not converge")
+	}
+	// Node 0 to 11/8 (node 1): one hop clockwise, port 1.
+	ft, _ := nw.Nodes[0].ForwardingTable()
+	if nh, _ := ft.Lookup(11 << 24); nh != 1 {
+		t.Fatalf("0->11/8 via port %d, want 1 (clockwise)", nh)
+	}
+	// Node 0 to 13/8 (node 3): one hop counterclockwise, port 2.
+	if nh, _ := ft.Lookup(13 << 24); nh != 2 {
+		t.Fatalf("0->13/8 via port %d, want 2 (counterclockwise)", nh)
+	}
+}
+
+// TestLinkFailureReconvergence: cutting the chain's A-B link times out
+// A's learned routes and C keeps only its own.
+func TestLinkFailureReconvergence(t *testing.T) {
+	nw := line()
+	nw.RunUntilStable(50)
+	nw.Fail(0, 1) // cut A <-> B
+	for i := 0; i < 20; i++ {
+		nw.Tick()
+	}
+	// B's route to 10/8 must now be unreachable.
+	for _, e := range nw.Nodes[1].Routes() {
+		if e.Prefix.Addr == 0x0A000000 && e.Metric < netproc.Infinity {
+			t.Fatalf("B still thinks 10/8 is reachable at metric %d", e.Metric)
+		}
+	}
+	ft, _ := nw.Nodes[1].ForwardingTable()
+	if nh, _ := ft.Lookup(0x0A000001); nh != lookup.NoRoute {
+		t.Fatalf("B's forwarding table still routes 10/8 (port %d)", nh)
+	}
+	// B's own reachability to 11/8 is intact.
+	if nh, _ := ft.Lookup(0x0B000001); nh != 1 {
+		t.Fatalf("B lost its route to 11/8")
+	}
+}
+
+// TestAlternatePathAfterFailure: in a ring, failing one link reroutes the
+// long way around.
+func TestAlternatePathAfterFailure(t *testing.T) {
+	nw := netproc.NewNetwork()
+	for i := 0; i < 4; i++ {
+		nw.AddNode(i).Attach(netproc.Prefix{Addr: uint32(10+i) << 24, Len: 8}, 0)
+	}
+	for i := 0; i < 4; i++ {
+		nw.Link(i, 1, (i+1)%4, 2)
+	}
+	nw.RunUntilStable(50)
+	nw.Fail(0, 1) // cut 0 <-> 1
+	// Fixed ticks: reconvergence needs the route timeout (6 ticks of
+	// silence) to fire first, during which no updates flow.
+	for i := 0; i < 40; i++ {
+		nw.Tick()
+	}
+	ft, _ := nw.Nodes[0].ForwardingTable()
+	// 11/8 (node 1) must now go counterclockwise via port 2, 3 hops.
+	if nh, _ := ft.Lookup(11 << 24); nh != 2 {
+		t.Fatalf("after failure 0->11/8 via port %d, want 2", nh)
+	}
+	for _, e := range nw.Nodes[0].Routes() {
+		if e.Prefix.Addr == 11<<24 && e.Metric != 4 {
+			t.Fatalf("metric to 11/8 after reroute is %d, want 4", e.Metric)
+		}
+	}
+}
+
+// TestSplitHorizonBoundsCounting: after an end prefix disappears, metrics
+// stop at Infinity rather than counting forever.
+func TestSplitHorizonBoundsCounting(t *testing.T) {
+	nw := line()
+	nw.RunUntilStable(50)
+	nw.Fail(0, 1)
+	for i := 0; i < 100; i++ {
+		nw.Tick()
+	}
+	for _, id := range []int{1, 2} {
+		for _, e := range nw.Nodes[id].Routes() {
+			if e.Metric > netproc.Infinity {
+				t.Fatalf("node %d metric %d exceeded infinity", id, e.Metric)
+			}
+		}
+	}
+}
+
+// TestForwardingTableSmallerThanRIB (§2.2.1): unreachable routes are not
+// compiled into the data-plane table.
+func TestForwardingTableSmallerThanRIB(t *testing.T) {
+	nw := line()
+	nw.RunUntilStable(50)
+	nw.Fail(0, 1)
+	for i := 0; i < 20; i++ {
+		nw.Tick()
+	}
+	b := nw.Nodes[1]
+	ft, _ := b.ForwardingTable()
+	rib := len(b.Routes())
+	if ft.Len() >= rib {
+		t.Fatalf("forwarding table (%d) not smaller than RIB (%d)", ft.Len(), rib)
+	}
+}
+
+// TestRandomTopologiesMatchBFS: on random connected graphs, converged RIP
+// metrics equal BFS shortest-path distances (+1 for the stub hop), for
+// every node and prefix.
+func TestRandomTopologiesMatchBFS(t *testing.T) {
+	seed := uint64(1)
+	next := func(n int) int {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(n))
+	}
+	for trial := 0; trial < 25; trial++ {
+		nodes := 3 + next(8)
+		nw := netproc.NewNetwork()
+		adj := make([][]int, nodes)
+		ports := make([]int, nodes)
+		addLink := func(a, b int) {
+			nw.Link(a, 1+ports[a], b, 1+ports[b])
+			ports[a]++
+			ports[b]++
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		// Random spanning tree, then extra edges.
+		for i := 1; i < nodes; i++ {
+			addLink(i, next(i))
+		}
+		for k := 0; k < nodes/2; k++ {
+			a, b := next(nodes), next(nodes)
+			if a != b {
+				dup := false
+				for _, x := range adj[a] {
+					if x == b {
+						dup = true
+					}
+				}
+				if !dup {
+					addLink(a, b)
+				}
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			nw.AddNode(i).Attach(netproc.Prefix{Addr: uint32(10+i) << 24, Len: 8}, 0)
+		}
+		if nw.RunUntilStable(200) >= 200 {
+			t.Fatalf("trial %d: no convergence", trial)
+		}
+		// BFS distances.
+		for src := 0; src < nodes; src++ {
+			dist := make([]int, nodes)
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[src] = 0
+			queue := []int{src}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range adj[u] {
+					if dist[v] < 0 {
+						dist[v] = dist[u] + 1
+						queue = append(queue, v)
+					}
+				}
+			}
+			for _, e := range nw.Nodes[src].Routes() {
+				dst := int(e.Prefix.Addr>>24) - 10
+				want := dist[dst] + 1 // +1 for the stub attachment hop
+				if e.Metric != want {
+					t.Fatalf("trial %d: node %d to node %d prefix: metric %d, BFS wants %d",
+						trial, src, dst, e.Metric, want)
+				}
+			}
+		}
+	}
+}

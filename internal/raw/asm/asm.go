@@ -1,0 +1,399 @@
+// Package asm provides a small Raw-like assembly language for tile and
+// switch processors of the internal/raw simulator, plus an interpreter
+// that executes tile programs through the cycle-accurate micro-op
+// executor. It exists to validate the simulator's timing contract at the
+// instruction level — in particular the Figure 3-2 microbenchmark of the
+// paper: a tile-to-tile send to the South takes five cycles end-to-end,
+// three of which are network (send-to-use) latency.
+//
+// Tile instruction set (a small subset of the MIPS-like Raw tile ISA,
+// §3.2): three-operand ALU ops, immediates, loads/stores through the data
+// cache, branches, and the register-mapped network ports $csto (write to
+// the static switch) and $csti (read from the static switch).
+//
+//	or   $csto, $0, $5      ; send: 1 cycle, blocks while the port is full
+//	and  $5, $5, $csti      ; receive + use: blocks until data arrives
+//	addi $5, $5, 123
+//	li   $6, 0x1000
+//	move $csto, $csti       ; network-to-network copy, 1 cycle/word
+//	lw   $7, 4($6)          ; 3-cycle cache hit, miss = DRAM round trip
+//	sw   $7, 8($6)
+//	slt  $8, $5, $7         ; signed compare (sltu, slti likewise)
+//	beq  $5, $7, label
+//	bne  $5, $0, label
+//	jmp  label
+//	jal  func               ; call: $31 <- return pc
+//	jr   $31                ; return
+//	halt
+//
+// Switch instruction set (§3.3): parallel routes between the ports
+// $cNi/$cEi/$cSi/$cWi/$csto (sources) and $cNo/$cEo/$cSo/$cWo/$csti
+// (destinations), with a branch component that executes in the same cycle
+// as the routes.
+//
+//	route  $csto->$cSo            ; route once
+//	jump L with $cWi->$cEo        ; route and branch, one cycle
+//	routen 16, $cWi->$csti        ; route 16 words
+//	routev $cWi->$cEo             ; count supplied by the processor
+//	recvpc                        ; wait for the processor to set the pc
+//	notify 3                      ; confirm to the processor
+//	nop
+//	halt
+//
+// Labels are `name:` on their own line or prefixing an instruction;
+// comments run from ';' or '#' to end of line.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/raw"
+)
+
+// tile opcodes
+type tOp uint8
+
+const (
+	tALU tOp = iota // Op3 with register/network operands
+	tALUI
+	tLI
+	tMOVE
+	tLW
+	tSW
+	tBEQ
+	tBNE
+	tJMP
+	tJAL // jump and link: $31 <- return pc
+	tJR  // jump register
+	tHALT
+	tNOP
+)
+
+type aluKind uint8
+
+const (
+	aADD aluKind = iota
+	aSUB
+	aOR
+	aAND
+	aXOR
+	aSLL
+	aSRL
+	aMUL
+	aSLT  // set if less than (signed)
+	aSLTU // set if less than (unsigned)
+)
+
+// operand kinds: register number 0..31, or network port.
+const (
+	regCSTO = 32 // write-only
+	regCSTI = 33 // read-only
+	regZero = 0
+)
+
+type tInstr struct {
+	op   tOp
+	alu  aluKind
+	dst  int
+	src1 int
+	src2 int
+	imm  int64
+	tgt  int // branch target pc
+}
+
+// TileProgram is an assembled tile program.
+type TileProgram struct {
+	instrs []tInstr
+	labels map[string]int
+	src    []string
+}
+
+// Len returns the instruction count (each counts one word of the 8,192
+// word instruction memory).
+func (p *TileProgram) Len() int { return len(p.instrs) }
+
+// AssembleTile parses tile assembly source.
+func AssembleTile(src string) (*TileProgram, error) {
+	p := &TileProgram{labels: make(map[string]int)}
+	type patch struct {
+		pc    int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for ln, line := range lines {
+		stmt := stripComment(line)
+		for {
+			stmt = strings.TrimSpace(stmt)
+			if i := strings.Index(stmt, ":"); i >= 0 && isIdent(stmt[:i]) {
+				p.labels[stmt[:i]] = len(p.instrs)
+				stmt = stmt[i+1:]
+				continue
+			}
+			break
+		}
+		if stmt == "" {
+			continue
+		}
+		op, rest := splitOp(stmt)
+		in := tInstr{}
+		var err error
+		switch op {
+		case "add", "sub", "or", "and", "xor", "sll", "srl", "mul", "slt", "sltu":
+			in.op = tALU
+			in.alu = aluFromName(op)
+			err = parse3(rest, &in)
+		case "addi", "ori", "andi", "xori", "slti":
+			in.op = tALUI
+			in.alu = aluFromName(strings.TrimSuffix(op, "i"))
+			err = parse2imm(rest, &in)
+		case "li":
+			in.op = tLI
+			err = parse1imm(rest, &in)
+		case "move":
+			in.op = tMOVE
+			err = parse2(rest, &in)
+		case "lw":
+			in.op = tLW
+			err = parseMem(rest, &in)
+		case "sw":
+			in.op = tSW
+			err = parseMem(rest, &in)
+		case "beq", "bne":
+			if op == "beq" {
+				in.op = tBEQ
+			} else {
+				in.op = tBNE
+			}
+			var label string
+			label, err = parseBranch(rest, &in)
+			if err == nil {
+				patches = append(patches, patch{len(p.instrs), label, ln + 1})
+			}
+		case "jmp", "j":
+			in.op = tJMP
+			patches = append(patches, patch{len(p.instrs), strings.TrimSpace(rest), ln + 1})
+		case "jal":
+			in.op = tJAL
+			patches = append(patches, patch{len(p.instrs), strings.TrimSpace(rest), ln + 1})
+		case "jr":
+			in.op = tJR
+			in.src1, err = parseReg(rest)
+		case "halt":
+			in.op = tHALT
+		case "nop":
+			in.op = tNOP
+		default:
+			err = fmt.Errorf("unknown opcode %q", op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", ln+1, err)
+		}
+		p.instrs = append(p.instrs, in)
+		p.src = append(p.src, stmt)
+	}
+	for _, pa := range patches {
+		tgt, ok := p.labels[pa.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined label %q", pa.line, pa.label)
+		}
+		p.instrs[pa.pc].tgt = tgt
+	}
+	if len(p.instrs) > raw.IMemWords {
+		return nil, fmt.Errorf("asm: program has %d instructions, exceeds %d-word instruction memory",
+			len(p.instrs), raw.IMemWords)
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOp(s string) (op, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return strings.ToLower(s[:i]), s[i+1:]
+	}
+	return strings.ToLower(s), ""
+}
+
+func aluFromName(s string) aluKind {
+	switch s {
+	case "add":
+		return aADD
+	case "sub":
+		return aSUB
+	case "or":
+		return aOR
+	case "and":
+		return aAND
+	case "xor":
+		return aXOR
+	case "sll":
+		return aSLL
+	case "srl":
+		return aSRL
+	case "mul":
+		return aMUL
+	case "slt":
+		return aSLT
+	case "sltu":
+		return aSLTU
+	}
+	panic("asm: bad alu name")
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "$csto":
+		return regCSTO, nil
+	case "$csti":
+		return regCSTI, nil
+	}
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func fields(s string, n int) ([]string, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("expected %d operands, got %d", n, len(parts))
+	}
+	return parts, nil
+}
+
+func parse3(rest string, in *tInstr) error {
+	f, err := fields(rest, 3)
+	if err != nil {
+		return err
+	}
+	if in.dst, err = parseReg(f[0]); err != nil {
+		return err
+	}
+	if in.src1, err = parseReg(f[1]); err != nil {
+		return err
+	}
+	in.src2, err = parseReg(f[2])
+	return err
+}
+
+func parse2imm(rest string, in *tInstr) error {
+	f, err := fields(rest, 3)
+	if err != nil {
+		return err
+	}
+	if in.dst, err = parseReg(f[0]); err != nil {
+		return err
+	}
+	if in.src1, err = parseReg(f[1]); err != nil {
+		return err
+	}
+	in.imm, err = parseImm(f[2])
+	return err
+}
+
+func parse1imm(rest string, in *tInstr) error {
+	f, err := fields(rest, 2)
+	if err != nil {
+		return err
+	}
+	if in.dst, err = parseReg(f[0]); err != nil {
+		return err
+	}
+	in.imm, err = parseImm(f[1])
+	return err
+}
+
+func parse2(rest string, in *tInstr) error {
+	f, err := fields(rest, 2)
+	if err != nil {
+		return err
+	}
+	if in.dst, err = parseReg(f[0]); err != nil {
+		return err
+	}
+	in.src1, err = parseReg(f[1])
+	return err
+}
+
+// parseMem handles "reg, off(base)".
+func parseMem(rest string, in *tInstr) error {
+	f, err := fields(rest, 2)
+	if err != nil {
+		return err
+	}
+	if in.dst, err = parseReg(f[0]); err != nil {
+		return err
+	}
+	m := strings.TrimSpace(f[1])
+	open := strings.Index(m, "(")
+	close := strings.Index(m, ")")
+	if open < 0 || close < open {
+		return fmt.Errorf("bad memory operand %q", m)
+	}
+	offStr := strings.TrimSpace(m[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	if in.imm, err = parseImm(offStr); err != nil {
+		return err
+	}
+	in.src1, err = parseReg(m[open+1 : close])
+	return err
+}
+
+func parseBranch(rest string, in *tInstr) (string, error) {
+	f, err := fields(rest, 3)
+	if err != nil {
+		return "", err
+	}
+	if in.src1, err = parseReg(f[0]); err != nil {
+		return "", err
+	}
+	if in.src2, err = parseReg(f[1]); err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(f[2]), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,193 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/raw"
+)
+
+// AssembleSwitch parses switch assembly into a raw switch program.
+//
+// Port names follow the thesis's convention: $cNi/$cEi/$cSi/$cWi are the
+// incoming mesh links, $csto the word offered by the tile processor;
+// $cNo/$cEo/$cSo/$cWo are the outgoing mesh links, $csti the queue into
+// the tile processor. A route is written `src->dst`.
+func AssembleSwitch(src string) ([]raw.SwInstr, error) {
+	var prog []raw.SwInstr
+	labels := make(map[string]int)
+	type patch struct {
+		pc    int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	for ln, line := range strings.Split(src, "\n") {
+		stmt := stripComment(line)
+		for {
+			stmt = strings.TrimSpace(stmt)
+			if i := strings.Index(stmt, ":"); i >= 0 && isIdent(stmt[:i]) {
+				labels[stmt[:i]] = len(prog)
+				stmt = stmt[i+1:]
+				continue
+			}
+			break
+		}
+		if stmt == "" {
+			continue
+		}
+		op, rest := splitOp(stmt)
+		var in raw.SwInstr
+		var err error
+		switch op {
+		case "route":
+			in.Op = raw.SwRoute
+			in.Routes, err = parseRoutes(rest)
+		case "routen":
+			in.Op = raw.SwRouteN
+			var cnt string
+			cnt, rest, err = cutComma(rest)
+			if err == nil {
+				var n int64
+				n, err = strconv.ParseInt(strings.TrimSpace(cnt), 0, 32)
+				in.Arg = raw.Word(n)
+				if err == nil {
+					in.Routes, err = parseRoutes(rest)
+				}
+			}
+		case "routev":
+			in.Op = raw.SwRouteV
+			in.Routes, err = parseRoutes(rest)
+		case "jump":
+			in.Op = raw.SwJump
+			label := strings.TrimSpace(rest)
+			if i := strings.Index(label, " with "); i >= 0 {
+				in.Routes, err = parseRoutes(label[i+6:])
+				label = strings.TrimSpace(label[:i])
+			}
+			patches = append(patches, patch{len(prog), label, ln + 1})
+		case "recvpc":
+			in.Op = raw.SwRecvPC
+		case "notify":
+			in.Op = raw.SwNotify
+			var n int64
+			n, err = strconv.ParseInt(strings.TrimSpace(rest), 0, 32)
+			in.Arg = raw.Word(n)
+		case "nop":
+			in.Op = raw.SwRoute // no routes: fires trivially, burns a cycle
+		case "halt":
+			in.Op = raw.SwHalt
+		default:
+			err = fmt.Errorf("unknown switch opcode %q", op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("swasm: line %d: %v", ln+1, err)
+		}
+		prog = append(prog, in)
+	}
+	for _, pa := range patches {
+		tgt, ok := labels[pa.label]
+		if !ok {
+			return nil, fmt.Errorf("swasm: line %d: undefined label %q", pa.line, pa.label)
+		}
+		prog[pa.pc].Arg = raw.Word(tgt)
+	}
+	if err := raw.ValidateProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func cutComma(s string) (head, tail string, err error) {
+	i := strings.Index(s, ",")
+	if i < 0 {
+		return "", "", fmt.Errorf("expected comma in %q", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+func parseRoutes(s string) ([]raw.Route, error) {
+	var routes []raw.Route
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		segs := strings.Split(part, "->")
+		if len(segs) != 2 {
+			return nil, fmt.Errorf("bad route %q", part)
+		}
+		src, err := parseSwPort(segs[0], false)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := parseSwPort(segs[1], true)
+		if err != nil {
+			return nil, err
+		}
+		routes = append(routes, raw.Route{Dst: dst, Src: src})
+	}
+	return routes, nil
+}
+
+func parseSwPort(s string, isDst bool) (raw.Dir, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "$cni":
+		if !isDst {
+			return raw.DirN, nil
+		}
+	case "$cei":
+		if !isDst {
+			return raw.DirE, nil
+		}
+	case "$csi":
+		if !isDst {
+			return raw.DirS, nil
+		}
+	case "$cwi":
+		if !isDst {
+			return raw.DirW, nil
+		}
+	case "$csto":
+		if !isDst {
+			return raw.DirP, nil
+		}
+	case "$cno":
+		if isDst {
+			return raw.DirN, nil
+		}
+	case "$ceo":
+		if isDst {
+			return raw.DirE, nil
+		}
+	case "$cso":
+		if isDst {
+			return raw.DirS, nil
+		}
+	case "$cwo":
+		if isDst {
+			return raw.DirW, nil
+		}
+	case "$csti":
+		if isDst {
+			return raw.DirP, nil
+		}
+	}
+	role := "source"
+	if isDst {
+		role = "destination"
+	}
+	return 0, fmt.Errorf("bad switch %s port %q", role, s)
+}
+
+// MustAssembleSwitch panics on errors (tests, code generators).
+func MustAssembleSwitch(src string) []raw.SwInstr {
+	prog, err := AssembleSwitch(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,107 @@
+package raw
+
+// fifo is a bounded word queue with single-reader/single-writer cycle
+// semantics. Availability (CanPop) and space (CanPush) are judged against a
+// start-of-cycle snapshot taken by beginCycle, which makes the outcome of a
+// cycle independent of the order in which the queue's reader and writer are
+// stepped: a word pushed this cycle is not visible to the reader until next
+// cycle, and a slot freed this cycle is not visible to the writer until
+// next cycle.
+//
+// The zero value is not usable; construct with newFIFO.
+type fifo struct {
+	buf []Word
+	cap int
+
+	// startLen is len(buf) at the beginning of the current cycle.
+	startLen int
+	// popped and pushed guard against an actor acting twice in a cycle;
+	// the simulator's single-reader/single-writer discipline means at most
+	// one pop and one push can legally occur per cycle.
+	popped int
+	pushed int
+}
+
+func newFIFO(capacity int) *fifo {
+	return &fifo{buf: make([]Word, 0, capacity), cap: capacity}
+}
+
+// beginCycle snapshots the queue state. The Chip calls it for every queue
+// at the top of each cycle.
+func (f *fifo) beginCycle() {
+	f.startLen = len(f.buf)
+	f.popped = 0
+	f.pushed = 0
+}
+
+// CanPop reports whether the reader may pop a word this cycle.
+func (f *fifo) CanPop() bool { return f.startLen-f.popped > 0 }
+
+// CanPush reports whether the writer may push a word this cycle.
+func (f *fifo) CanPush() bool { return f.startLen+f.pushed < f.cap }
+
+// Peek returns the head word without consuming it. Valid only if CanPop.
+func (f *fifo) Peek() Word { return f.buf[0] }
+
+// Pop consumes and returns the head word. The caller must have checked
+// CanPop this cycle.
+func (f *fifo) Pop() Word {
+	if !f.CanPop() {
+		panic("raw: fifo underflow (pop without CanPop)")
+	}
+	w := f.buf[0]
+	f.buf = f.buf[1:]
+	f.popped++
+	return w
+}
+
+// Push appends a word. The caller must have checked CanPush this cycle.
+func (f *fifo) Push(w Word) {
+	if !f.CanPush() {
+		panic("raw: fifo overflow (push without CanPush)")
+	}
+	f.buf = append(f.buf, w)
+	f.pushed++
+}
+
+// Len returns the current (instantaneous) occupancy.
+func (f *fifo) Len() int { return len(f.buf) }
+
+// poppedThisCycle reports whether the reader already consumed a word this
+// cycle; a physical queue has one read port, so routers must not pop twice.
+func (f *fifo) poppedThisCycle() bool { return f.popped > 0 }
+
+// unboundedFIFO is an edge-port queue with no capacity limit and no cycle
+// discipline on the external side: the testbench may push or drain any
+// number of words between cycles. The on-chip side still observes the
+// start-of-cycle snapshot so that external pushes land "next cycle".
+type unboundedFIFO struct {
+	buf      []Word
+	startLen int
+	popped   int
+}
+
+func (f *unboundedFIFO) beginCycle() {
+	f.startLen = len(f.buf)
+	f.popped = 0
+}
+
+func (f *unboundedFIFO) CanPop() bool { return f.startLen-f.popped > 0 }
+
+func (f *unboundedFIFO) Peek() Word { return f.buf[0] }
+
+func (f *unboundedFIFO) Pop() Word {
+	if !f.CanPop() {
+		panic("raw: edge fifo underflow")
+	}
+	w := f.buf[0]
+	f.buf = f.buf[1:]
+	f.popped++
+	return w
+}
+
+func (f *unboundedFIFO) Push(w Word) { f.buf = append(f.buf, w) }
+
+func (f *unboundedFIFO) Len() int { return len(f.buf) }
+
+func (f *unboundedFIFO) poppedThisCycle() bool { return f.popped > 0 }

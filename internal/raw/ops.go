@@ -1,0 +1,419 @@
+package raw
+
+// Firmware is the tile processor programming model used by the router: a
+// deterministic generator of micro-ops. When the executor's queue runs
+// empty it calls Refill exactly once per cycle; firmware enqueues the next
+// batch of operations (or nothing, idling the tile this cycle).
+//
+// Micro-ops carry the cycle costs the thesis states for the corresponding
+// instruction sequences: register-mapped network sends and moves cost one
+// cycle per word, buffering a word from the network into local data memory
+// costs two cycles (§4.4), cache hits are 3 cycles, and control decisions
+// cost one cycle each (a branch uses one issue slot, §4.4).
+type Firmware interface {
+	Refill(e *Exec)
+}
+
+// FirmwareFunc adapts a function to the Firmware interface.
+type FirmwareFunc func(e *Exec)
+
+// Refill calls f.
+func (f FirmwareFunc) Refill(e *Exec) { f(e) }
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opSend           // one word to $csto
+	opRecv           // one word from $csti
+	opForward        // n words $csti -> $csto at 1 cycle/word
+	opRecvN          // n words from $csti at cost cycles/word (buffer to memory = 2)
+	opSendN          // n words to $csto at 1 cycle/word from a source func
+	opWritePC
+	opWriteCount
+	opWaitDone
+	opDynSend
+	opDynRecv
+	opCacheRead
+	opCacheWrite
+	opThen
+)
+
+type microOp struct {
+	kind opKind
+	n    int
+	cost int // per-word cost for opRecvN
+	net  int // dynamic network for opDynSend/opDynRecv
+	snet int // static network for the port ops (0 or 1)
+
+	valF   func() Word
+	wordsF func() []Word
+	srcF   func(i int) Word
+	sinkF  func(i int, w Word)
+	recvF  func(w Word)
+	burstF func(ws []Word)
+	thenF  func(e *Exec)
+	countF func() int
+	doneF  func()
+
+	// in-flight state
+	started bool
+	i       int
+	words   []Word
+	got     []Word
+	sub     int // sub-word cycle counter for multi-cycle-per-word ops
+}
+
+// Exec is the micro-op executor of one tile processor.
+type Exec struct {
+	tile *Tile
+	fw   Firmware
+
+	ops  []microOp
+	head int
+
+	state TileState
+
+	// Cycle accounting by state, for the Figure 7-3 utilization study.
+	counts [5]int64
+}
+
+// SetFirmware installs the tile's firmware.
+func (e *Exec) SetFirmware(fw Firmware) { e.fw = fw }
+
+// State returns the state the processor was in during the last cycle.
+func (e *Exec) State() TileState { return e.state }
+
+// StateCounts returns cumulative cycles spent in each TileState.
+func (e *Exec) StateCounts() (counts [5]int64) { return e.counts }
+
+// Tile returns the tile this executor belongs to.
+func (e *Exec) Tile() *Tile { return e.tile }
+
+// Utilization returns the fraction of elapsed cycles spent in StateRun.
+func (e *Exec) Utilization() float64 {
+	var tot int64
+	for _, c := range e.counts {
+		tot += c
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(e.counts[StateRun]) / float64(tot)
+}
+
+func (e *Exec) push(op microOp) { e.ops = append(e.ops, op) }
+
+// Compute enqueues n cycles of pure computation.
+func (e *Exec) Compute(n int) {
+	if n > 0 {
+		e.push(microOp{kind: opCompute, n: n})
+	}
+}
+
+// Send enqueues a one-cycle send of a constant word to the switch ($csto).
+func (e *Exec) Send(w Word) { e.push(microOp{kind: opSend, valF: func() Word { return w }}) }
+
+// SendOn is Send on a chosen static network ($csto2 for net 1).
+func (e *Exec) SendOn(net int, w Word) {
+	e.push(microOp{kind: opSend, snet: net, valF: func() Word { return w }})
+}
+
+// SendFunc enqueues a one-cycle send whose value is computed when the op
+// executes.
+func (e *Exec) SendFunc(f func() Word) { e.push(microOp{kind: opSend, valF: f}) }
+
+// Recv enqueues a one-cycle receive from the switch ($csti).
+func (e *Exec) Recv(f func(Word)) { e.push(microOp{kind: opRecv, recvF: f}) }
+
+// RecvOn is Recv on a chosen static network ($csti2 for net 1).
+func (e *Exec) RecvOn(net int, f func(Word)) {
+	e.push(microOp{kind: opRecv, snet: net, recvF: f})
+}
+
+// Forward enqueues an n-word network-to-network copy ($csti -> $csto) at
+// one cycle per word: the `move $csto,$csti` inner loop of the streaming
+// fast path. nF is evaluated when the op starts.
+func (e *Exec) Forward(nF func() int) { e.push(microOp{kind: opForward, countF: nF}) }
+
+// ForwardDone is Forward with a completion callback invoked in the cycle
+// the last word moves.
+func (e *Exec) ForwardDone(nF func() int, done func()) {
+	e.push(microOp{kind: opForward, countF: nF, doneF: done})
+}
+
+// ForwardOn is Forward on a chosen static network.
+func (e *Exec) ForwardOn(net int, nF func() int) {
+	e.push(microOp{kind: opForward, snet: net, countF: nF})
+}
+
+// RecvN enqueues an n-word receive at cost cycles per word; cost 2 models
+// buffering into local data memory (§4.4), cost 1 a register-target
+// receive. sink may be nil.
+func (e *Exec) RecvN(nF func() int, cost int, sink func(i int, w Word)) {
+	e.push(microOp{kind: opRecvN, cost: cost, sinkF: sink, countF: nF})
+}
+
+// SendN enqueues an n-word send at one cycle per word, sourcing word i from
+// src.
+func (e *Exec) SendN(nF func() int, src func(i int) Word) {
+	e.push(microOp{kind: opSendN, srcF: src, countF: nF})
+}
+
+// WriteSwitchPC enqueues a one-cycle write of the switch program counter.
+func (e *Exec) WriteSwitchPC(f func() Word) { e.push(microOp{kind: opWritePC, valF: f}) }
+
+// WriteSwitchCount enqueues a one-cycle write of the switch loop-count
+// register consumed by SwRouteV.
+func (e *Exec) WriteSwitchCount(f func() Word) { e.push(microOp{kind: opWriteCount, valF: f}) }
+
+// WaitSwitchDone enqueues a blocking read of the switch-done register.
+func (e *Exec) WaitSwitchDone(f func(Word)) { e.push(microOp{kind: opWaitDone, recvF: f}) }
+
+// WriteSwitchPCOn / WriteSwitchCountOn / WaitSwitchDoneOn are the network-
+// indexed variants for the second static switch.
+func (e *Exec) WriteSwitchPCOn(net int, f func() Word) {
+	e.push(microOp{kind: opWritePC, snet: net, valF: f})
+}
+
+// WriteSwitchCountOn writes the chosen network's loop-count register.
+func (e *Exec) WriteSwitchCountOn(net int, f func() Word) {
+	e.push(microOp{kind: opWriteCount, snet: net, valF: f})
+}
+
+// WaitSwitchDoneOn blocks on the chosen network's done register.
+func (e *Exec) WaitSwitchDoneOn(net int, f func(Word)) {
+	e.push(microOp{kind: opWaitDone, snet: net, recvF: f})
+}
+
+// DynSend enqueues injection of a framed message (header first) on dynamic
+// network net, one cycle per word.
+func (e *Exec) DynSend(net int, f func() []Word) {
+	e.push(microOp{kind: opDynSend, net: net, wordsF: f})
+}
+
+// DynRecv enqueues reception of n words from dynamic network net's delivery
+// queue, one cycle per word, delivering the full burst to f.
+func (e *Exec) DynRecv(net, n int, f func(ws []Word)) {
+	e.push(microOp{kind: opDynRecv, net: net, n: n, burstF: f})
+}
+
+// CacheRead enqueues a data-cache read (3-cycle hit, miss costs a DRAM
+// round trip over the memory network).
+func (e *Exec) CacheRead(addr func() Word, f func(Word)) {
+	e.push(microOp{kind: opCacheRead, valF: addr, recvF: f})
+}
+
+// CacheWrite enqueues a data-cache write.
+func (e *Exec) CacheWrite(addr func() Word, val func() Word) {
+	e.push(microOp{kind: opCacheWrite, valF: addr, wordsF: func() []Word { return []Word{val()} }})
+}
+
+// Then enqueues a one-cycle control step; f typically inspects received
+// values and enqueues the next ops.
+func (e *Exec) Then(f func(e *Exec)) { e.push(microOp{kind: opThen, thenF: f}) }
+
+// step advances the processor one cycle.
+func (e *Exec) step() {
+	if e.head >= len(e.ops) {
+		e.ops = e.ops[:0]
+		e.head = 0
+		if e.fw != nil {
+			e.fw.Refill(e)
+		}
+		if len(e.ops) == 0 {
+			e.setState(StateIdle)
+			return
+		}
+	}
+	op := &e.ops[e.head]
+	done, st := e.stepOp(op)
+	e.setState(st)
+	if done {
+		e.head++
+	}
+}
+
+func (e *Exec) setState(s TileState) {
+	e.state = s
+	e.counts[s]++
+}
+
+func (e *Exec) stepOp(op *microOp) (done bool, st TileState) {
+	t := e.tile
+	switch op.kind {
+	case opCompute:
+		op.n--
+		return op.n <= 0, StateRun
+
+	case opSend:
+		if !t.st[op.snet].csto.CanPush() {
+			return false, StateStallSend
+		}
+		t.st[op.snet].csto.Push(op.valF())
+		return true, StateRun
+
+	case opRecv:
+		if !t.st[op.snet].csti.CanPop() {
+			return false, StateStallRecv
+		}
+		w := t.st[op.snet].csti.Pop()
+		if op.recvF != nil {
+			op.recvF(w)
+		}
+		return true, StateRun
+
+	case opForward:
+		e.start(op)
+		if op.n <= 0 {
+			if op.doneF != nil {
+				op.doneF()
+			}
+			return true, StateRun
+		}
+		if !t.st[op.snet].csti.CanPop() {
+			return false, StateStallRecv
+		}
+		if !t.st[op.snet].csto.CanPush() {
+			return false, StateStallSend
+		}
+		t.st[op.snet].csto.Push(t.st[op.snet].csti.Pop())
+		op.i++
+		if op.i >= op.n {
+			if op.doneF != nil {
+				op.doneF()
+			}
+			return true, StateRun
+		}
+		return false, StateRun
+
+	case opRecvN:
+		e.start(op)
+		if op.n <= 0 {
+			return true, StateRun
+		}
+		if op.sub > 0 { // extra cycles per word (e.g. the store of a 2-cycle buffer step)
+			op.sub--
+			if op.sub == 0 && op.i >= op.n {
+				return true, StateRun
+			}
+			return false, StateRun
+		}
+		if !t.st[op.snet].csti.CanPop() {
+			return false, StateStallRecv
+		}
+		w := t.st[op.snet].csti.Pop()
+		if op.sinkF != nil {
+			op.sinkF(op.i, w)
+		}
+		op.i++
+		op.sub = op.cost - 1
+		if op.sub == 0 && op.i >= op.n {
+			return true, StateRun
+		}
+		return false, StateRun
+
+	case opSendN:
+		e.start(op)
+		if op.n <= 0 {
+			return true, StateRun
+		}
+		if !t.st[op.snet].csto.CanPush() {
+			return false, StateStallSend
+		}
+		t.st[op.snet].csto.Push(op.srcF(op.i))
+		op.i++
+		return op.i >= op.n, StateRun
+
+	case opWritePC:
+		if !t.st[op.snet].swPC.CanPush() {
+			return false, StateStallSend
+		}
+		t.st[op.snet].swPC.Push(op.valF())
+		return true, StateRun
+
+	case opWriteCount:
+		if !t.st[op.snet].swCount.CanPush() {
+			return false, StateStallSend
+		}
+		t.st[op.snet].swCount.Push(op.valF())
+		return true, StateRun
+
+	case opWaitDone:
+		if !t.st[op.snet].swDone.CanPop() {
+			return false, StateStallRecv
+		}
+		w := t.st[op.snet].swDone.Pop()
+		if op.recvF != nil {
+			op.recvF(w)
+		}
+		return true, StateRun
+
+	case opDynSend:
+		if !op.started {
+			op.started = true
+			op.words = op.wordsF()
+		}
+		if len(op.words) == 0 {
+			return true, StateRun
+		}
+		inj := t.dyn[op.net].in[DirP].(*fifo)
+		if !inj.CanPush() {
+			return false, StateStallSend
+		}
+		inj.Push(op.words[0])
+		op.words = op.words[1:]
+		return len(op.words) == 0, StateRun
+
+	case opDynRecv:
+		rq := t.dyn[op.net].recv
+		if !rq.CanPop() {
+			return false, StateStallRecv
+		}
+		op.got = append(op.got, rq.Pop())
+		if len(op.got) < op.n {
+			return false, StateRun
+		}
+		if op.burstF != nil {
+			op.burstF(op.got)
+		}
+		return true, StateRun
+
+	case opCacheRead:
+		if !op.started {
+			op.started = true
+			op.words = []Word{op.valF()}
+		}
+		done, v, st := t.cache.access(op.words[0], false, 0)
+		if done && op.recvF != nil {
+			op.recvF(v)
+		}
+		return done, st
+
+	case opCacheWrite:
+		if !op.started {
+			op.started = true
+			op.got = op.wordsF()
+			op.words = []Word{op.valF()}
+		}
+		done, _, st := t.cache.access(op.words[0], true, op.got[0])
+		return done, st
+
+	case opThen:
+		// Pop first so ops enqueued by the callback run after the
+		// remainder of the current batch.
+		op.thenF(e)
+		return true, StateRun
+	}
+	panic("raw: unknown micro-op")
+}
+
+// start lazily evaluates an op's count function on its first cycle.
+func (e *Exec) start(op *microOp) {
+	if !op.started {
+		op.started = true
+		if op.countF != nil {
+			op.n = op.countF()
+		}
+	}
+}

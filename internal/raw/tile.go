@@ -1,0 +1,208 @@
+package raw
+
+import "fmt"
+
+// wordQueue abstracts the two queue flavors used for network inputs:
+// bounded on-chip fifos and unbounded edge fifos.
+type wordQueue interface {
+	beginCycle()
+	CanPop() bool
+	Peek() Word
+	Pop() Word
+	Len() int
+	poppedThisCycle() bool
+}
+
+// NumStaticNets is the number of static networks per tile: the Raw chip
+// has two (§3.1: "two static switch crossbars"). The thesis's router uses
+// only network 0 ("the second Raw static network ... have not been used
+// in the algorithm", §6.5); network 1 exists, works, and idles — exactly
+// the spare capacity §8.1 points at.
+const NumStaticNets = 2
+
+// staticNet is one static network's per-tile state: the switch processor,
+// its input queues, boundary sinks, and the register-mapped processor
+// interface.
+type staticNet struct {
+	sw swState
+
+	// in holds input queues from the four neighbors. Internal links are
+	// bounded fifos owned by this tile and written by the neighbor's
+	// switch; boundary links are unbounded edge fifos written by the
+	// testbench.
+	in [4]wordQueue
+	// edgeOut holds boundary static outputs (nil on internal sides).
+	edgeOut [4]*EdgeSink
+
+	// Processor <-> switch queues (the register-mapped $csto / $csti of
+	// §3.2, plus the control registers of §6.5).
+	csto    *fifo // processor -> switch, capacity 2
+	csti    *fifo // switch -> processor, capacity 4
+	swPC    *fifo // processor -> switch program counter, capacity 1
+	swDone  *fifo // switch -> processor confirmation, capacity 1
+	swCount *fifo // processor -> switch loop count, capacity 1
+}
+
+// Tile is one tile of the Raw chip: a processor, two static switches, two
+// dynamic routers, and a data cache.
+type Tile struct {
+	chip *Chip
+	id   int
+	x, y int
+
+	st [NumStaticNets]staticNet
+
+	dyn [2]*dynRouter
+
+	cache *dcache
+
+	exec *Exec
+}
+
+// ID returns the tile number (row-major, tile 0 at the north-west corner,
+// matching Figure 3-1 / 7-2 of the paper).
+func (t *Tile) ID() int { return t.id }
+
+// X returns the tile's column.
+func (t *Tile) X() int { return t.x }
+
+// Y returns the tile's row.
+func (t *Tile) Y() int { return t.y }
+
+// Boundary reports whether direction d points off-chip from this tile.
+func (t *Tile) Boundary(d Dir) bool {
+	switch d {
+	case DirN:
+		return t.y == 0
+	case DirS:
+		return t.y == t.chip.cfg.Height-1
+	case DirW:
+		return t.x == 0
+	case DirE:
+		return t.x == t.chip.cfg.Width-1
+	}
+	return false
+}
+
+// neighbor returns the tile across link d, or nil at the boundary.
+func (t *Tile) neighbor(d Dir) *Tile {
+	if t.Boundary(d) {
+		return nil
+	}
+	switch d {
+	case DirN:
+		return t.chip.tiles[t.id-t.chip.cfg.Width]
+	case DirS:
+		return t.chip.tiles[t.id+t.chip.cfg.Width]
+	case DirW:
+		return t.chip.tiles[t.id-1]
+	case DirE:
+		return t.chip.tiles[t.id+1]
+	}
+	return nil
+}
+
+// staticSrcReady reports whether net's switch can read a word from port d
+// this cycle.
+func (t *Tile) staticSrcReady(net int, d Dir) bool {
+	if d == DirP {
+		return t.st[net].csto.CanPop()
+	}
+	q := t.st[net].in[d]
+	return q != nil && q.CanPop()
+}
+
+// staticDstReady reports whether net's switch can write a word to port d
+// this cycle. Boundary outputs sink off-chip and always have space (§4.4:
+// the paper assumes large buffering external to the chip).
+func (t *Tile) staticDstReady(net int, d Dir) bool {
+	if d == DirP {
+		return t.st[net].csti.CanPush()
+	}
+	if t.Boundary(d) {
+		return true
+	}
+	n := t.neighbor(d)
+	return n.st[net].in[d.Opposite()].(*fifo).CanPush()
+}
+
+func (t *Tile) staticPop(net int, d Dir) Word {
+	if d == DirP {
+		return t.st[net].csto.Pop()
+	}
+	return t.st[net].in[d].Pop()
+}
+
+func (t *Tile) staticPush(net int, d Dir, w Word) {
+	if d == DirP {
+		t.st[net].csti.Push(w)
+		return
+	}
+	if t.Boundary(d) {
+		t.st[net].edgeOut[d].push(t.chip.cycle, w)
+		return
+	}
+	t.neighbor(d).st[net].in[d.Opposite()].(*fifo).Push(w)
+}
+
+// SetSwitchProgram installs a static switch program on network 0.
+func (t *Tile) SetSwitchProgram(prog []SwInstr) error {
+	return t.SetSwitchProgramOn(0, prog)
+}
+
+// SetSwitchProgramOn installs a static switch program on one of the two
+// static networks.
+func (t *Tile) SetSwitchProgramOn(net int, prog []SwInstr) error {
+	if err := t.st[net].sw.SetProgram(prog); err != nil {
+		return fmt.Errorf("tile %d net %d: %w", t.id, net, err)
+	}
+	return nil
+}
+
+// Switch exposes network 0's static switch for statistics.
+func (t *Tile) Switch() *swState { return &t.st[0].sw }
+
+// SwitchOn exposes one network's static switch.
+func (t *Tile) SwitchOn(net int) *swState { return &t.st[net].sw }
+
+// Exec returns the tile processor's micro-op executor.
+func (t *Tile) Exec() *Exec { return t.exec }
+
+// EdgeSink collects words that left the chip through a boundary static
+// link, stamped with the cycle they crossed the pins.
+type EdgeSink struct {
+	words  []Word
+	cycles []int64
+	total  int64
+}
+
+func (s *EdgeSink) push(cycle int64, w Word) {
+	s.words = append(s.words, w)
+	s.cycles = append(s.cycles, cycle)
+	s.total++
+}
+
+// Drain returns and clears the buffered words and their exit cycles.
+func (s *EdgeSink) Drain() ([]Word, []int64) {
+	w, c := s.words, s.cycles
+	s.words, s.cycles = nil, nil
+	return w, c
+}
+
+// Count returns the total number of words ever sunk, including drained
+// ones.
+func (s *EdgeSink) Count() int64 { return s.total }
+
+// StaticIn is a testbench handle for pushing words into a boundary static
+// input link. Words pushed become visible to the switch on the next cycle.
+type StaticIn struct{ q *unboundedFIFO }
+
+// Push appends words to the external input stream.
+func (in *StaticIn) Push(words ...Word) {
+	for _, w := range words {
+		in.q.Push(w)
+	}
+}
+
+// Len returns the number of words waiting on the external side.
+func (in *StaticIn) Len() int { return in.q.Len() }

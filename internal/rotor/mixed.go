@@ -1,0 +1,180 @@
+package rotor
+
+import "sort"
+
+// Mixed unicast/multicast allocation — the §8.6 extension carried to full
+// fidelity. Each tile's request is a member bitmask: a singleton mask is
+// ordinary unicast and may take either ring direction (shortest arc
+// first, exactly like Allocate); a multi-member mask travels clockwise
+// only, fanout-splitting at every served member. Service is incremental:
+// members whose egress is taken, or beyond the reachable clockwise arc,
+// wait for a later quantum.
+
+// MixedAllocation is the outcome of one mixed quantum.
+type MixedAllocation struct {
+	// Served[i] is the subset of input i's request granted this quantum.
+	Served []McastReq
+	// Tiles are the per-tile switch configurations; multicast tiles may
+	// feed out and cwnext from the same client.
+	Tiles []TileConfig
+	// OutSrc[d] is the input whose stream feeds egress d this quantum
+	// (-1 when idle) — the egress-header information every crossbar
+	// processor needs.
+	OutSrc []int
+}
+
+// AllocateMixed runs the token walk over member bitmasks.
+func AllocateMixed(reqs []McastReq, token int) MixedAllocation {
+	n := len(reqs)
+	outClaimed := make([]bool, n)
+	cwBusy := make([]bool, n)
+	ccwBusy := make([]bool, n)
+	a := MixedAllocation{
+		Served: make([]McastReq, n),
+		Tiles:  make([]TileConfig, n),
+		OutSrc: make([]int, n),
+	}
+	for i := range a.OutSrc {
+		a.OutSrc[i] = -1
+	}
+
+	for k := 0; k < n; k++ {
+		i := (token + k) % n
+		req := reqs[i]
+		if req == 0 {
+			continue
+		}
+		if req.Count() == 1 {
+			// Unicast: identical to Allocate's policy.
+			d := 0
+			for !req.Has(d) {
+				d++
+			}
+			if outClaimed[d] {
+				a.Tiles[i].InBlocked = true
+				continue
+			}
+			cwHops := (d - i + n) % n
+			if cwHops == 0 {
+				outClaimed[d] = true
+				a.Served[i] = req
+				a.OutSrc[d] = i
+				paint(a.Tiles, Transfer{Src: i, Dst: d, CW: true, Hops: 0}, n)
+				continue
+			}
+			granted := false
+			for _, o := range directionOrder(i, d, n) {
+				busy := cwBusy
+				if !o.cw {
+					busy = ccwBusy
+				}
+				if pathFree(busy, i, o.hops, o.cw, n) {
+					claimPath(busy, i, o.hops, o.cw, n)
+					outClaimed[d] = true
+					a.Served[i] = req
+					a.OutSrc[d] = i
+					paint(a.Tiles, Transfer{Src: i, Dst: d, CW: o.cw, Hops: o.hops}, n)
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				a.Tiles[i].InBlocked = true
+			}
+			continue
+		}
+
+		// Multicast: clockwise arc with fanout-splitting.
+		var members []int // clockwise hop distances, ascending
+		for h := 0; h < n; h++ {
+			d := (i + h) % n
+			if req.Has(d) && !outClaimed[d] {
+				members = append(members, h)
+			}
+		}
+		sort.Ints(members)
+		maxReach := 0
+		for m := 0; m < n-1; m++ {
+			if cwBusy[(i+m)%n] {
+				break
+			}
+			maxReach = m + 1
+		}
+		var served []int
+		for _, h := range members {
+			if h <= maxReach {
+				served = append(served, h)
+			}
+		}
+		if len(served) == 0 {
+			a.Tiles[i].InBlocked = true
+			continue
+		}
+		arc := served[len(served)-1]
+		claimPath(cwBusy, i, arc, true, n)
+		for _, h := range served {
+			d := (i + h) % n
+			outClaimed[d] = true
+			a.Served[i] |= 1 << d
+			a.OutSrc[d] = i
+		}
+		for h := 0; h <= arc; h++ {
+			t := (i + h) % n
+			cl := ClCWPrev
+			if h == 0 {
+				cl = ClIn
+			}
+			if a.Served[i].Has(t) {
+				a.Tiles[t].Out = cl
+				a.Tiles[t].OutHops = uint8(h)
+			}
+			if h < arc {
+				a.Tiles[t].CWNext = cl
+				a.Tiles[t].CWHops = uint8(h)
+			}
+		}
+	}
+	return a
+}
+
+// MixedConfigs enumerates every per-tile configuration the mixed
+// allocator can produce over the full request space (16 masks per tile ×
+// n tokens) — the multicast analogue of MinimizedConfigs. For n = 4 the
+// space has 16⁴×4 = 262,144 global configurations.
+func MixedConfigs(n int) []ConfigKey {
+	seen := make(map[ConfigKey]bool)
+	reqs := make([]McastReq, n)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			for token := 0; token < n; token++ {
+				a := AllocateMixed(reqs, token)
+				for _, tc := range a.Tiles {
+					seen[tc.Key()] = true
+				}
+			}
+			return
+		}
+		for m := 0; m < 1<<n; m++ {
+			reqs[pos] = McastReq(m)
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	keys := make([]ConfigKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// NewMixedConfigIndex builds the jump-table index over the mixed space.
+func NewMixedConfigIndex(n int) *ConfigIndex {
+	keys := MixedConfigs(n)
+	ci := &ConfigIndex{keys: keys, index: make(map[ConfigKey]int, len(keys))}
+	for i, k := range keys {
+		ci.index[k] = i
+	}
+	return ci
+}

@@ -1,0 +1,321 @@
+// Package rotor implements the paper's primary contribution: the Rotating
+// Crossbar — an efficient mapping of a router's dynamic switch-fabric
+// communication pattern onto the compile-time static interconnect of the
+// Raw processor's crossbar tiles (Chapters 5 and 6).
+//
+// The four Crossbar Processors form a ring with one full-duplex static
+// link between neighbors (clockwise and counterclockwise channels). Each
+// routing quantum, every crossbar tile holds at most one local packet
+// header naming an egress port; a token — implemented as a synchronous
+// counter local to every tile, never actually transmitted — names the
+// master tile. All tiles exchange headers, then each runs the identical,
+// deterministic allocation walk: starting at the master and proceeding
+// downstream, each requester claims its egress port and a clockwise ring
+// path if free, falling back to the counterclockwise path, else waiting
+// for the next quantum. Because every tile computes the same allocation
+// from the same inputs, no grants need to be communicated, and because the
+// token advances each quantum, no input starves (§5.4) and no static
+// network deadlock is possible (§5.5).
+//
+// The per-tile view of an allocation — which client (nothing, the local
+// ingress, the clockwise-upstream stream, or the counterclockwise-upstream
+// stream) feeds each of the tile's three servers (the egress link, the
+// clockwise-downstream link, the counterclockwise-downstream link) — is
+// the minimized configuration space of §6.2 / Table 6.1: the raw space of
+// |Hdr|⁴ × |Token| = 5⁴×4 = 2,500 global configurations collapses to 32
+// distinct per-tile configurations, small enough for a switch-code jump
+// table in the 8,192-word tile memories.
+package rotor
+
+import "fmt"
+
+// DefaultPorts is the paper's 4x4 router port count.
+const DefaultPorts = 4
+
+// Client identifies who feeds one of a crossbar tile's servers during the
+// body phase (Table 6.1: clients are 0, in, cwprev, ccwprev).
+type Client uint8
+
+// The four clients of Table 6.1.
+const (
+	ClNone    Client = iota // server idle
+	ClIn                    // the tile's own ingress processor
+	ClCWPrev                // the stream arriving on the clockwise ring
+	ClCCWPrev               // the stream arriving on the counterclockwise ring
+)
+
+// String returns the thesis's client names.
+func (c Client) String() string {
+	switch c {
+	case ClNone:
+		return "0"
+	case ClIn:
+		return "in"
+	case ClCWPrev:
+		return "cwprev"
+	case ClCCWPrev:
+		return "ccwprev"
+	}
+	return fmt.Sprintf("Client(%d)", uint8(c))
+}
+
+// TileConfig is one entry of the minimized configuration space: the client
+// of each server (out, cwnext, ccwnext — Table 6.1), the expansion numbers
+// (ring-hop distance from each stream's origin, which the switch code
+// generator needs to software-pipeline route activation, §6.2), and the
+// §6.2 boolean that is true when the tile's ingress cannot send this
+// quantum.
+type TileConfig struct {
+	Out     Client
+	CWNext  Client
+	CCWNext Client
+	// OutHops/CWHops/CCWHops are the expansion numbers: how many ring
+	// hops the stream feeding that server has traveled when it reaches
+	// this tile (0 for ClIn, else ≥ 1).
+	OutHops   uint8
+	CWHops    uint8
+	CCWHops   uint8
+	InBlocked bool
+}
+
+// Active reports whether the tile moves any words this quantum.
+func (t TileConfig) Active() bool {
+	return t.Out != ClNone || t.CWNext != ClNone || t.CCWNext != ClNone
+}
+
+// String renders the config in Table 6.1 vocabulary.
+func (t TileConfig) String() string {
+	blocked := ""
+	if t.InBlocked {
+		blocked = " in-blocked"
+	}
+	return fmt.Sprintf("out<-%s/%d cwnext<-%s/%d ccwnext<-%s/%d%s",
+		t.Out, t.OutHops, t.CWNext, t.CWHops, t.CCWNext, t.CCWHops, blocked)
+}
+
+// Hdr is a crossbar tile's local header for a quantum: HdrEmpty when its
+// ingress queue is empty, otherwise HdrTo(d) naming egress port d. With
+// four ports |Hdr| = 5 (§6.1).
+type Hdr uint8
+
+// HdrEmpty is the empty-input header.
+const HdrEmpty Hdr = 0
+
+// HdrTo returns the header requesting egress port d.
+func HdrTo(d int) Hdr { return Hdr(d + 1) }
+
+// Dest returns the egress port, or -1 for HdrEmpty.
+func (h Hdr) Dest() int { return int(h) - 1 }
+
+// GlobalConfig is one point of the §6.1 configuration space.
+type GlobalConfig struct {
+	Hdrs  []Hdr // one per crossbar tile
+	Token int
+}
+
+// Transfer is one granted input-to-output stream.
+type Transfer struct {
+	Src, Dst int
+	// CW is the ring direction the stream takes.
+	CW bool
+	// Hops is the ring distance traveled (0 when Src's own egress is the
+	// destination).
+	Hops int
+}
+
+// Allocation is the deterministic outcome of the token walk for one
+// global configuration.
+type Allocation struct {
+	Transfers []Transfer
+	// Granted[i] reports whether input i sends this quantum.
+	Granted []bool
+	// Tiles[i] is crossbar tile i's minimized per-tile configuration.
+	Tiles []TileConfig
+}
+
+// Allocate runs the Rotating Crossbar allocation walk (§5.1–§5.2) for an
+// n-tile ring. All tiles run this same function on the same inputs, which
+// is what makes the schedule distributed yet conflict-free.
+func Allocate(g GlobalConfig) Allocation {
+	n := len(g.Hdrs)
+	if n < 2 {
+		panic("rotor: ring needs at least two tiles")
+	}
+	if g.Token < 0 || g.Token >= n {
+		panic("rotor: token out of range")
+	}
+	for i, h := range g.Hdrs {
+		if d := h.Dest(); d >= n {
+			panic(fmt.Sprintf("rotor: header at tile %d names egress %d of %d", i, d, n))
+		}
+	}
+	order := make([]int, n)
+	for k := 0; k < n; k++ {
+		order[k] = (g.Token + k) % n
+	}
+	return allocateOrdered(g, order)
+}
+
+// pathOption is one candidate ring route.
+type pathOption struct {
+	cw   bool
+	hops int
+}
+
+// directionOrder returns the candidate directions from tile i to egress d
+// in preference order: shorter ring distance first, clockwise on ties.
+// Preferring the shorter arc is what makes every conflict-free
+// destination permutation routable in a single quantum on a single static
+// network — the topological sufficiency property of §5.3. (A greedy
+// clockwise-first walk can burn three links on a distance-1 destination
+// and strand later requesters; see TestPermutationsAlwaysRoute.)
+func directionOrder(i, d, n int) [2]pathOption {
+	cwHops := (d - i + n) % n
+	ccwHops := (i - d + n) % n
+	if cwHops <= ccwHops {
+		return [2]pathOption{{true, cwHops}, {false, ccwHops}}
+	}
+	return [2]pathOption{{false, ccwHops}, {true, cwHops}}
+}
+
+// pathFree checks the h consecutive ring links leaving tile i in the given
+// direction.
+func pathFree(busy []bool, i, h int, cw bool, n int) bool {
+	for m := 0; m < h; m++ {
+		var j int
+		if cw {
+			j = (i + m) % n
+		} else {
+			j = (i - m + n) % n
+		}
+		if busy[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func claimPath(busy []bool, i, h int, cw bool, n int) {
+	for m := 0; m < h; m++ {
+		var j int
+		if cw {
+			j = (i + m) % n
+		} else {
+			j = (i - m + n) % n
+		}
+		busy[j] = true
+	}
+}
+
+// paint writes one transfer into the per-tile configurations.
+func paint(tiles []TileConfig, tr Transfer, n int) {
+	if tr.Hops == 0 {
+		tiles[tr.Src].Out = ClIn
+		tiles[tr.Src].OutHops = 0
+		return
+	}
+	if tr.CW {
+		tiles[tr.Src].CWNext = ClIn
+		tiles[tr.Src].CWHops = 0
+		for m := 1; m < tr.Hops; m++ {
+			t := (tr.Src + m) % n
+			tiles[t].CWNext = ClCWPrev
+			tiles[t].CWHops = uint8(m)
+		}
+		tiles[tr.Dst].Out = ClCWPrev
+		tiles[tr.Dst].OutHops = uint8(tr.Hops)
+		return
+	}
+	tiles[tr.Src].CCWNext = ClIn
+	tiles[tr.Src].CCWHops = 0
+	for m := 1; m < tr.Hops; m++ {
+		t := (tr.Src - m + n) % n
+		tiles[t].CCWNext = ClCCWPrev
+		tiles[t].CCWHops = uint8(m)
+	}
+	tiles[tr.Dst].Out = ClCCWPrev
+	tiles[tr.Dst].OutHops = uint8(tr.Hops)
+}
+
+// NextToken advances the token downstream (clockwise), as §5.2's "the
+// token is passed to the next downstream crossbar tile".
+func NextToken(token, n int) int { return (token + 1) % n }
+
+// AllocatePrio is Allocate with per-tile priorities (§8.7: "letting
+// Ingress Processors include priority information into the local header,
+// and adding the arbitration code"): the walk serves priority classes
+// strictly high-to-low, token order within a class. Every tile computes
+// the same ordering from the same headers, so the schedule stays
+// distributed. Strict priority protects high-class latency and bandwidth;
+// a saturating high class can starve lower ones (the usual strict-priority
+// trade — weighted tokens are the fairness-preserving alternative).
+func AllocatePrio(g GlobalConfig, prio []uint8) Allocation {
+	n := len(g.Hdrs)
+	if len(prio) != n {
+		panic("rotor: priority vector must match ring size")
+	}
+	order := make([]int, 0, n)
+	var maxP uint8
+	for _, p := range prio {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	for p := int(maxP); p >= 0; p-- {
+		for k := 0; k < n; k++ {
+			i := (g.Token + k) % n
+			if int(prio[i]) == p {
+				order = append(order, i)
+			}
+		}
+	}
+	return allocateOrdered(g, order)
+}
+
+// allocateOrdered runs the reservation walk over an explicit tile order.
+func allocateOrdered(g GlobalConfig, order []int) Allocation {
+	n := len(g.Hdrs)
+	outClaimed := make([]bool, n)
+	cwBusy := make([]bool, n)
+	ccwBusy := make([]bool, n)
+	a := Allocation{Granted: make([]bool, n), Tiles: make([]TileConfig, n)}
+	for _, i := range order {
+		d := g.Hdrs[i].Dest()
+		if d < 0 {
+			continue
+		}
+		if outClaimed[d] {
+			a.Tiles[i].InBlocked = true
+			continue
+		}
+		cwHops := (d - i + n) % n
+		if cwHops == 0 {
+			outClaimed[d] = true
+			a.Granted[i] = true
+			a.Transfers = append(a.Transfers, Transfer{Src: i, Dst: d, CW: true, Hops: 0})
+			continue
+		}
+		granted := false
+		for _, o := range directionOrder(i, d, n) {
+			busy := cwBusy
+			if !o.cw {
+				busy = ccwBusy
+			}
+			if pathFree(busy, i, o.hops, o.cw, n) {
+				claimPath(busy, i, o.hops, o.cw, n)
+				outClaimed[d] = true
+				a.Granted[i] = true
+				a.Transfers = append(a.Transfers, Transfer{Src: i, Dst: d, CW: o.cw, Hops: o.hops})
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			a.Tiles[i].InBlocked = true
+		}
+	}
+	for _, tr := range a.Transfers {
+		paint(a.Tiles, tr, n)
+	}
+	return a
+}

@@ -1,0 +1,126 @@
+package rotor
+
+import "sort"
+
+// SpaceSize returns |Hdr|^n × |Token| — the unminimized configuration
+// space of §6.1. For the 4-port router this is 5⁴ × 4 = 2,500.
+func SpaceSize(n int) int {
+	size := n // token positions
+	for i := 0; i < n; i++ {
+		size *= n + 1 // each header: empty or one of n egresses
+	}
+	return size
+}
+
+// EnumerateSpace calls f for every global configuration of an n-tile ring
+// and returns the number visited.
+func EnumerateSpace(n int, f func(GlobalConfig, Allocation)) int {
+	hdrs := make([]Hdr, n)
+	count := 0
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			for token := 0; token < n; token++ {
+				g := GlobalConfig{Hdrs: append([]Hdr(nil), hdrs...), Token: token}
+				count++
+				if f != nil {
+					f(g, Allocate(g))
+				}
+			}
+			return
+		}
+		for h := 0; h <= n; h++ {
+			hdrs[pos] = Hdr(h)
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+// ConfigKey is the identity under which per-tile configurations are
+// deduplicated: the Table 6.1 client assignment plus the expansion
+// numbers. (The §6.2 in-blocked boolean parameterizes the tile processor,
+// not the switch routine, so it is not part of the switch-code identity.)
+type ConfigKey struct {
+	Out, CWNext, CCWNext     Client
+	OutHops, CWHops, CCWHops uint8
+}
+
+// Key returns the dedup identity of a tile configuration.
+func (t TileConfig) Key() ConfigKey {
+	return ConfigKey{
+		Out: t.Out, CWNext: t.CWNext, CCWNext: t.CCWNext,
+		OutHops: t.OutHops, CWHops: t.CWHops, CCWHops: t.CCWHops,
+	}
+}
+
+// MinimizedConfigs enumerates the whole global space of an n-tile ring and
+// returns the distinct per-tile configurations the allocator can ever
+// produce, in a deterministic order. For n = 4 this is the
+// "self-sufficient subset of 32 entries" of §6.2.
+func MinimizedConfigs(n int) []ConfigKey {
+	seen := make(map[ConfigKey]bool)
+	EnumerateSpace(n, func(_ GlobalConfig, a Allocation) {
+		for _, t := range a.Tiles {
+			seen[t.Key()] = true
+		}
+	})
+	keys := make([]ConfigKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+func keyLess(a, b ConfigKey) bool {
+	av := [6]uint8{uint8(a.Out), a.OutHops, uint8(a.CWNext), a.CWHops, uint8(a.CCWNext), a.CCWHops}
+	bv := [6]uint8{uint8(b.Out), b.OutHops, uint8(b.CWNext), b.CWHops, uint8(b.CCWNext), b.CCWHops}
+	for i := range av {
+		if av[i] != bv[i] {
+			return av[i] < bv[i]
+		}
+	}
+	return false
+}
+
+// ConfigIndex maps every reachable per-tile configuration to its slot in
+// the switch-code jump table.
+type ConfigIndex struct {
+	keys  []ConfigKey
+	index map[ConfigKey]int
+}
+
+// NewConfigIndex builds the jump-table index for an n-tile ring.
+func NewConfigIndex(n int) *ConfigIndex {
+	keys := MinimizedConfigs(n)
+	ci := &ConfigIndex{keys: keys, index: make(map[ConfigKey]int, len(keys))}
+	for i, k := range keys {
+		ci.index[k] = i
+	}
+	return ci
+}
+
+// Len returns the number of distinct configurations.
+func (ci *ConfigIndex) Len() int { return len(ci.keys) }
+
+// Of returns the jump-table slot of a tile configuration.
+func (ci *ConfigIndex) Of(t TileConfig) int {
+	i, ok := ci.index[t.Key()]
+	if !ok {
+		panic("rotor: configuration outside the minimized space")
+	}
+	return i
+}
+
+// Key returns the configuration at slot i.
+func (ci *ConfigIndex) Key(i int) ConfigKey { return ci.keys[i] }
+
+// UnminimizedIMemNeed returns the §6.1 arithmetic: with SPACE
+// configurations sharing an 8,192-word instruction memory, how many
+// instruction words are available per configuration ("approximately 3.3
+// instructions ... obviously not enough").
+func UnminimizedIMemNeed(n, imemWords int) float64 {
+	return float64(imemWords) / float64(SpaceSize(n))
+}

@@ -1,0 +1,174 @@
+package router
+
+import (
+	"repro/internal/raw"
+	"repro/internal/rotor"
+)
+
+// xbarFW is the Crossbar Processor firmware (§6.5): per quantum it reads
+// the four rotated headers, computes the identical distributed allocation,
+// sends the grant to its ingress and (when its egress receives data) the
+// egress header, then dispatches its switch into the configuration
+// routine and waits for the confirmation.
+type xbarFW struct {
+	rt   *Router
+	port int
+	prog *XbarProgram
+
+	token int
+	dwell int
+	hdrs  [4]raw.Word
+
+	// Per-quantum derived state.
+	alloc   rotor.Allocation
+	cfgIdx  int
+	quantum int64
+}
+
+func (x *xbarFW) Refill(e *raw.Exec) {
+	// Headers arrive own-first, then from 1, 2, 3 hops clockwise-upstream.
+	p := x.port
+	order := [4]int{p, (p + 3) % 4, (p + 2) % 4, (p + 1) % 4}
+	for _, src := range order {
+		src := src
+		e.Recv(func(w raw.Word) { x.hdrs[src] = w })
+	}
+	// The jump-table address computation (§6.5): the thesis computes the
+	// configuration index while the switch routes; our protocol phases
+	// are sequential, so this models the full header-decode + index
+	// arithmetic cost.
+	e.Compute(x.rt.cfg.AllocCycles)
+	e.Then(func(e *raw.Exec) { x.decide(e) })
+}
+
+// decide computes the allocation and enqueues the dispatch sequence.
+func (x *xbarFW) decide(e *raw.Exec) {
+	if x.rt.cfg.Multicast {
+		x.decideMixed(e)
+		return
+	}
+	var hdrs [4]rotor.Hdr
+	var prios [4]uint8
+	for i, w := range x.hdrs {
+		hdrs[i] = RotorHdr(w)
+		prios[i] = LocalHdrPrioOf(w)
+	}
+	// AllocatePrio degenerates to the plain token walk when every class
+	// is zero (exhaustively tested), so priority support costs nothing on
+	// best-effort traffic.
+	x.alloc = rotor.AllocatePrio(rotor.GlobalConfig{Hdrs: hdrs[:], Token: x.token}, prios[:])
+	x.cfgIdx = x.rt.ci.Of(x.alloc.Tiles[x.port])
+
+	// L: the quantum streaming length — the longest granted fragment.
+	l := 0
+	for i := 0; i < 4; i++ {
+		if !x.alloc.Granted[i] {
+			continue
+		}
+		_, fragLen, _, _ := DecodeLocalHdr(x.hdrs[i])
+		if fragLen > l {
+			l = fragLen
+		}
+	}
+
+	// Grant word for our ingress (consumed by preamble instruction 4).
+	granted := x.alloc.Granted[x.port]
+	e.SendFunc(func() raw.Word { return GrantWord(granted, l) })
+
+	// Egress header if our out server is active this quantum.
+	idx := x.cfgIdx
+	if x.prog.HasOut[idx] {
+		src := -1
+		for _, tr := range x.alloc.Transfers {
+			if tr.Dst == x.port {
+				src = tr.Src
+			}
+		}
+		if src < 0 {
+			panic("router: out server active with no matching transfer")
+		}
+		_, fragLen, last, _ := DecodeLocalHdr(x.hdrs[src])
+		eh := EgressHdr(src, fragLen, l, last)
+		e.SendFunc(func() raw.Word { return eh })
+	}
+	if x.prog.NeedsCount[idx] {
+		count := l - x.prog.MaxOffset[idx]
+		if count < 1 {
+			panic("router: quantum shorter than routine pipeline depth")
+		}
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(count) })
+	}
+	e.WriteSwitchPC(func() raw.Word { return x.prog.RoutineAddr[idx] })
+	e.WaitSwitchDone(nil)
+	x.advanceToken(e)
+}
+
+// decideMixed is the §8.6 variant: member-mask requests through the
+// mixed allocator and the 51-routine jump table.
+func (x *xbarFW) decideMixed(e *raw.Exec) {
+	reqs := make([]rotor.McastReq, 4)
+	for i, w := range x.hdrs {
+		reqs[i] = McastReqOf(w)
+	}
+	a := rotor.AllocateMixed(reqs, x.token)
+	x.cfgIdx = x.rt.ci.Of(a.Tiles[x.port])
+
+	l := 0
+	for i := 0; i < 4; i++ {
+		if a.Served[i] == 0 {
+			continue
+		}
+		_, fragLen, _, _ := DecodeLocalHdr(x.hdrs[i])
+		if fragLen > l {
+			l = fragLen
+		}
+	}
+
+	served := a.Served[x.port]
+	e.SendFunc(func() raw.Word { return GrantWordMcast(served, l) })
+
+	idx := x.cfgIdx
+	if x.prog.HasOut[idx] {
+		src := a.OutSrc[x.port]
+		if src < 0 {
+			panic("router: out server active with no source (mixed)")
+		}
+		_, fragLen, last, _ := DecodeLocalHdr(x.hdrs[src])
+		eh := EgressHdr(src, fragLen, l, last)
+		e.SendFunc(func() raw.Word { return eh })
+	}
+	if x.prog.NeedsCount[idx] {
+		count := l - x.prog.MaxOffset[idx]
+		if count < 1 {
+			panic("router: quantum shorter than routine pipeline depth (mixed)")
+		}
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(count) })
+	}
+	e.WriteSwitchPC(func() raw.Word { return x.prog.RoutineAddr[idx] })
+	e.WaitSwitchDone(nil)
+	x.advanceToken(e)
+}
+
+func (x *xbarFW) advanceToken(e *raw.Exec) {
+	e.Then(func(*raw.Exec) {
+		// Weighted round robin (§8.7): the token dwells at port i for
+		// Weights[i] quanta. Every crossbar tile advances the same local
+		// counter, so the token still never crosses the network.
+		x.dwell++
+		w := 1
+		if x.rt.cfg.Weights != nil {
+			w = x.rt.cfg.Weights[x.token]
+			if w < 1 {
+				w = 1
+			}
+		}
+		if x.dwell >= w {
+			x.token = rotor.NextToken(x.token, 4)
+			x.dwell = 0
+		}
+		x.quantum++
+		if x.rt.onQuantum != nil && x.port == 0 && !x.rt.cfg.Multicast {
+			x.rt.onQuantum(x.quantum, x.alloc)
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package router
+
+import (
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/rotor"
+)
+
+// ingressFW is the Ingress Processor firmware (§4.2): it streams packets
+// in from the line card, validates and updates the IP header (checksum
+// verify, TTL decrement with incremental checksum), consults its Lookup
+// Processor for the egress port, and then plays the per-quantum crossbar
+// protocol — header out, grant in, fragment streamed (payload cut-through
+// at the switch, updated header words and padding supplied by the
+// processor).
+type ingressFW struct {
+	rt   *Router
+	port int
+	prog *IngressProgram
+
+	// Current packet state.
+	hdrWords  [5]raw.Word
+	havePkt   bool
+	firstFrag bool
+	remaining int // payload words not yet streamed
+	totalLen  int // words of the whole packet
+	outPort   int
+	pktID     int64
+
+	// Multicast state (§8.6): the payload is buffered in local data
+	// memory so it can replay for members served in later quanta.
+	mcast   bool
+	members rotor.McastReq
+	buf     []raw.Word // header words + payload
+
+	// backlog polls the line card's receive-ready state (the DMA ring
+	// occupancy a real NIC exposes); without it an idle ingress would
+	// block reading an empty line and stall the whole crossbar's header
+	// exchange.
+	backlog func() int
+}
+
+func (f *ingressFW) Refill(e *raw.Exec) {
+	if f.havePkt {
+		f.quantum(e)
+		return
+	}
+	e.Then(func(e *raw.Exec) { // poll the line card: one cycle
+		if f.backlog() < ip.HeaderWords {
+			f.idleQuantum(e)
+			return
+		}
+		f.acquire(e)
+	})
+}
+
+// idleQuantum keeps the crossbar protocol in lockstep when this port has
+// nothing to send: an empty header, a (necessarily negative) grant.
+func (f *ingressFW) idleQuantum(e *raw.Exec) {
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Quantum })
+	e.Send(LocalHdrEmpty)
+	e.Recv(nil)
+	e.WaitSwitchDone(nil)
+}
+
+// acquire reads the next packet's IP header from the line card, verifies
+// it, and resolves the egress port.
+func (f *ingressFW) acquire(e *raw.Exec) {
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Acquire })
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Recv(func(w raw.Word) { f.hdrWords[i] = w })
+	}
+	// Checksum verify + TTL decrement + length extraction. The paper's
+	// ingress does this in a handful of unrolled ALU instructions.
+	e.Compute(f.rt.cfg.HeaderCycles)
+	e.Then(func(e *raw.Exec) {
+		words := []uint32{uint32(f.hdrWords[0]), uint32(f.hdrWords[1]),
+			uint32(f.hdrWords[2]), uint32(f.hdrWords[3]), uint32(f.hdrWords[4])}
+		h, err := ip.Unmarshal(words)
+		bad := err != nil
+		if !bad {
+			if derr := ip.DecrementTTL(words); derr != nil {
+				bad = true
+			}
+		}
+		for i := range f.hdrWords {
+			f.hdrWords[i] = raw.Word(words[i])
+		}
+		f.totalLen = (int(h.TotalLen) + 3) / 4
+		if f.totalLen < ip.HeaderWords {
+			f.totalLen = ip.HeaderWords
+		}
+		if f.totalLen > 4096 { // 16 KB sanity bound on a corrupt length
+			f.totalLen = ip.HeaderWords
+		}
+		// The Acquire switch routine has committed to a lookup exchange;
+		// send the destination (a garbage word on the drop path).
+		e.SendFunc(func() raw.Word { return raw.Word(h.Dst) })
+		var port raw.Word
+		e.Recv(func(w raw.Word) { port = w })
+		e.WaitSwitchDone(nil)
+		e.Then(func(e *raw.Exec) {
+			if bad || port == lookupNoRoute {
+				f.rt.Stats.Dropped[f.port]++
+				f.drop(e)
+				return
+			}
+			if port&lookupMcastBit != 0 {
+				// Multicast (§8.6): single-quantum packets only; the
+				// payload is ingested into local memory for replay.
+				if f.totalLen > f.rt.cfg.QuantumWords {
+					f.rt.Stats.Dropped[f.port]++
+					f.drop(e)
+					return
+				}
+				f.members = rotor.McastReq(port & 0xf)
+				f.mcast = true
+				f.havePkt = true
+				f.pktID++
+				f.rt.Stats.Accepted[f.port]++
+				f.ingest(e)
+				return
+			}
+			f.outPort = int(port)
+			f.mcast = false
+			f.havePkt = true
+			f.firstFrag = true
+			f.remaining = f.totalLen - ip.HeaderWords
+			f.pktID++
+			f.rt.Stats.Accepted[f.port]++
+		})
+	})
+}
+
+// drop drains the doomed packet's payload words off the line card.
+func (f *ingressFW) drop(e *raw.Exec) {
+	payload := f.totalLen - ip.HeaderWords
+	if payload > 0 {
+		e.WriteSwitchPC(func() raw.Word { return f.prog.Drop })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(payload) })
+		e.RecvN(func() int { return payload }, 1, nil)
+		e.WaitSwitchDone(nil)
+	}
+	// Next Refill acquires the next packet.
+}
+
+// fragLen returns the current fragment's length in words.
+func (f *ingressFW) fragLen() int {
+	q := f.rt.cfg.QuantumWords
+	if f.firstFrag {
+		n := ip.HeaderWords + f.remaining
+		if n > q {
+			n = q
+		}
+		return n
+	}
+	n := f.remaining
+	if n > q {
+		n = q
+	}
+	return n
+}
+
+// lastFrag reports whether the current fragment completes the packet.
+func (f *ingressFW) lastFrag() bool {
+	if f.firstFrag {
+		return ip.HeaderWords+f.remaining <= f.rt.cfg.QuantumWords
+	}
+	return f.remaining <= f.rt.cfg.QuantumWords
+}
+
+// ingest buffers a multicast packet's payload into local data memory
+// (2 cycles/word, §4.4) behind the already-held header words.
+func (f *ingressFW) ingest(e *raw.Exec) {
+	f.buf = f.buf[:0]
+	for _, w := range f.hdrWords {
+		f.buf = append(f.buf, w)
+	}
+	payload := f.totalLen - ip.HeaderWords
+	if payload == 0 {
+		return
+	}
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Drop })
+	e.WriteSwitchCount(func() raw.Word { return raw.Word(payload) })
+	e.RecvN(func() int { return payload }, 2, func(_ int, w raw.Word) {
+		f.buf = append(f.buf, w)
+	})
+	e.WaitSwitchDone(nil)
+}
+
+// mcastQuantum plays one multicast round: request the remaining members,
+// replay the buffered packet for those served.
+func (f *ingressFW) mcastQuantum(e *raw.Exec) {
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Quantum })
+	hdr := LocalHdrMcast(f.members, f.totalLen, true)
+	e.SendFunc(func() raw.Word { return hdr })
+	var grant raw.Word
+	e.Recv(func(w raw.Word) { grant = w })
+	e.WaitSwitchDone(nil)
+	e.Then(func(e *raw.Exec) {
+		served := GrantServed(grant)
+		_, l := DecodeGrant(grant)
+		if served == 0 {
+			f.rt.Stats.Denied[f.port]++
+			return
+		}
+		// One fanout-split stream serves every granted member.
+		e.WriteSwitchPC(func() raw.Word { return f.prog.StreamP })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(l) })
+		e.SendN(func() int { return l }, func(i int) raw.Word {
+			if i < len(f.buf) {
+				return f.buf[i]
+			}
+			return 0 // padding
+		})
+		e.WaitSwitchDone(nil)
+		e.Then(func(*raw.Exec) {
+			f.rt.Stats.FragsSent[f.port]++
+			f.rt.Stats.McastCopies[f.port] += int64(served.Count())
+			f.members &^= served
+			if f.members == 0 {
+				f.havePkt = false
+				f.mcast = false
+				f.rt.Stats.PktsIn[f.port]++
+				f.rt.Stats.McastIn[f.port]++
+			}
+		})
+	})
+}
+
+// quantum plays one round of the crossbar protocol.
+func (f *ingressFW) quantum(e *raw.Exec) {
+	if f.mcast {
+		f.mcastQuantum(e)
+		return
+	}
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Quantum })
+	hdr := LocalHdr(f.outPort, f.fragLen(), f.lastFrag())
+	if f.rt.cfg.Crypto {
+		hdr = LocalHdrCrypto(hdr)
+	}
+	// §8.7: the IP precedence bits (TOS[7:5]) become the crossbar
+	// priority class.
+	hdr = LocalHdrPrio(hdr, uint8(f.hdrWords[0]>>16)>>5)
+	e.SendFunc(func() raw.Word { return hdr })
+	var grant raw.Word
+	e.Recv(func(w raw.Word) { grant = w })
+	e.WaitSwitchDone(nil)
+	e.Then(func(e *raw.Exec) {
+		granted, l := DecodeGrant(grant)
+		if !granted {
+			f.rt.Stats.Denied[f.port]++
+			return // next Refill retries the quantum
+		}
+		f.stream(e, l)
+	})
+}
+
+// stream sends the current fragment padded to l words.
+func (f *ingressFW) stream(e *raw.Exec, l int) {
+	frag := f.fragLen()
+	last := f.lastFrag()
+	pad := l - frag
+	if pad < 0 {
+		panic("router: fragment longer than quantum stream")
+	}
+	if f.firstFrag {
+		payload := frag - ip.HeaderWords
+		e.WriteSwitchPC(func() raw.Word { return f.prog.Stream1 })
+		// 5 updated header words from the processor.
+		e.SendN(func() int { return 5 }, func(i int) raw.Word { return f.hdrWords[i] })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(payload) })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(pad) })
+		e.SendN(func() int { return pad }, func(int) raw.Word { return 0 })
+		f.remaining -= payload
+	} else {
+		e.WriteSwitchPC(func() raw.Word { return f.prog.Stream2 })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(frag) })
+		e.WriteSwitchCount(func() raw.Word { return raw.Word(pad) })
+		e.SendN(func() int { return pad }, func(int) raw.Word { return 0 })
+		f.remaining -= frag
+	}
+	e.WaitSwitchDone(nil)
+	e.Then(func(*raw.Exec) {
+		f.firstFrag = false
+		f.rt.Stats.FragsSent[f.port]++
+		if last {
+			f.havePkt = false
+			f.rt.Stats.PktsIn[f.port]++
+		}
+	})
+}

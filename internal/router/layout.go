@@ -1,0 +1,189 @@
+// Package router implements the paper's 4-port single-chip router on the
+// cycle-level Raw simulator: the tile partitioning of Chapter 4 (Figure
+// 4-1/7-2), the Rotating Crossbar switch fabric of Chapter 5 running as
+// generated static-switch programs (Chapter 6), and the
+// ingress/lookup/egress firmware around it.
+//
+// Protocol summary (one routing quantum, Figure 6-2):
+//
+//  1. Every ingress sends one local header word to its crossbar tile
+//     (HdrEmpty if its queue is empty).
+//  2. The four crossbar switches rotate all four headers around the ring
+//     (4 switch instructions); every crossbar processor now holds all
+//     headers plus the token and computes the same allocation
+//     (rotor.Allocate), the switch-code jump-table index, and the
+//     quantum's streaming length L.
+//  3. Each crossbar tile sends a grant word back to its ingress and, if
+//     its egress receives data this quantum, an egress header word ahead
+//     of the body.
+//  4. Each crossbar processor loads its switch's program counter with the
+//     configuration's routine (§6.5); the routine streams the body with
+//     software-pipelined route activation (the §6.2 expansion numbers),
+//     then confirms completion.
+//  5. The token advances; granted ingresses retire fragments; egresses
+//     cut complete packets through to the output pins or reassemble
+//     multi-fragment packets in local memory (§4.3).
+package router
+
+import "repro/internal/raw"
+
+// Role is a tile's function in the router partitioning (Figure 4-1).
+type Role uint8
+
+// The four roles plus unused tiles.
+const (
+	RoleUnused Role = iota
+	RoleIngress
+	RoleLookup
+	RoleCrossbar
+	RoleEgress
+)
+
+// String names the role as in the paper.
+func (r Role) String() string {
+	switch r {
+	case RoleIngress:
+		return "Ingress"
+	case RoleLookup:
+		return "Lookup"
+	case RoleCrossbar:
+		return "Crossbar"
+	case RoleEgress:
+		return "Egress"
+	}
+	return "unused"
+}
+
+// PortTiles is the tile assignment of one router port.
+type PortTiles struct {
+	Ingress  int
+	Lookup   int
+	Crossbar int
+	Egress   int
+	// InSide is the chip edge the input line card connects to (on the
+	// ingress tile); OutSide the output line card's edge (egress tile).
+	InSide  raw.Dir
+	OutSide raw.Dir
+}
+
+// Layout maps the router onto the 4x4 Raw chip exactly as Figure 7-2:
+//
+//	      Out0        Out1
+//	   0 |  1  |  2  |  3
+//	In0→ 4 |  5* |  6* |  7 ←In1
+//	In3→ 8 |  9* | 10* | 11 ←In2
+//	  12 | 13  | 14  | 15
+//	      Out3        Out2
+//
+// Crossbar ring, clockwise (token order): 5 → 6 → 10 → 9 → 5.
+var Layout = [4]PortTiles{
+	{Ingress: 4, Lookup: 0, Crossbar: 5, Egress: 1, InSide: raw.DirW, OutSide: raw.DirN},
+	{Ingress: 7, Lookup: 3, Crossbar: 6, Egress: 2, InSide: raw.DirE, OutSide: raw.DirN},
+	{Ingress: 11, Lookup: 15, Crossbar: 10, Egress: 14, InSide: raw.DirE, OutSide: raw.DirS},
+	{Ingress: 8, Lookup: 12, Crossbar: 9, Egress: 13, InSide: raw.DirW, OutSide: raw.DirS},
+}
+
+// XbarDirs gives crossbar tile p's physical mesh directions for the
+// logical ring/port connections (ring clockwise 5→6→10→9→5).
+type XbarDirs struct {
+	In      raw.Dir // from/to the ingress tile (full duplex)
+	Out     raw.Dir // to the egress tile
+	CWNext  raw.Dir // to the clockwise-downstream crossbar tile
+	CWPrev  raw.Dir // from the clockwise-upstream crossbar tile
+	CCWNext raw.Dir // to the counterclockwise-downstream tile (= CWPrev side)
+	CCWPrev raw.Dir // from the counterclockwise-upstream tile (= CWNext side)
+}
+
+// XbarDirsOf returns the direction map of port p's crossbar tile.
+func XbarDirsOf(p int) XbarDirs {
+	switch p {
+	case 0: // tile 5: ingress W(4), egress N(1), cw-next E(6), cw-prev S(9)
+		return XbarDirs{In: raw.DirW, Out: raw.DirN, CWNext: raw.DirE, CWPrev: raw.DirS,
+			CCWNext: raw.DirS, CCWPrev: raw.DirE}
+	case 1: // tile 6: ingress E(7), egress N(2), cw-next S(10), cw-prev W(5)
+		return XbarDirs{In: raw.DirE, Out: raw.DirN, CWNext: raw.DirS, CWPrev: raw.DirW,
+			CCWNext: raw.DirW, CCWPrev: raw.DirS}
+	case 2: // tile 10: ingress E(11), egress S(14), cw-next W(9), cw-prev N(6)
+		return XbarDirs{In: raw.DirE, Out: raw.DirS, CWNext: raw.DirW, CWPrev: raw.DirN,
+			CCWNext: raw.DirN, CCWPrev: raw.DirW}
+	case 3: // tile 9: ingress W(8), egress S(13), cw-next N(5), cw-prev E(10)
+		return XbarDirs{In: raw.DirW, Out: raw.DirS, CWNext: raw.DirN, CWPrev: raw.DirE,
+			CCWNext: raw.DirE, CCWPrev: raw.DirN}
+	}
+	panic("router: bad port")
+}
+
+// IngressDirs gives ingress tile p's physical directions.
+type IngressDirs struct {
+	Edge   raw.Dir // the input line card
+	Lookup raw.Dir // the lookup tile
+	Xbar   raw.Dir // the crossbar tile (full duplex)
+}
+
+// IngressDirsOf returns the direction map of port p's ingress tile.
+func IngressDirsOf(p int) IngressDirs {
+	switch p {
+	case 0: // tile 4: edge W, lookup N(0), xbar E(5)
+		return IngressDirs{Edge: raw.DirW, Lookup: raw.DirN, Xbar: raw.DirE}
+	case 1: // tile 7: edge E, lookup N(3), xbar W(6)
+		return IngressDirs{Edge: raw.DirE, Lookup: raw.DirN, Xbar: raw.DirW}
+	case 2: // tile 11: edge E, lookup S(15), xbar W(10)
+		return IngressDirs{Edge: raw.DirE, Lookup: raw.DirS, Xbar: raw.DirW}
+	case 3: // tile 8: edge W, lookup S(12), xbar E(9)
+		return IngressDirs{Edge: raw.DirW, Lookup: raw.DirS, Xbar: raw.DirE}
+	}
+	panic("router: bad port")
+}
+
+// EgressDirs gives egress tile p's physical directions.
+type EgressDirs struct {
+	Edge raw.Dir // the output line card
+	Xbar raw.Dir // the crossbar tile
+}
+
+// EgressDirsOf returns the direction map of port p's egress tile.
+func EgressDirsOf(p int) EgressDirs {
+	switch p {
+	case 0: // tile 1: edge N, xbar S(5)
+		return EgressDirs{Edge: raw.DirN, Xbar: raw.DirS}
+	case 1: // tile 2: edge N, xbar S(6)
+		return EgressDirs{Edge: raw.DirN, Xbar: raw.DirS}
+	case 2: // tile 14: edge S, xbar N(10)
+		return EgressDirs{Edge: raw.DirS, Xbar: raw.DirN}
+	case 3: // tile 13: edge S, xbar N(9)
+		return EgressDirs{Edge: raw.DirS, Xbar: raw.DirN}
+	}
+	panic("router: bad port")
+}
+
+// LookupDirs gives lookup tile p's physical direction to its ingress.
+func LookupDirsOf(p int) raw.Dir {
+	switch p {
+	case 0: // tile 0: ingress S(4)
+		return raw.DirS
+	case 1: // tile 3: ingress S(7)
+		return raw.DirS
+	case 2: // tile 15: ingress N(11)
+		return raw.DirN
+	case 3: // tile 12: ingress N(8)
+		return raw.DirN
+	}
+	panic("router: bad port")
+}
+
+// RoleOf returns the role of a tile in the 4x4 layout.
+func RoleOf(tile int) (Role, int) {
+	for p, pt := range Layout {
+		switch tile {
+		case pt.Ingress:
+			return RoleIngress, p
+		case pt.Lookup:
+			return RoleLookup, p
+		case pt.Crossbar:
+			return RoleCrossbar, p
+		case pt.Egress:
+			return RoleEgress, p
+		}
+	}
+	return RoleUnused, -1
+}

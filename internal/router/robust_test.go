@@ -1,0 +1,307 @@
+package router_test
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// TestCycleQoSWeightedToken (§8.7 at cycle level): token dwell weights
+// {3,1,1,1} give port 0 ≈ half of a contended egress.
+func TestCycleQoSWeightedToken(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Weights = []int{3, 1, 1, 1}
+	r := mustNew(t, cfg)
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(2, uint32(id)), 64, 256, id)
+	}
+	for c := 0; c < 80000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	var total int64
+	for p := 0; p < 4; p++ {
+		total += r.Stats.PktsIn[p]
+	}
+	share := float64(r.Stats.PktsIn[0]) / float64(total)
+	if share < 0.42 || share > 0.58 {
+		t.Fatalf("premium port share %.3f, want ≈0.50 (w/(w+3) with w=3)", share)
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Weights = []int{1, 2}
+	if _, err := router.New(cfg); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+}
+
+// TestInputUnderrunRecovers: a packet whose payload arrives late stalls
+// the fabric (flow control) but recovers without corruption — the
+// line-rate coupling the thesis's flow-controlled static network handles.
+func TestInputUnderrunRecovers(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 256, 5)
+	words := pkt.Words()
+
+	in := r.Chip.StaticIn(router.Layout[0].Ingress, router.Layout[0].InSide)
+	// Header only: the ingress will start the quantum, get granted, and
+	// stall streaming.
+	for _, w := range words[:ip.HeaderWords] {
+		in.Push(raw.Word(w))
+	}
+	r.Run(5000)
+	if r.Stats.PktsOut[1] != 0 {
+		t.Fatal("packet delivered before its payload arrived")
+	}
+	// Late payload.
+	for _, w := range words[ip.HeaderWords:] {
+		in.Push(raw.Word(w))
+	}
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 20000) {
+		t.Fatalf("fabric did not recover from input underrun; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(1)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	for i := range pkt.Payload {
+		if out[0].Payload[i] != pkt.Payload[i] {
+			t.Fatalf("payload word %d corrupted after underrun", i)
+		}
+	}
+}
+
+// TestGarbageFrameOnTheWire: a length-consistent but checksum-corrupt
+// frame is dropped and drained; a following good packet goes through.
+func TestGarbageFrameOnTheWire(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	garbage := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 64, 6)
+	gw := garbage.Words()
+	gw[3] ^= 0xdeadbeef // corrupt source: checksum now fails, length intact
+	in := r.Chip.StaticIn(router.Layout[0].Ingress, router.Layout[0].InSide)
+	for _, w := range gw {
+		in.Push(raw.Word(w))
+	}
+	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 64, 7)
+	r.OfferPacket(0, &good)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 40000) {
+		t.Fatalf("good packet stuck behind garbage; stats %+v", r.Stats)
+	}
+	if r.Stats.Dropped[0] != 1 {
+		t.Fatalf("dropped %d, want 1", r.Stats.Dropped[0])
+	}
+	out, err := r.DrainOutput(1)
+	if err != nil || len(out) != 1 || out[0].Header.ID != 7 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+}
+
+// TestHotspotSustained: all inputs flooding one egress deliver at exactly
+// one output's line rate, shared fairly.
+func TestHotspotSustained(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(3, uint32(id)), 64, 1024, id)
+	}
+	for c := 0; c < 100000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	if r.Stats.PktsOut[0]+r.Stats.PktsOut[1]+r.Stats.PktsOut[2] != 0 {
+		t.Fatal("packets leaked to non-hotspot outputs")
+	}
+	gbps := r.ThroughputGbps()
+	// One egress at ~1 word/cycle minus per-quantum overhead ≈ 6.3 Gbps.
+	if gbps < 5.0 || gbps > 8.0 {
+		t.Fatalf("hotspot throughput %.2f Gbps, want ≈ one port's line rate", gbps)
+	}
+	var lo, hi int64 = 1 << 62, 0
+	for p := 0; p < 4; p++ {
+		g := r.Stats.PktsIn[p]
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if hi-lo > hi/10 {
+		t.Fatalf("hotspot service unfair: per-input %v", r.Stats.PktsIn)
+	}
+}
+
+// TestHeaderOnlyPacket routes a minimum-size (header-only) IP packet.
+func TestHeaderOnlyPacket(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 2), 64, ip.HeaderBytes, 9)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 20000) {
+		t.Fatalf("header-only packet never delivered; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(2)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	if out[0].LenWords() != ip.HeaderWords {
+		t.Fatalf("delivered %d words", out[0].LenWords())
+	}
+}
+
+// TestBackToBackMixedSizes interleaves every size on one port and checks
+// ordering is preserved per input (FIFO service, §4.4).
+func TestBackToBackMixedSizes(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	var want []uint16
+	id := uint16(100)
+	for _, size := range []int{64, 1024, 128, 512, 64, 2048, 256} {
+		id++
+		pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, uint32(id)), 64, size, id)
+		r.OfferPacket(0, &pkt)
+		want = append(want, id)
+	}
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= int64(len(want)) }, 100000) {
+		t.Fatalf("only %d of %d delivered", r.Stats.PktsOut[1], len(want))
+	}
+	out, err := r.DrainOutput(1)
+	if err != nil || len(out) != len(want) {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	for i, pkt := range out {
+		if pkt.Header.ID != want[i] {
+			t.Fatalf("delivery %d has ID %d, want %d (order violated)", i, pkt.Header.ID, want[i])
+		}
+	}
+}
+
+// TestSecondNetworkIdleCapacity (§6.5/§8.1): the router leaves the second
+// static network completely unused ("the second Raw static network ...
+// have not been used in the algorithm"); an independent stream can cross
+// the same tiles at full rate while the router runs at full load — the
+// spare capacity §8.1 proposes exploiting.
+func TestSecondNetworkIdleCapacity(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	// Route a background stream straight across row 1 — through the
+	// ingress and crossbar tiles (4, 5, 6, 7) — on static network 1.
+	for _, tile := range []int{4, 5, 6, 7} {
+		err := r.Chip.Tile(tile).SetSwitchProgramOn(1, []raw.SwInstr{
+			{Op: raw.SwJump, Arg: 0, Routes: []raw.Route{{Dst: raw.DirE, Src: raw.DirW}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	bg := r.Chip.StaticInOn(1, 4, raw.DirW)
+	const bgWords = 20000
+	for i := 0; i < bgWords; i++ {
+		bg.Push(raw.Word(i))
+	}
+
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr((p+1)%4, uint32(id)), 64, 1024, id)
+	}
+	for c := 0; c < 30000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+
+	// The router ran at full speed...
+	gbps := r.ThroughputGbps()
+	if gbps < 20 {
+		t.Fatalf("router throughput %.2f Gbps degraded by the background stream", gbps)
+	}
+	// ...and the background stream crossed at one word per cycle.
+	out, cycles := r.Chip.StaticOutOn(1, 7, raw.DirE).Drain()
+	if len(out) != bgWords {
+		t.Fatalf("background stream delivered %d of %d words", len(out), bgWords)
+	}
+	span := cycles[len(cycles)-1] - cycles[0]
+	if span > int64(bgWords)+16 {
+		t.Fatalf("background stream took %d cycles for %d words: not full rate", span, bgWords)
+	}
+	for i, w := range out {
+		if w != raw.Word(i) {
+			t.Fatalf("background word %d corrupted", i)
+		}
+	}
+}
+
+// TestTOSPriority (§8.7): packets carrying a high IP precedence (TOS)
+// keep full service of a contended egress; best-effort packets wait.
+func TestTOSPriority(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(2, uint32(id)), 64, 256, id)
+		if p == 0 {
+			// Port 0's flow is premium: precedence 5 (TOS 0xA0).
+			pkt.Header.TOS = 0xA0
+		}
+		return pkt
+	}
+	for c := 0; c < 60000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	var total int64
+	for p := 0; p < 4; p++ {
+		total += r.Stats.PktsIn[p]
+	}
+	share := float64(r.Stats.PktsIn[0]) / float64(total)
+	// Strict priority: the premium input owns the egress almost entirely.
+	if share < 0.9 {
+		t.Fatalf("premium TOS share %.3f, want ≈ 1.0 (strict priority)", share)
+	}
+	if r.Stats.PktsIn[1]+r.Stats.PktsIn[2]+r.Stats.PktsIn[3] == 0 {
+		// Best effort gets only the quanta the premium flow leaves (its
+		// own per-packet acquire gaps); zero would mean the model starves
+		// even those — acceptable for strict priority, so no assertion.
+		t.Log("best-effort fully starved under saturated premium class (strict priority)")
+	}
+}
+
+// TestInterleavedReassembly: large packets from two inputs to the same
+// egress fragment and interleave quantum by quantum; the egress's
+// per-source reassembly buffers keep both packets intact.
+func TestInterleavedReassembly(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.QuantumWords = 64 // force multi-fragment packets
+	r := mustNew(t, cfg)
+	a := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 5), 64, 1024, 10)
+	b := ip.NewPacket(traffic.PortAddr(1, 2), traffic.PortAddr(2, 6), 64, 1024, 11)
+	r.OfferPacket(0, &a)
+	r.OfferPacket(1, &b)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 2 }, 100000) {
+		t.Fatalf("interleaved packets incomplete; %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(2)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	byID := map[uint16]ip.Packet{out[0].Header.ID: out[0], out[1].Header.ID: out[1]}
+	for id, want := range map[uint16]*ip.Packet{10: &a, 11: &b} {
+		got, ok := byID[id]
+		if !ok {
+			t.Fatalf("packet %d missing", id)
+		}
+		for i := range want.Payload {
+			if got.Payload[i] != want.Payload[i] {
+				t.Fatalf("packet %d payload word %d corrupted (interleaved reassembly)", id, i)
+			}
+		}
+	}
+	if r.Stats.Reassembled[2] != 2 {
+		t.Fatalf("reassembled %d, want 2", r.Stats.Reassembled[2])
+	}
+}

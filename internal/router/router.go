@@ -1,0 +1,316 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/raw"
+	"repro/internal/rotor"
+	"repro/internal/stats"
+)
+
+// sharedIndex caches the minimized configuration index: it is a pure
+// function of the 4-port ring, and enumerating the 2,500-entry space on
+// every router construction would dominate test setup.
+var sharedIndex = sync.OnceValue(func() *rotor.ConfigIndex {
+	return rotor.NewConfigIndex(4)
+})
+
+// sharedMixedIndex caches the §8.6 mixed unicast/multicast space (the
+// 16⁴×4 = 262,144-configuration enumeration takes a few hundred ms).
+var sharedMixedIndex = sync.OnceValue(func() *rotor.ConfigIndex {
+	return rotor.NewMixedConfigIndex(4)
+})
+
+// Config parameterizes the cycle-level router.
+type Config struct {
+	// ClockHz is the chip clock (250 MHz prototype).
+	ClockHz float64
+	// QuantumWords bounds one crossbar fragment (default 256 = one
+	// 1,024-byte packet).
+	QuantumWords int
+	// AllocCycles models the jump-table index computation on the
+	// crossbar processors (§6.5).
+	AllocCycles int
+	// HeaderCycles models the ingress IP header verify/update (§4.2).
+	HeaderCycles int
+	// DRAMLatency is the off-chip access time in cycles.
+	DRAMLatency int
+	// Table is the forwarding table, loaded into simulated DRAM as a
+	// compressed two-level structure for the lookup tiles. Nil installs
+	// the canonical four-prefix table (port p owns 10+p/8).
+	Table *lookup.Patricia
+	// Crypto enables the §8.3 computation-in-fabric extension: payloads
+	// are stream-ciphered with CryptoKey on the way out, costing
+	// CryptoCyclesPerWord on the egress processors.
+	Crypto              bool
+	CryptoKey           uint32
+	CryptoCyclesPerWord int
+	// Weights, if non-nil (length 4), give each port's token dwell in
+	// quanta — the §8.7 weighted round-robin QoS.
+	Weights []int
+	// Multicast enables the §8.6 extension: the crossbar runs the mixed
+	// unicast/multicast configuration space (51 switch routines instead
+	// of 27) with fanout-splitting, and the lookup tiles resolve
+	// 224.0.0.0/4 destinations through Groups.
+	Multicast bool
+	// Groups maps multicast group addresses to egress member masks.
+	Groups map[ip.Addr]uint8
+	// Tracer, if set, receives per-tile per-cycle states (Figure 7-3).
+	Tracer raw.Tracer
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:             raw.DefaultClockHz,
+		QuantumWords:        256,
+		AllocCycles:         8,
+		HeaderCycles:        4,
+		DRAMLatency:         20,
+		CryptoCyclesPerWord: 2,
+	}
+}
+
+// Stats are the router's internal counters, updated by firmware.
+type Stats struct {
+	// Accepted counts packets that passed ingress validation; Dropped
+	// those that failed (bad checksum, TTL, no route).
+	Accepted, Dropped [4]int64
+	// Denied counts quanta an ingress requested and lost arbitration.
+	Denied [4]int64
+	// FragsSent counts fragments streamed into the crossbar.
+	FragsSent [4]int64
+	// PktsIn counts packets fully streamed in; PktsOut packets delivered
+	// at egress; Reassembled the multi-fragment subset.
+	PktsIn, PktsOut, Reassembled [4]int64
+	// Lookups counts route lookups served.
+	Lookups [4]int64
+	// McastIn counts multicast packets fully served at ingress; McastCopies
+	// the egress copies they produced.
+	McastIn, McastCopies [4]int64
+}
+
+// Router is the assembled 4-port Raw router.
+type Router struct {
+	Chip *raw.Chip
+	Mem  *mem.Controller
+	cfg  Config
+	ci   *rotor.ConfigIndex
+
+	ins  [4]*raw.StaticIn
+	outs [4]*raw.EdgeSink
+
+	Stats Stats
+
+	// onQuantum, if set, is called once per quantum (from crossbar 0)
+	// with the executed allocation.
+	onQuantum func(q int64, a rotor.Allocation)
+
+	// parse buffers for DrainOutput.
+	parseBuf [4][]uint32
+
+	// tableEpoch selects which double-buffered DRAM table the lookup
+	// tiles consult (§2.2.1 table management; flipped by UpdateTable).
+	tableEpoch int
+}
+
+// New builds and programs the router.
+func New(cfg Config) (*Router, error) {
+	if cfg.ClockHz == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != 4 {
+		return nil, fmt.Errorf("router: weights must have 4 entries, got %d", len(cfg.Weights))
+	}
+	chipCfg := raw.DefaultConfig()
+	chipCfg.ClockHz = cfg.ClockHz
+	chipCfg.Tracer = cfg.Tracer
+	r := &Router{
+		Chip: raw.NewChip(chipCfg),
+		cfg:  cfg,
+		ci:   sharedIndex(),
+	}
+	if cfg.Multicast {
+		r.ci = sharedMixedIndex()
+	}
+	r.Mem = mem.Attach(r.Chip, cfg.DRAMLatency)
+
+	// Forwarding table into DRAM.
+	table := cfg.Table
+	if table == nil {
+		table = CanonicalTable()
+	}
+	for _, seg := range TableImage(table) {
+		words := make([]raw.Word, len(seg.Words))
+		for i, w := range seg.Words {
+			words[i] = raw.Word(w)
+		}
+		r.Mem.PokeWords(seg.Addr, words)
+	}
+
+	for p := 0; p < 4; p++ {
+		pt := Layout[p]
+
+		xprog, err := GenXbarProgram(p, r.ci)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Chip.Tile(pt.Crossbar).SetSwitchProgram(xprog.Prog); err != nil {
+			return nil, err
+		}
+		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(&xbarFW{rt: r, port: p, prog: xprog})
+
+		iprog, err := GenIngressProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Chip.Tile(pt.Ingress).SetSwitchProgram(iprog.Prog); err != nil {
+			return nil, err
+		}
+		in := r.Chip.StaticIn(pt.Ingress, pt.InSide)
+		r.Chip.Tile(pt.Ingress).Exec().SetFirmware(&ingressFW{
+			rt: r, port: p, prog: iprog, backlog: in.Len,
+		})
+
+		eprog, err := GenEgressProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Chip.Tile(pt.Egress).SetSwitchProgram(eprog.Prog); err != nil {
+			return nil, err
+		}
+		r.Chip.Tile(pt.Egress).Exec().SetFirmware(&egressFW{rt: r, port: p, prog: eprog})
+
+		if err := r.Chip.Tile(pt.Lookup).SetSwitchProgram(GenLookupProgram(p)); err != nil {
+			return nil, err
+		}
+		r.Chip.Tile(pt.Lookup).Exec().SetFirmware(&lookupFW{rt: r, port: p})
+
+		r.ins[p] = r.Chip.StaticIn(pt.Ingress, pt.InSide)
+		r.outs[p] = r.Chip.StaticOut(pt.Egress, pt.OutSide)
+	}
+	return r, nil
+}
+
+// CanonicalTable returns the experiments' route table: port p owns
+// (10+p).0.0.0/8, plus a default route to port 0.
+func CanonicalTable() *lookup.Patricia {
+	var t lookup.Patricia
+	for p := 0; p < 4; p++ {
+		if err := t.Insert(uint32(10+p)<<24, 8, lookup.NextHop(p)); err != nil {
+			panic(err)
+		}
+	}
+	return &t
+}
+
+// Config returns the router configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// UpdateTable installs a new forwarding table while the router forwards
+// (§2.2.1: "the network processor builds a forwarding table for each
+// forwarding engine"). The image is DMA'd into the idle epoch's DRAM
+// region and the lookup tiles switch over atomically at their next
+// lookup; because the new epoch's addresses were never cached, no cache
+// invalidation is needed — the first lookups simply miss to DRAM.
+func (r *Router) UpdateTable(t *lookup.Patricia) {
+	next := r.tableEpoch + 1
+	for _, seg := range TableImageAt(t, next) {
+		words := make([]raw.Word, len(seg.Words))
+		for i, w := range seg.Words {
+			words[i] = raw.Word(w)
+		}
+		r.Mem.PokeWords(seg.Addr, words)
+	}
+	r.tableEpoch = next
+}
+
+// OnQuantum registers a per-quantum observer (crossbar 0's allocation).
+func (r *Router) OnQuantum(f func(q int64, a rotor.Allocation)) { r.onQuantum = f }
+
+// InputPins exposes input port p's pin-level word stream (multi-chip
+// composition and tests).
+func (r *Router) InputPins(p int) *raw.StaticIn { return r.ins[p] }
+
+// OutputSink exposes output port p's pin-level word sink.
+func (r *Router) OutputSink(p int) *raw.EdgeSink { return r.outs[p] }
+
+// OfferPacket streams a packet's words into input port p's line buffer.
+func (r *Router) OfferPacket(p int, pkt *ip.Packet) {
+	for _, w := range pkt.Words() {
+		r.ins[p].Push(raw.Word(w))
+	}
+}
+
+// InputBacklogWords returns the words waiting on input port p's pins.
+func (r *Router) InputBacklogWords(p int) int { return r.ins[p].Len() }
+
+// Run advances the chip n cycles.
+func (r *Router) Run(n int64) { r.Chip.Run(n) }
+
+// Cycle returns the simulated cycle count.
+func (r *Router) Cycle() int64 { return r.Chip.Cycle() }
+
+// DrainOutput parses the packets that left output port p since the last
+// call. Partial trailing packets are kept for the next call.
+func (r *Router) DrainOutput(p int) ([]ip.Packet, error) {
+	words, _ := r.outs[p].Drain()
+	for _, w := range words {
+		r.parseBuf[p] = append(r.parseBuf[p], uint32(w))
+	}
+	var pkts []ip.Packet
+	buf := r.parseBuf[p]
+	for len(buf) >= ip.HeaderWords {
+		h, err := ip.Unmarshal(buf)
+		if err != nil {
+			return pkts, fmt.Errorf("router: output %d stream corrupt: %w", p, err)
+		}
+		n := (int(h.TotalLen) + 3) / 4
+		if n < ip.HeaderWords {
+			n = ip.HeaderWords
+		}
+		if len(buf) < n {
+			break
+		}
+		pkt, err := ip.ParsePacket(buf[:n])
+		if err != nil {
+			return pkts, fmt.Errorf("router: output %d packet corrupt: %w", p, err)
+		}
+		pkts = append(pkts, pkt)
+		buf = buf[n:]
+	}
+	r.parseBuf[p] = buf
+	return pkts, nil
+}
+
+// OutputWords returns the total words ever emitted on output p.
+func (r *Router) OutputWords(p int) int64 { return r.outs[p].Count() }
+
+// TotalPktsOut sums delivered packets.
+func (r *Router) TotalPktsOut() int64 {
+	var t int64
+	for p := 0; p < 4; p++ {
+		t += r.Stats.PktsOut[p]
+	}
+	return t
+}
+
+// ThroughputGbps converts delivered output words over the run so far into
+// gigabits per second at the configured clock.
+func (r *Router) ThroughputGbps() float64 {
+	var words int64
+	for p := 0; p < 4; p++ {
+		words += r.OutputWords(p)
+	}
+	return stats.Gbps(words*4, r.Chip.Cycle(), r.cfg.ClockHz)
+}
+
+// Mpps converts delivered packets over the run so far into millions of
+// packets per second.
+func (r *Router) Mpps() float64 {
+	return stats.Mpps(r.TotalPktsOut(), r.Chip.Cycle(), r.cfg.ClockHz)
+}

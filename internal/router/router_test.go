@@ -1,0 +1,433 @@
+package router_test
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/rotor"
+	"repro/internal/router"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func mustNew(t *testing.T, cfg router.Config) *router.Router {
+	t.Helper()
+	r, err := router.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// feedSaturated keeps every input's line buffer deep; gen(p) yields the
+// next packet for port p.
+func feedSaturated(r *router.Router, gen func(p int) ip.Packet) {
+	for p := 0; p < 4; p++ {
+		for r.InputBacklogWords(p) < 4096 {
+			pkt := gen(p)
+			r.OfferPacket(p, &pkt)
+		}
+	}
+}
+
+// TestSinglePacket routes one packet from port 0 to port 2 and checks the
+// delivered bytes, TTL decrement, and checksum.
+func TestSinglePacket(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 7), 64, 256, 42)
+	r.OfferPacket(0, &pkt)
+
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 20000) {
+		t.Fatalf("packet never delivered; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d packets at output 2", len(out))
+	}
+	got := out[0]
+	if got.Header.TTL != 63 {
+		t.Fatalf("TTL %d, want 63", got.Header.TTL)
+	}
+	if got.Header.TotalLen != 256 {
+		t.Fatalf("TotalLen %d", got.Header.TotalLen)
+	}
+	for i, w := range pkt.Payload {
+		if got.Payload[i] != w {
+			t.Fatalf("payload word %d corrupted: %#x != %#x", i, got.Payload[i], w)
+		}
+	}
+}
+
+// TestAllPairs routes one packet for every (input, output) pair,
+// including hairpins (same port in and out).
+func TestAllPairs(t *testing.T) {
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			r := mustNew(t, router.DefaultConfig())
+			pkt := ip.NewPacket(traffic.PortAddr(src, 1), traffic.PortAddr(dst, 9), 32, 128, 7)
+			r.OfferPacket(src, &pkt)
+			if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[dst] >= 1 }, 20000) {
+				t.Fatalf("%d->%d never delivered", src, dst)
+			}
+			out, err := r.DrainOutput(dst)
+			if err != nil || len(out) != 1 {
+				t.Fatalf("%d->%d: out=%d err=%v", src, dst, len(out), err)
+			}
+		}
+	}
+}
+
+// TestLayoutMatchesFigure7_2 (experiment E3) pins the tile mapping to the
+// paper's Figure 7-2 and checks physical adjacency of every wired pair.
+func TestLayoutMatchesFigure7_2(t *testing.T) {
+	want := [4][4]int{ // ingress, lookup, crossbar, egress
+		{4, 0, 5, 1}, {7, 3, 6, 2}, {11, 15, 10, 14}, {8, 12, 9, 13},
+	}
+	for p, pt := range router.Layout {
+		got := [4]int{pt.Ingress, pt.Lookup, pt.Crossbar, pt.Egress}
+		if got != want[p] {
+			t.Fatalf("port %d tiles %v, want %v", p, got, want[p])
+		}
+	}
+	// Figure 7-3's "input ports are tiles 4, 7, 8, 11".
+	ingresses := map[int]bool{}
+	for _, pt := range router.Layout {
+		ingresses[pt.Ingress] = true
+	}
+	for _, tile := range []int{4, 7, 8, 11} {
+		if !ingresses[tile] {
+			t.Fatalf("tile %d should be an ingress", tile)
+		}
+	}
+	// Adjacency: every static link the programs use must join neighbors.
+	adj := func(a, b int) bool {
+		ax, ay, bx, by := a%4, a/4, b%4, b/4
+		dx, dy := ax-bx, ay-by
+		return dx*dx+dy*dy == 1
+	}
+	ring := []int{5, 6, 10, 9}
+	for i := range ring {
+		if !adj(ring[i], ring[(i+1)%len(ring)]) {
+			t.Fatalf("ring tiles %d and %d not adjacent", ring[i], ring[(i+1)%4])
+		}
+	}
+	for p, pt := range router.Layout {
+		if !adj(pt.Ingress, pt.Crossbar) || !adj(pt.Ingress, pt.Lookup) || !adj(pt.Crossbar, pt.Egress) {
+			t.Fatalf("port %d wiring not adjacent: %+v", p, pt)
+		}
+	}
+}
+
+// TestGeneratedPrograms checks the §6.2 outcome: per-tile switch programs
+// hold one routine per minimized configuration and fit the 8,192-word
+// switch memory with room to spare.
+func TestGeneratedPrograms(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	_ = r
+	for p := 0; p < 4; p++ {
+		xp, err := router.GenXbarProgram(p, rotorIndex(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(xp.RoutineAddr) != 27 {
+			t.Fatalf("port %d: %d routines, want 27", p, len(xp.RoutineAddr))
+		}
+		if len(xp.Prog) >= raw.SwMemWords/8 {
+			t.Fatalf("port %d: crossbar program unexpectedly large: %d words", p, len(xp.Prog))
+		}
+	}
+}
+
+// TestMultiFragReassembly routes a 2,048-byte packet (two quanta) and
+// verifies reassembly (§4.3).
+func TestMultiFragReassembly(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 7), 64, 2048, 3)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 50000) {
+		t.Fatalf("multi-frag packet never delivered; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(1)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	for i := range pkt.Payload {
+		if out[0].Payload[i] != pkt.Payload[i] {
+			t.Fatalf("payload word %d corrupted", i)
+		}
+	}
+	if r.Stats.Reassembled[1] != 1 || r.Stats.FragsSent[0] != 2 {
+		t.Fatalf("reassembled=%d frags=%d", r.Stats.Reassembled[1], r.Stats.FragsSent[0])
+	}
+}
+
+// TestDropPaths: bad checksum, expired TTL, and unroutable destinations
+// are dropped at ingress without wedging the crossbar.
+func TestDropPaths(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+
+	bad := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 128, 1)
+	words := bad.Words()
+	words[4] ^= 0x100 // corrupt destination: checksum fails
+	in := r.Chip.StaticIn(router.Layout[0].Ingress, router.Layout[0].InSide)
+	for _, w := range words {
+		in.Push(raw.Word(w))
+	}
+	expired := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 1, 128, 2)
+	r.OfferPacket(0, &expired)
+	noroute := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(99, 0, 0, 1), 64, 128, 3)
+	r.OfferPacket(0, &noroute)
+	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 128, 4)
+	r.OfferPacket(0, &good)
+
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 100000) {
+		t.Fatalf("good packet stuck behind drops; stats %+v", r.Stats)
+	}
+	if r.Stats.Dropped[0] != 3 {
+		t.Fatalf("dropped %d, want 3", r.Stats.Dropped[0])
+	}
+	out, err := r.DrainOutput(1)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	if out[0].Header.ID != 4 {
+		t.Fatalf("delivered ID %d, want the good packet", out[0].Header.ID)
+	}
+}
+
+// TestPeakThroughput64B: conflict-free permutation at 64 bytes. The paper
+// measures 7.3 Gbps (≈70 cycles/packet/port); our sequential-phase
+// protocol lands within ~10 cycles of that.
+func TestPeakThroughput64B(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	perm := traffic.RotatedPerm(4, 2)
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(perm[p], uint32(id)), 64, 64, id)
+	}
+	for c := 0; c < 60000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	pkts := r.TotalPktsOut()
+	cpp := float64(r.Cycle()) * 4 / float64(pkts)
+	if cpp < 60 || cpp > 95 {
+		t.Fatalf("peak 64B cost %.1f cycles/pkt/port, want ≈70-80 (paper ≈70)", cpp)
+	}
+	gbps := r.ThroughputGbps()
+	if gbps < 5.5 || gbps > 8.5 {
+		t.Fatalf("peak 64B throughput %.2f Gbps, want ≈6.5-7.5 (paper 7.3)", gbps)
+	}
+}
+
+// TestPeakThroughput1024B: the paper's headline — 26.9 Gbps, 3.3 Mpps at
+// 1,024 bytes.
+func TestPeakThroughput1024B(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	perm := traffic.RotatedPerm(4, 1)
+	id := uint16(0)
+	gen := func(p int) ip.Packet {
+		id++
+		return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(perm[p], uint32(id)), 64, 1024, id)
+	}
+	for c := 0; c < 100000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	gbps := r.ThroughputGbps()
+	if gbps < 24 || gbps > 28 {
+		t.Fatalf("peak 1024B throughput %.2f Gbps, want ≈26 (paper 26.9)", gbps)
+	}
+	if m := r.Mpps(); m < 2.9 || m > 3.5 {
+		t.Fatalf("peak 1024B rate %.2f Mpps, want ≈3.2 (paper 3.3)", m)
+	}
+}
+
+// TestAverageRatio: uniform traffic delivers ≈ 0.6-0.7 of peak (§7.3
+// reports 69 %, from output contention alone).
+func TestAverageRatio(t *testing.T) {
+	run := func(uniform bool) float64 {
+		r := mustNew(t, router.DefaultConfig())
+		rng := traffic.NewRNG(3)
+		perm := traffic.RotatedPerm(4, 2)
+		id := uint16(0)
+		gen := func(p int) ip.Packet {
+			id++
+			d := perm[p]
+			if uniform {
+				d = rng.Intn(4)
+			}
+			return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(d, uint32(id)), 64, 256, id)
+		}
+		for c := 0; c < 60000; c += 200 {
+			feedSaturated(r, gen)
+			r.Run(200)
+		}
+		return r.ThroughputGbps()
+	}
+	peak := run(false)
+	avg := run(true)
+	ratio := avg / peak
+	if ratio < 0.55 || ratio > 0.80 {
+		t.Fatalf("average/peak = %.3f (avg %.2f, peak %.2f), want ≈ 0.65-0.7 (paper 0.69)", ratio, avg, peak)
+	}
+}
+
+// TestIntegrityUnderUniformLoad delivers thousands of random packets and
+// verifies every one parses with a valid checksum and intact payload.
+func TestIntegrityUnderUniformLoad(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	rng := traffic.NewRNG(17)
+	id := uint16(0)
+	sent := map[uint16]ip.Packet{}
+	gen := func(p int) ip.Packet {
+		id++
+		size := []int{64, 128, 256, 512, 1024}[rng.Intn(5)]
+		pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(rng.Intn(4), uint32(id)), 64, size, id)
+		sent[id] = pkt
+		return pkt
+	}
+	for c := 0; c < 60000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	var delivered int
+	for p := 0; p < 4; p++ {
+		out, err := r.DrainOutput(p)
+		if err != nil {
+			t.Fatalf("output %d: %v", p, err)
+		}
+		for _, got := range out {
+			want, ok := sent[got.Header.ID]
+			if !ok {
+				t.Fatalf("output %d delivered unknown packet id %d", p, got.Header.ID)
+			}
+			if got.Header.TTL != want.Header.TTL-1 {
+				t.Fatalf("id %d TTL %d, want %d", got.Header.ID, got.Header.TTL, want.Header.TTL-1)
+			}
+			for i := range want.Payload {
+				if got.Payload[i] != want.Payload[i] {
+					t.Fatalf("id %d payload word %d corrupted", got.Header.ID, i)
+				}
+			}
+			delivered++
+		}
+	}
+	if delivered < 500 {
+		t.Fatalf("only %d packets delivered", delivered)
+	}
+}
+
+// TestDeterminism: identical runs produce identical cycle-exact stats.
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, [4]int64) {
+		r := mustNew(t, router.DefaultConfig())
+		rng := traffic.NewRNG(5)
+		id := uint16(0)
+		gen := func(p int) ip.Packet {
+			id++
+			return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(rng.Intn(4), uint32(id)), 64, 128, id)
+		}
+		for c := 0; c < 20000; c += 200 {
+			feedSaturated(r, gen)
+			r.Run(200)
+		}
+		var words [4]int64
+		for p := 0; p < 4; p++ {
+			words[p] = r.OutputWords(p)
+		}
+		return r.TotalPktsOut(), words
+	}
+	p1, w1 := run()
+	p2, w2 := run()
+	if p1 != p2 || w1 != w2 {
+		t.Fatalf("nondeterministic: %d/%v vs %d/%v", p1, w1, p2, w2)
+	}
+}
+
+// TestCryptoInFabric (§8.3): with the computation extension on, payloads
+// leave the router stream-ciphered (headers intact) and cost extra cycles.
+func TestCryptoInFabric(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Crypto = true
+	cfg.CryptoKey = 0xfeedface
+	r := mustNew(t, cfg)
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(3, 2), 64, 256, 11)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[3] >= 1 }, 30000) {
+		t.Fatalf("crypto packet never delivered; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(3)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	for i, w := range pkt.Payload {
+		want := w ^ uint32(router.CryptoMask(cfg.CryptoKey, i))
+		if out[0].Payload[i] != want {
+			t.Fatalf("payload word %d: got %#x want ciphered %#x", i, out[0].Payload[i], want)
+		}
+	}
+}
+
+// TestFigure7_3Utilization (experiment E4): ingress tiles 4/7/8/11 show
+// blocked (gray) time under uniform 64-byte saturation, and overall tile
+// utilization rises with packet size.
+func TestFigure7_3Utilization(t *testing.T) {
+	run := func(size int) *trace.Recorder {
+		rec := trace.NewRecorder(16, 20000, 20800)
+		cfg := router.DefaultConfig()
+		cfg.Tracer = rec
+		r := mustNew(t, cfg)
+		rng := traffic.NewRNG(1)
+		id := uint16(0)
+		gen := func(p int) ip.Packet {
+			id++
+			return ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(rng.Intn(4), uint32(id)), 64, size, id)
+		}
+		for c := 0; c < 21000; c += 200 {
+			feedSaturated(r, gen)
+			r.Run(200)
+		}
+		return rec
+	}
+	small := run(64)
+	large := run(1024)
+
+	// Ingress tiles show gray (blocked-by-crossbar) under contention.
+	for _, tile := range []int{4, 7, 8, 11} {
+		if small.BlockedFraction(tile) < 0.05 {
+			t.Fatalf("tile %d gray fraction %.2f at 64B, expected visible blocking",
+				tile, small.BlockedFraction(tile))
+		}
+	}
+	// "Raw utilization is considerably lower for smaller packet sizes."
+	busy := func(rec *trace.Recorder) float64 {
+		var sum float64
+		for _, pt := range router.Layout {
+			// The streaming tiles: crossbars move the body words.
+			sum += rec.Utilization(pt.Crossbar) + rec.BlockedFraction(pt.Crossbar)
+		}
+		return sum
+	}
+	_ = busy
+	var smallRun, largeRun float64
+	for tile := 0; tile < 16; tile++ {
+		smallRun += small.Utilization(tile)
+		largeRun += large.Utilization(tile)
+	}
+	if largeRun <= smallRun {
+		t.Fatalf("utilization did not grow with packet size: 64B %.2f vs 1024B %.2f",
+			smallRun, largeRun)
+	}
+}
+
+// rotorIndex builds the shared config index (helper).
+func rotorIndex(t *testing.T) *rotor.ConfigIndex {
+	t.Helper()
+	return rotor.NewConfigIndex(4)
+}

@@ -1,0 +1,73 @@
+package router_test
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// TestSoakEverything runs a long mixed workload through a fully loaded
+// router — every packet size, unicast and multicast, three priority
+// classes, QoS token weights, and the payload cipher all at once — and
+// verifies conservation and wire integrity at the end. Skipped in -short
+// mode.
+func TestSoakEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	cfg := router.DefaultConfig()
+	cfg.Multicast = true
+	cfg.Groups = map[ip.Addr]uint8{ip.AddrFrom(224, 1, 2, 3): 0b1011}
+	cfg.Weights = []int{2, 1, 1, 1}
+	r := mustNew(t, cfg)
+
+	rng := traffic.NewRNG(2026)
+	id := uint16(0)
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	gen := func(p int) ip.Packet {
+		id++
+		size := sizes[rng.Intn(len(sizes))]
+		var pkt ip.Packet
+		if rng.Float64() < 0.15 && size <= 1024 {
+			pkt = ip.NewPacket(traffic.PortAddr(p, uint32(id)), ip.AddrFrom(224, 1, 2, 3), 64, size, id)
+		} else {
+			pkt = ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(rng.Intn(4), uint32(id)), 64, size, id)
+		}
+		pkt.Header.TOS = uint8(rng.Intn(3)) << 5
+		return pkt
+	}
+	const total = 400_000
+	for c := 0; c < total; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+
+	var in, out, denied int64
+	for p := 0; p < 4; p++ {
+		in += r.Stats.PktsIn[p]
+		out += r.Stats.PktsOut[p]
+		denied += r.Stats.Denied[p]
+		pkts, err := r.DrainOutput(p)
+		if err != nil {
+			t.Fatalf("output %d stream corrupt after soak: %v", p, err)
+		}
+		for _, pk := range pkts {
+			if pk.Header.TTL != 63 {
+				t.Fatalf("output %d: TTL %d", p, pk.Header.TTL)
+			}
+		}
+	}
+	if in < 1000 {
+		t.Fatalf("soak processed only %d packets", in)
+	}
+	if out < in {
+		t.Fatalf("deliveries (%d) below ingress completions (%d) beyond in-flight slack", out, in)
+	}
+	if r.Stats.Dropped != [4]int64{} {
+		t.Fatalf("unexpected drops: %v", r.Stats.Dropped)
+	}
+	t.Logf("soak: %d in, %d egress deliveries (mcast amplified), %d denials, %.2f Gbps",
+		in, out, denied, r.ThroughputGbps())
+}

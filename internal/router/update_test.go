@@ -1,0 +1,90 @@
+package router_test
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/netproc"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// TestTableUpdateWhileForwarding (§2.2.1): the network processor installs
+// a new forwarding table mid-run; packets before the flip follow the old
+// route, packets after it the new one, with no corruption and no cache
+// invalidation (double-buffered epochs).
+func TestTableUpdateWhileForwarding(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+
+	// 10/8 -> port 1 initially (canonical table routes 11/8 to port 1;
+	// use 11/8's address so the canonical route targets port 1).
+	before := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 5), 64, 128, 1)
+	r.OfferPacket(0, &before)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 20000) {
+		t.Fatalf("pre-update packet not delivered; %+v", r.Stats)
+	}
+
+	// The network processor moves 11/8 to port 3.
+	var nt lookup.Patricia
+	for p := 0; p < 4; p++ {
+		nh := lookup.NextHop(p)
+		if p == 1 {
+			nh = 3
+		}
+		if err := nt.Insert(uint32(10+p)<<24, 8, nh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.UpdateTable(&nt)
+
+	after := ip.NewPacket(traffic.PortAddr(0, 2), traffic.PortAddr(1, 6), 64, 128, 2)
+	r.OfferPacket(0, &after)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[3] >= 1 }, 30000) {
+		t.Fatalf("post-update packet did not follow the new route; %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(3)
+	if err != nil || len(out) != 1 || out[0].Header.ID != 2 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	// A second flip returns to the original epoch region.
+	r.UpdateTable(router.CanonicalTable())
+	third := ip.NewPacket(traffic.PortAddr(0, 3), traffic.PortAddr(1, 7), 64, 128, 3)
+	r.OfferPacket(0, &third)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 2 }, 30000) {
+		t.Fatalf("second flip did not restore the route; %+v", r.Stats)
+	}
+}
+
+// TestNetprocDrivesRouter wires the Chapter 2 control plane to the data
+// plane: a RIP network computes this router's forwarding table, the
+// network processor installs it, and packets follow the computed routes.
+func TestNetprocDrivesRouter(t *testing.T) {
+	// Topology: this router (node 0) has neighbors behind each port;
+	// node 2 (behind port 1) advertises 40.0.0.0/8 two hops away through
+	// node 1.
+	nw := netproc.NewNetwork()
+	nw.AddNode(0)
+	nw.Link(0, 1, 1, 0) // our port 1 -> node 1
+	nw.Link(1, 1, 2, 0) // node 1 -> node 2
+	nw.AddNode(2).Attach(netproc.Prefix{Addr: 40 << 24, Len: 8}, 1)
+	nw.AddNode(0).Attach(netproc.Prefix{Addr: 10 << 24, Len: 8}, 0) // local
+	if nw.RunUntilStable(50) >= 50 {
+		t.Fatal("control plane did not converge")
+	}
+	ft, err := nw.Nodes[0].ForwardingTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := router.DefaultConfig()
+	cfg.Table = ft
+	r := mustNew(t, cfg)
+
+	// A packet to 40.1.2.3 must leave on port 1 (toward node 1).
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(40, 1, 2, 3), 64, 128, 9)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 30000) {
+		t.Fatalf("packet did not follow the RIP-computed route; %+v", r.Stats)
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats provides the counters, rate conversions, histograms, and
+// result tables shared by the experiment harness. All formatting is plain
+// text so benchmark output can be diffed against EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gbps converts (bytes, cycles, clockHz) to gigabits per second — the unit
+// of Figure 7-1.
+func Gbps(bytes int64, cycles int64, clockHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / clockHz
+	return float64(bytes) * 8 / seconds / 1e9
+}
+
+// Mpps converts (packets, cycles, clockHz) to millions of packets per
+// second — the unit of the §7.2 headline.
+func Mpps(packets int64, cycles int64, clockHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / clockHz
+	return float64(packets) / seconds / 1e6
+}
+
+// Histogram is a fixed-bucket latency/occupancy histogram.
+type Histogram struct {
+	// Bounds are inclusive upper bounds of each bucket; an implicit
+	// +Inf bucket follows.
+	Bounds []int64
+	counts []int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// NewHistogram builds a histogram with power-of-two bounds up to maxExp.
+func NewHistogram(maxExp int) *Histogram {
+	h := &Histogram{}
+	for e := 0; e <= maxExp; e++ {
+		h.Bounds = append(h.Bounds, 1<<e)
+	}
+	h.counts = make([]int64, len(h.Bounds)+1)
+	return h
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v int64) {
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	i := sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i] >= v })
+	h.counts[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (bucketed).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Table is a printable result table with a caption, mirroring one paper
+// artifact (a figure series or table).
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats
+// with three significant decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,72 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGbpsMpps(t *testing.T) {
+	// 1024-byte packets, 305 cycles each, 4 ports, 250 MHz: the paper's
+	// headline arithmetic (§7.2) lands near 26.9 Gbps / 3.3 Mpps.
+	const cycles = 305 * 1000
+	bytes := int64(1024 * 1000 * 4)
+	pkts := int64(1000 * 4)
+	g := stats.Gbps(bytes, cycles, 250e6)
+	if g < 26 || g > 28 {
+		t.Fatalf("Gbps = %.2f, want ≈ 26.9", g)
+	}
+	m := stats.Mpps(pkts, cycles, 250e6)
+	if m < 3.0 || m > 3.6 {
+		t.Fatalf("Mpps = %.2f, want ≈ 3.3", m)
+	}
+	if stats.Gbps(100, 0, 250e6) != 0 || stats.Mpps(100, 0, 250e6) != 0 {
+		t.Fatal("zero cycles must yield zero rate")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := stats.NewHistogram(10)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean %f", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max %d", h.Max())
+	}
+	if q := h.Quantile(0.5); q < 50 || q > 64 {
+		t.Fatalf("p50 bucket bound %d, want within [50,64]", q)
+	}
+	if q := h.Quantile(1.0); q < 100 {
+		t.Fatalf("p100 %d < max", q)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := stats.Table{Caption: "demo", Headers: []string{"size", "gbps"}}
+	tb.AddRow(64, 7.3111)
+	tb.AddRow(1024, 26.9)
+	s := tb.String()
+	if !strings.Contains(s, "# demo") || !strings.Contains(s, "7.31") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if stats.Ratio(1, 0) != 0 {
+		t.Fatal("div by zero")
+	}
+	if stats.Ratio(3, 4) != 0.75 {
+		t.Fatal("ratio wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package switchfab
+
+// VOQSwitch is the virtual-output-queued crossbar of §2.2.2: each input
+// keeps one FIFO per output (eliminating head-of-line blocking entirely),
+// and a centralized iSLIP scheduler (McKeown 1995) finds a conflict-free
+// input/output match each slot.
+type VOQSwitch struct {
+	n    int
+	voq  [][][]Cell // [input][output]fifo
+	cap  int        // per-VOQ capacity, 0 = unbounded
+	slot int64
+
+	// iSLIP round-robin pointers.
+	grantPtr  []int // per output, over inputs
+	acceptPtr []int // per input, over outputs
+
+	// Iterations per slot (the GSR runs a small fixed number).
+	Iterations int
+}
+
+// NewVOQSwitch builds an n-port VOQ switch running iters iSLIP iterations
+// per slot.
+func NewVOQSwitch(n, bufCap, iters int) *VOQSwitch {
+	if iters < 1 {
+		iters = 1
+	}
+	s := &VOQSwitch{
+		n: n, cap: bufCap, Iterations: iters,
+		grantPtr:  make([]int, n),
+		acceptPtr: make([]int, n),
+	}
+	s.voq = make([][][]Cell, n)
+	for i := range s.voq {
+		s.voq[i] = make([][]Cell, n)
+	}
+	return s
+}
+
+// Ports implements Fabric.
+func (s *VOQSwitch) Ports() int { return s.n }
+
+// Slot implements Fabric.
+func (s *VOQSwitch) Slot() int64 { return s.slot }
+
+// Offer implements Fabric.
+func (s *VOQSwitch) Offer(input int, c Cell) bool {
+	q := &s.voq[input][c.Dst]
+	if s.cap > 0 && len(*q) >= s.cap {
+		return false
+	}
+	*q = append(*q, c)
+	return true
+}
+
+// VOQLen returns the occupancy of one virtual output queue.
+func (s *VOQSwitch) VOQLen(input, output int) int { return len(s.voq[input][output]) }
+
+// Step implements Fabric by running the three-phase iSLIP iteration
+// (§2.2.2: Request, Grant, Accept; pointers advance only after grants
+// accepted in the first iteration).
+func (s *VOQSwitch) Step() []*Cell {
+	n := s.n
+	matchIn := make([]int, n)  // input -> matched output
+	matchOut := make([]int, n) // output -> matched input
+	for i := range matchIn {
+		matchIn[i] = -1
+		matchOut[i] = -1
+	}
+
+	for iter := 0; iter < s.Iterations; iter++ {
+		// Request: unmatched inputs request every output with a queued
+		// cell; represented implicitly by VOQ occupancy.
+		// Grant: each unmatched output picks the requesting input at or
+		// after its grant pointer.
+		grant := make([]int, n) // output -> granted input
+		for o := 0; o < n; o++ {
+			grant[o] = -1
+			if matchOut[o] >= 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (s.grantPtr[o] + k) % n
+				if matchIn[i] < 0 && len(s.voq[i][o]) > 0 {
+					grant[o] = i
+					break
+				}
+			}
+		}
+		// Accept: each input granted one or more outputs accepts the one
+		// at or after its accept pointer.
+		progress := false
+		for i := 0; i < n; i++ {
+			if matchIn[i] >= 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				o := (s.acceptPtr[i] + k) % n
+				if grant[o] == i {
+					matchIn[i] = o
+					matchOut[o] = i
+					progress = true
+					if iter == 0 {
+						// "The pointers are only updated after the first
+						// iteration."
+						s.grantPtr[o] = (i + 1) % n
+						s.acceptPtr[i] = (o + 1) % n
+					}
+					break
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	out := make([]*Cell, n)
+	for o := 0; o < n; o++ {
+		i := matchOut[o]
+		if i < 0 {
+			continue
+		}
+		q := &s.voq[i][o]
+		c := (*q)[0]
+		*q = (*q)[1:]
+		out[o] = &c
+	}
+	s.slot++
+	return out
+}

@@ -1,0 +1,162 @@
+package switchfab
+
+// Multicast cell switching (§2.2.2): "if multicast traffic is queued
+// separately, then the crossbar may be used to replicate cells, rather
+// than wasting precious memory bandwidth at the input, and if the
+// crossbar implements fanout-splitting for multicast packets, then the
+// system throughput can be increased by 40%". Two strategies are modeled:
+//
+//   - input replication: a multicast cell is copied into the unicast VOQs,
+//     one copy per member, and each copy crosses the fabric separately;
+//   - fanout-splitting: the cell sits in a separate multicast queue and,
+//     each slot, is delivered simultaneously to every *free* member
+//     output (the crossbar replicates), retiring members as they are
+//     served until the fanout set drains.
+
+// MCell is a multicast cell with a member bitmask.
+type MCell struct {
+	Members uint32
+	Arrived int64
+}
+
+// McastSwitch is an input-queued switch with per-input multicast queues.
+// With FanoutSplitting (the default) a head cell is delivered to every
+// currently-free member and retires members incrementally; without it the
+// cell waits until all its members are free at once (atomic service) —
+// the strategy the paper says costs ~40% of system throughput.
+type McastSwitch struct {
+	n    int
+	q    [][]MCell
+	cap  int
+	slot int64
+	rr   int // round-robin start input for output arbitration
+
+	// FanoutSplitting enables incremental member service.
+	FanoutSplitting bool
+}
+
+// NewMcastSwitch builds an n-port fanout-splitting switch.
+func NewMcastSwitch(n, bufCap int) *McastSwitch {
+	return &McastSwitch{n: n, q: make([][]MCell, n), cap: bufCap, FanoutSplitting: true}
+}
+
+// Ports returns the port count.
+func (s *McastSwitch) Ports() int { return s.n }
+
+// Slot returns the current slot number.
+func (s *McastSwitch) Slot() int64 { return s.slot }
+
+// Offer enqueues a multicast cell at an input.
+func (s *McastSwitch) Offer(input int, c MCell) bool {
+	if s.cap > 0 && len(s.q[input]) >= s.cap {
+		return false
+	}
+	s.q[input] = append(s.q[input], c)
+	return true
+}
+
+// Step runs one slot and returns the number of output-side deliveries
+// (copies placed on output lines) and the number of cells fully retired.
+func (s *McastSwitch) Step() (deliveries, retired int) {
+	outFree := uint32(1)<<s.n - 1
+	for k := 0; k < s.n; k++ {
+		i := (s.rr + k) % s.n
+		if len(s.q[i]) == 0 {
+			continue
+		}
+		c := &s.q[i][0]
+		serve := c.Members & outFree
+		if serve == 0 {
+			continue
+		}
+		if !s.FanoutSplitting && serve != c.Members {
+			continue // atomic service: wait for every member at once
+		}
+		outFree &^= serve
+		c.Members &^= serve
+		for m := serve; m != 0; m &= m - 1 {
+			deliveries++
+		}
+		if c.Members == 0 {
+			s.q[i] = s.q[i][1:]
+			retired++
+		}
+	}
+	s.rr = (s.rr + 1) % s.n
+	s.slot++
+	return deliveries, retired
+}
+
+// McastThroughput compares three multicast strategies at saturation for
+// random multicast traffic with the given fanout, returning output-side
+// throughput (deliveries per output per slot) for each: atomic service
+// (no fanout-splitting), fanout-splitting, and input replication through
+// a unicast VOQ switch.
+func McastThroughput(n, fanout int, rng interface{ Intn(int) int }, warmup, slots int64) (atomic, splitting, replication float64) {
+	randMembers := func() uint32 {
+		var m uint32
+		for c := 0; c < fanout; c++ {
+			for {
+				b := uint32(1) << rng.Intn(n)
+				if m&b == 0 {
+					m |= b
+					break
+				}
+			}
+		}
+		return m
+	}
+	runMcast := func(split bool) float64 {
+		fs := NewMcastSwitch(n, 16)
+		fs.FanoutSplitting = split
+		var del int64
+		for t := int64(0); t < warmup+slots; t++ {
+			for i := 0; i < n; i++ {
+				fs.Offer(i, MCell{Members: randMembers(), Arrived: fs.Slot()})
+			}
+			d, _ := fs.Step()
+			if t >= warmup {
+				del += int64(d)
+			}
+		}
+		return float64(del) / float64(slots) / float64(n)
+	}
+	atomic = runMcast(false)
+	splitting = runMcast(true)
+
+	// Input replication: each member becomes a unicast cell in a VOQ
+	// switch; the input link can inject only one copy per slot (the
+	// "wasting precious memory bandwidth at the input" cost).
+	vs := NewVOQSwitch(n, 16, 3)
+	var pend [][]int // per input, flattened member lists awaiting injection
+	pend = make([][]int, n)
+	var repDel int64
+	for t := int64(0); t < warmup+slots; t++ {
+		for i := 0; i < n; i++ {
+			if len(pend[i]) == 0 {
+				m := randMembers()
+				for b := 0; b < n; b++ {
+					if m>>b&1 == 1 {
+						pend[i] = append(pend[i], b)
+					}
+				}
+			}
+			// One copy crosses the input memory per slot.
+			if len(pend[i]) > 0 {
+				if vs.Offer(i, Cell{Dst: pend[i][0], Arrived: vs.Slot()}) {
+					pend[i] = pend[i][1:]
+				}
+			}
+		}
+		out := vs.Step()
+		if t >= warmup {
+			for _, c := range out {
+				if c != nil {
+					repDel++
+				}
+			}
+		}
+	}
+	replication = float64(repDel) / float64(slots) / float64(n)
+	return atomic, splitting, replication
+}

@@ -1,0 +1,140 @@
+package switchfab
+
+// Variable-length packet switching (§2.2.2's "Why Fixed Length Packets"):
+// instead of segmenting packets into cells, each packet occupies its
+// input-output connection for its full length in slots, non-preemptively.
+// The scheduler must juggle busy outputs and decide between allocating an
+// idle output now or waiting for a busy one — which is exactly the
+// bookkeeping the paper says limits system throughput to ≈60 %.
+
+// Packet is a variable-length unit.
+type Packet struct {
+	Dst     int
+	Slots   int // transmission time in slots
+	Arrived int64
+}
+
+// VarLenSwitch is a FIFO input-queued switch moving whole variable-length
+// packets. An input and an output stay tied up for the packet's duration.
+type VarLenSwitch struct {
+	n    int
+	q    [][]Packet
+	cap  int
+	slot int64
+
+	// busy state: remaining slots per input/output pair in transfer.
+	inBusy  []int // remaining slots the input is held
+	outBusy []int
+	inDst   []int // output the input is currently sending to
+	rrOut   []int
+}
+
+// NewVarLenSwitch builds an n-port variable-length switch.
+func NewVarLenSwitch(n, bufCap int) *VarLenSwitch {
+	return &VarLenSwitch{
+		n: n, cap: bufCap,
+		q:      make([][]Packet, n),
+		inBusy: make([]int, n), outBusy: make([]int, n),
+		inDst: make([]int, n), rrOut: make([]int, n),
+	}
+}
+
+// Ports returns the port count.
+func (s *VarLenSwitch) Ports() int { return s.n }
+
+// Slot returns the current slot.
+func (s *VarLenSwitch) Slot() int64 { return s.slot }
+
+// Offer enqueues a packet at an input, reporting false when full.
+func (s *VarLenSwitch) Offer(input int, p Packet) bool {
+	if s.cap > 0 && len(s.q[input]) >= s.cap {
+		return false
+	}
+	s.q[input] = append(s.q[input], p)
+	return true
+}
+
+// Step advances one slot and returns packets that completed delivery this
+// slot, with the slot count they occupied the fabric.
+func (s *VarLenSwitch) Step() []DeliverRecord {
+	var completed []DeliverRecord
+	// Progress in-flight transfers.
+	for i := 0; i < s.n; i++ {
+		if s.inBusy[i] > 0 {
+			s.inBusy[i]--
+			o := s.inDst[i]
+			s.outBusy[o]--
+			if s.inBusy[i] == 0 {
+				p := s.q[i][0]
+				s.q[i] = s.q[i][1:]
+				completed = append(completed, DeliverRecord{Output: o, Pkt: p, Slot: s.slot})
+			}
+		}
+	}
+	// Allocate idle outputs to idle inputs whose head packet wants them
+	// (greedy, round-robin — the "allocate an idle output" policy).
+	for o := 0; o < s.n; o++ {
+		if s.outBusy[o] > 0 {
+			continue
+		}
+		for k := 0; k < s.n; k++ {
+			i := (s.rrOut[o] + k) % s.n
+			if s.inBusy[i] > 0 || len(s.q[i]) == 0 || s.q[i][0].Dst != o {
+				continue
+			}
+			s.inBusy[i] = s.q[i][0].Slots
+			s.inDst[i] = o
+			s.outBusy[o] = s.q[i][0].Slots
+			s.rrOut[o] = (i + 1) % s.n
+			break
+		}
+	}
+	s.slot++
+	return completed
+}
+
+// DeliverRecord reports a completed variable-length delivery.
+type DeliverRecord struct {
+	Output int
+	Pkt    Packet
+	Slot   int64
+}
+
+// VarLenMeter accumulates slot-weighted throughput: a delivered packet of
+// L slots counts as L slot-deliveries on its output.
+type VarLenMeter struct {
+	SlotsDelivered int64
+	Packets        int64
+	Slots          int64
+	DelaySum       int64
+	ports          int
+}
+
+// NewVarLenMeter builds a meter for an n-port switch.
+func NewVarLenMeter(n int) *VarLenMeter { return &VarLenMeter{ports: n} }
+
+// Observe records one slot's completions.
+func (m *VarLenMeter) Observe(slot int64, done []DeliverRecord) {
+	m.Slots++
+	for _, d := range done {
+		m.Packets++
+		m.SlotsDelivered += int64(d.Pkt.Slots)
+		m.DelaySum += slot - d.Pkt.Arrived
+	}
+}
+
+// Throughput returns the fraction of output bandwidth carrying data.
+func (m *VarLenMeter) Throughput() float64 {
+	if m.Slots == 0 {
+		return 0
+	}
+	return float64(m.SlotsDelivered) / float64(m.Slots) / float64(m.ports)
+}
+
+// MeanDelay returns the mean completion delay in slots.
+func (m *VarLenMeter) MeanDelay() float64 {
+	if m.Packets == 0 {
+		return 0
+	}
+	return float64(m.DelaySum) / float64(m.Packets)
+}

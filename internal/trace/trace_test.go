@@ -1,0 +1,97 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/raw"
+	"repro/internal/trace"
+)
+
+func TestRecorderWindow(t *testing.T) {
+	r := trace.NewRecorder(2, 10, 20)
+	r.Record(5, 0, raw.StateRun)  // before window: ignored
+	r.Record(25, 0, raw.StateRun) // after window: ignored
+	for c := int64(10); c < 20; c++ {
+		st := raw.StateRun
+		if c%2 == 0 {
+			st = raw.StateStallSend
+		}
+		r.Record(c, 0, st)
+		r.Record(c, 1, raw.StateIdle)
+	}
+	if u := r.Utilization(0); u != 0.5 {
+		t.Fatalf("utilization %f, want 0.5", u)
+	}
+	if bf := r.BlockedFraction(0); bf != 0.5 {
+		t.Fatalf("blocked %f, want 0.5", bf)
+	}
+	if u := r.Utilization(1); u != 0 {
+		t.Fatalf("idle tile utilization %f", u)
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	r := trace.NewRecorder(2, 0, 8)
+	for c := int64(0); c < 8; c++ {
+		r.Record(c, 0, raw.StateRun)
+		r.Record(c, 1, raw.StateStallRecv)
+	}
+	out := r.ASCII([]int{0, 1}, 1)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "########") {
+		t.Fatalf("run row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "........") {
+		t.Fatalf("blocked row: %q", lines[2])
+	}
+}
+
+func TestASCIIBinning(t *testing.T) {
+	r := trace.NewRecorder(1, 0, 10)
+	for c := int64(0); c < 10; c++ {
+		st := raw.StateRun
+		if c >= 5 {
+			st = raw.StateIdle
+		}
+		r.Record(c, 0, st)
+	}
+	out := r.ASCII([]int{0}, 5)
+	row := strings.Split(strings.TrimSpace(out), "\n")[1]
+	if !strings.Contains(row, "# ") {
+		t.Fatalf("binned row %q, want one run bin then one idle bin", row)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := trace.NewRecorder(1, 0, 3)
+	r.Record(0, 0, raw.StateRun)
+	r.Record(1, 0, raw.StateStallCache)
+	r.Record(2, 0, raw.StateIdle)
+	csv := r.CSV([]int{0})
+	if !strings.Contains(csv, "run,stall-cache,idle") {
+		t.Fatalf("csv: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "tile,c0,c1,c2") {
+		t.Fatalf("csv header: %q", csv)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := trace.NewRecorder(2, 0, 10)
+	for c := int64(0); c < 10; c++ {
+		r.Record(c, 0, raw.StateRun)
+		r.Record(c, 1, raw.StateStallSend)
+	}
+	out := r.Summary([]int{0, 1}, func(tile int) string { return "role" })
+	if !strings.Contains(out, "100.0") {
+		t.Fatalf("summary: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}

@@ -1,0 +1,249 @@
+// Package traffic provides deterministic workload generation for the
+// router experiments: seeded random numbers, per-port packet sources with
+// the destination patterns the paper evaluates (conflict-free permutations
+// for peak rate, uniform i.i.d. destinations for average rate — §7.2/§7.3
+// — plus hotspot and bursty adversaries), and the canonical packet-size
+// sweep {64 … 1,024} bytes of Figure 7-1.
+package traffic
+
+import "repro/internal/ip"
+
+// Sizes is the packet-size sweep of Figure 7-1, in bytes.
+var Sizes = []int{64, 128, 256, 512, 1024}
+
+// RNG is a xorshift64* generator: tiny, fast, deterministic across runs
+// and platforms.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("traffic: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent stream (for per-port generators).
+func (r *RNG) Fork(salt uint64) *RNG {
+	return NewRNG(r.Uint64() ^ salt*0x9e3779b97f4a7c15)
+}
+
+// Pkt describes one packet offered to an input port.
+type Pkt struct {
+	// Dst is the destination output port.
+	Dst int
+	// SizeBytes is the on-wire size including the IP header.
+	SizeBytes int
+	// SrcIP and DstIP are addresses consistent with Dst under the
+	// experiment's route table (see PortAddr).
+	SrcIP, DstIP ip.Addr
+}
+
+// Source generates the packet stream offered to one input port.
+type Source interface {
+	// Next returns the descriptor of the next packet.
+	Next() Pkt
+}
+
+// PortPrefix returns the /8 prefix routed to output port p in the
+// experiments' canonical route table: port p owns 10+p.0.0.0/8.
+func PortPrefix(p int) (prefix uint32, plen int) {
+	return uint32(10+p) << 24, 8
+}
+
+// PortAddr returns an address within port p's prefix, varied by salt.
+func PortAddr(p int, salt uint32) ip.Addr {
+	return ip.Addr(uint32(10+p)<<24 | salt&0x00ffffff)
+}
+
+// Uniform sends each packet to an independently uniform destination — the
+// "complete fairness of the traffic" of §7.3.
+type Uniform struct {
+	Ports int
+	Size  int
+	Src   int
+	rng   *RNG
+	n     uint32
+}
+
+// NewUniform builds a uniform source for input port src.
+func NewUniform(ports, size, src int, rng *RNG) *Uniform {
+	return &Uniform{Ports: ports, Size: size, Src: src, rng: rng}
+}
+
+// Next implements Source.
+func (u *Uniform) Next() Pkt {
+	u.n++
+	dst := u.rng.Intn(u.Ports)
+	return Pkt{
+		Dst:       dst,
+		SizeBytes: u.Size,
+		SrcIP:     PortAddr(u.Src, u.n),
+		DstIP:     PortAddr(dst, u.n*2654435761),
+	}
+}
+
+// Permutation sends every packet from port i to port perm[i] — the
+// conflict-free pattern used for peak rate (§7.2) when perm is a
+// derangement or identity-free permutation.
+type Permutation struct {
+	Perm []int
+	Size int
+	Src  int
+	n    uint32
+}
+
+// RotatedPerm returns the canonical conflict-free permutation of Figure
+// 5-1: input i sends to output (i+2) mod n (and for odd offsets any
+// rotation works).
+func RotatedPerm(n, offset int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = (i + offset) % n
+	}
+	return p
+}
+
+// NewPermutation builds the fixed-destination source for input port src.
+func NewPermutation(perm []int, size, src int) *Permutation {
+	return &Permutation{Perm: perm, Size: size, Src: src}
+}
+
+// Next implements Source.
+func (p *Permutation) Next() Pkt {
+	p.n++
+	dst := p.Perm[p.Src]
+	return Pkt{
+		Dst:       dst,
+		SizeBytes: p.Size,
+		SrcIP:     PortAddr(p.Src, p.n),
+		DstIP:     PortAddr(dst, p.n*2654435761),
+	}
+}
+
+// Hotspot sends fraction Frac of traffic to port Hot and the rest
+// uniformly — the classic output-contention adversary.
+type Hotspot struct {
+	Ports int
+	Size  int
+	Src   int
+	Hot   int
+	Frac  float64
+	rng   *RNG
+	n     uint32
+}
+
+// NewHotspot builds a hotspot source.
+func NewHotspot(ports, size, src, hot int, frac float64, rng *RNG) *Hotspot {
+	return &Hotspot{Ports: ports, Size: size, Src: src, Hot: hot, Frac: frac, rng: rng}
+}
+
+// Next implements Source.
+func (h *Hotspot) Next() Pkt {
+	h.n++
+	dst := h.Hot
+	if h.rng.Float64() >= h.Frac {
+		dst = h.rng.Intn(h.Ports)
+	}
+	return Pkt{
+		Dst:       dst,
+		SizeBytes: h.Size,
+		SrcIP:     PortAddr(h.Src, h.n),
+		DstIP:     PortAddr(dst, h.n),
+	}
+}
+
+// SizeMix wraps a Source and draws each packet's size from a weighted
+// mix — used for the variable-length experiments (E12).
+type SizeMix struct {
+	Inner   Source
+	SizesB  []int
+	Weights []float64
+	rng     *RNG
+}
+
+// NewSizeMix builds a size-mixing wrapper; weights need not sum to 1.
+func NewSizeMix(inner Source, sizes []int, weights []float64, rng *RNG) *SizeMix {
+	if len(sizes) != len(weights) || len(sizes) == 0 {
+		panic("traffic: sizes and weights must align")
+	}
+	return &SizeMix{Inner: inner, SizesB: sizes, Weights: weights, rng: rng}
+}
+
+// Next implements Source.
+func (m *SizeMix) Next() Pkt {
+	p := m.Inner.Next()
+	var tot float64
+	for _, w := range m.Weights {
+		tot += w
+	}
+	x := m.rng.Float64() * tot
+	for i, w := range m.Weights {
+		if x < w {
+			p.SizeBytes = m.SizesB[i]
+			break
+		}
+		x -= w
+	}
+	return p
+}
+
+// Bursty alternates between ON periods (packets to a fixed destination)
+// and per-packet re-rolls, modeling TCP-like trains of packets to one
+// flow. Mean burst length is Burst packets.
+type Bursty struct {
+	Ports int
+	Size  int
+	Src   int
+	Burst int
+	rng   *RNG
+	cur   int
+	left  int
+	n     uint32
+}
+
+// NewBursty builds a bursty source with geometric bursts of mean length
+// burst.
+func NewBursty(ports, size, src, burst int, rng *RNG) *Bursty {
+	return &Bursty{Ports: ports, Size: size, Src: src, Burst: burst, rng: rng}
+}
+
+// Next implements Source.
+func (b *Bursty) Next() Pkt {
+	if b.left <= 0 {
+		b.cur = b.rng.Intn(b.Ports)
+		b.left = 1
+		for b.rng.Float64() < 1-1/float64(b.Burst) {
+			b.left++
+		}
+	}
+	b.left--
+	b.n++
+	return Pkt{
+		Dst:       b.cur,
+		SizeBytes: b.Size,
+		SrcIP:     PortAddr(b.Src, b.n),
+		DstIP:     PortAddr(b.cur, b.n),
+	}
+}

@@ -1,0 +1,135 @@
+package traffic_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := traffic.NewRNG(7), traffic.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if traffic.NewRNG(1).Uint64() == traffic.NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := traffic.NewRNG(42)
+	var buckets [8]int
+	const n = 80000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-n/8) > n/8*0.05 {
+			t.Fatalf("bucket %d has %d of %d: not uniform", i, c, n)
+		}
+	}
+}
+
+func TestUniformDestinations(t *testing.T) {
+	src := traffic.NewUniform(4, 64, 1, traffic.NewRNG(9))
+	var counts [4]int
+	for i := 0; i < 40000; i++ {
+		p := src.Next()
+		if p.Dst < 0 || p.Dst > 3 {
+			t.Fatalf("dst %d out of range", p.Dst)
+		}
+		if p.SizeBytes != 64 {
+			t.Fatalf("size %d", p.SizeBytes)
+		}
+		counts[p.Dst]++
+	}
+	for d, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("dst %d got %d of 40000, not uniform", d, c)
+		}
+	}
+}
+
+func TestPermutationConflictFree(t *testing.T) {
+	perm := traffic.RotatedPerm(4, 2)
+	seen := make(map[int]bool)
+	for i, d := range perm {
+		if seen[d] {
+			t.Fatalf("perm maps two inputs to output %d", d)
+		}
+		seen[d] = true
+		src := traffic.NewPermutation(perm, 256, i)
+		for k := 0; k < 10; k++ {
+			if p := src.Next(); p.Dst != d {
+				t.Fatalf("input %d sent to %d, want %d", i, p.Dst, d)
+			}
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	src := traffic.NewHotspot(4, 64, 0, 2, 0.75, traffic.NewRNG(3))
+	hot := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if src.Next().Dst == 2 {
+			hot++
+		}
+	}
+	// 75% direct + 25%*25% uniform landing on the hotspot ≈ 81%.
+	frac := float64(hot) / n
+	if frac < 0.78 || frac < 0.75 {
+		t.Fatalf("hotspot fraction %.3f, want ≈ 0.81", frac)
+	}
+}
+
+func TestBurstyRuns(t *testing.T) {
+	src := traffic.NewBursty(4, 64, 0, 8, traffic.NewRNG(5))
+	prev := -1
+	runs, changes := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := src.Next().Dst
+		if d == prev {
+			runs++
+		} else {
+			changes++
+		}
+		prev = d
+	}
+	meanRun := float64(n) / float64(changes)
+	if meanRun < 4 || meanRun > 16 {
+		t.Fatalf("mean burst length %.1f, want ≈ 8", meanRun)
+	}
+}
+
+func TestSizeMix(t *testing.T) {
+	inner := traffic.NewUniform(4, 64, 0, traffic.NewRNG(1))
+	mix := traffic.NewSizeMix(inner, []int{64, 1024}, []float64{0.5, 0.5}, traffic.NewRNG(2))
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if mix.Next().SizeBytes == 64 {
+			small++
+		}
+	}
+	if small < 9000 || small > 11000 {
+		t.Fatalf("small fraction %d/%d, want ≈ half", small, n)
+	}
+}
+
+func TestPortAddressing(t *testing.T) {
+	for p := 0; p < 4; p++ {
+		prefix, plen := traffic.PortPrefix(p)
+		if plen != 8 {
+			t.Fatalf("plen %d", plen)
+		}
+		a := traffic.PortAddr(p, 0x123456)
+		if uint32(a)>>24 != prefix>>24 {
+			t.Fatalf("addr %v outside port %d prefix", a, p)
+		}
+	}
+}
