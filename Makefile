@@ -1,0 +1,30 @@
+# Verification tiers (see ROADMAP.md).
+#
+#   tier1  - build + unit/equivalence tests (the gate every change must pass)
+#   tier2  - static analysis + the full suite under the race detector
+#            (the parallel engine's data-race hygiene gate)
+#   fuzz   - short runs of the interpreter and allocator fuzz targets
+#   bench  - the simulator-speed benchmark at 1 and NumCPU workers
+
+GO ?= go
+
+.PHONY: all tier1 tier2 fuzz bench ci
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/raw/asm -fuzz FuzzInterp -fuzztime 30s
+	$(GO) test ./internal/rotor -fuzz FuzzAllocate -fuzztime 30s
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .
+
+ci: tier1 tier2

@@ -40,6 +40,8 @@ func main() {
 	cycles := flag.Int64("cycles", 1000, "cycles to simulate")
 	inputs := flag.String("in", "", "edge inputs: tile:side:w1,w2,... (comma-free words use ; between specs)")
 	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
+	workers := flag.Int("workers", 1, "host goroutines stepping the chip (cycle-exact at any count)")
+	workerStats := flag.Bool("workerstats", false, "print per-worker phase accounting after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
@@ -64,8 +66,15 @@ func main() {
 		}
 	}
 
+	chip.SetWorkers(*workers)
+	if *workerStats {
+		chip.EnableWorkerStats()
+	}
 	chip.Run(*cycles)
-	fmt.Printf("ran %d cycles\n", chip.Cycle())
+	fmt.Printf("ran %d cycles (%d worker(s))\n", chip.Cycle(), chip.Workers())
+	if *workerStats {
+		fmt.Print(chip.WorkerStats().Table())
+	}
 
 	for tile := 0; tile < chip.NumTiles(); tile++ {
 		for _, d := range []raw.Dir{raw.DirN, raw.DirE, raw.DirS, raw.DirW} {

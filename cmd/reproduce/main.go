@@ -17,11 +17,13 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the short benchmark durations")
+	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
 	flag.Parse()
 	q := exp.Full
 	if *quick {
 		q = exp.Quick
 	}
+	exp.SetWorkers(*workers)
 
 	section := func(name string) func() {
 		start := time.Now()

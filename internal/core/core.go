@@ -61,6 +61,11 @@ type Options struct {
 	// RouterConfig overrides the full cycle-engine configuration; zero
 	// value uses defaults derived from the fields above.
 	RouterConfig *router.Config
+	// Workers shards the cycle engine's chip stepping across host
+	// goroutines (0 or 1 = sequential). Results are bit-for-bit identical
+	// at any worker count; only host throughput changes. Ignored by the
+	// fabric engine.
+	Workers int
 }
 
 // Packet is a routing request at the facade level.
@@ -121,6 +126,7 @@ func New(opt Options) (*Router, error) {
 		}
 		cfg.ClockHz = opt.ClockHz
 		cfg.QuantumWords = opt.QuantumWords
+		cfg.Workers = opt.Workers
 		cfg.Crypto = opt.Crypto
 		cfg.CryptoKey = opt.CryptoKey
 		cfg.Weights = opt.Weights

@@ -33,6 +33,17 @@ var (
 	PaperClickGbps = 0.23
 )
 
+// workers is the host-parallelism degree applied to every cycle-level
+// router the harness builds; see SetWorkers.
+var workers int
+
+// SetWorkers makes every cycle-level router the harness constructs shard
+// its chip stepping across n host goroutines (threaded from the
+// -workers flags of cmd/reproduce and the root benchmarks). The parallel
+// engine is cycle-exact, so every regenerated table is identical at any
+// worker count; only wall time changes.
+func SetWorkers(n int) { workers = n }
+
 // Quality selects experiment duration.
 type Quality int
 
@@ -71,7 +82,7 @@ func Figure71(q Quality, average bool) ([]Figure71Point, float64, *stats.Table) 
 	warm := cyclesFor(q, 80_000, 120_000)
 	var pts []Figure71Point
 	for i, size := range traffic.Sizes {
-		r, err := core.New(core.Options{})
+		r, err := core.New(core.Options{Workers: workers})
 		if err != nil {
 			panic(err)
 		}
@@ -123,6 +134,7 @@ func Figure73(q Quality) (small, large *trace.Recorder, render string) {
 		rec := trace.NewRecorder(16, warm, warm+800)
 		cfg := router.DefaultConfig()
 		cfg.Tracer = rec
+		cfg.Workers = workers
 		r, err := router.New(cfg)
 		if err != nil {
 			panic(err)
@@ -380,7 +392,7 @@ func Scale8(q Quality) *stats.Table {
 // Headline checks the §7.2 headline: ≈3.3 Mpps and ≈26.9 Gbps at 1,024
 // bytes peak.
 func Headline(q Quality) (mpps, gbps float64) {
-	r, err := core.New(core.Options{})
+	r, err := core.New(core.Options{Workers: workers})
 	if err != nil {
 		panic(err)
 	}
@@ -479,6 +491,7 @@ func McastCycle(q Quality) (amplification float64, tb *stats.Table) {
 	cfg := router.DefaultConfig()
 	cfg.Multicast = true
 	cfg.Groups = map[ip.Addr]uint8{ip.AddrFrom(224, 1, 1, 1): 0b1111}
+	cfg.Workers = workers
 	r, err := router.New(cfg)
 	if err != nil {
 		panic(err)
@@ -684,7 +697,7 @@ func QuantumAblation(q Quality) *stats.Table {
 		Headers: []string{"quantum (words)", "Gbps", "frags/pkt"},
 	}
 	for _, qw := range []int{64, 128, 256} {
-		r, err := core.New(core.Options{QuantumWords: qw})
+		r, err := core.New(core.Options{QuantumWords: qw, Workers: workers})
 		if err != nil {
 			panic(err)
 		}

@@ -49,6 +49,13 @@ func (it *Interp) SetReg(n int, v raw.Word) {
 // Halted reports whether the program has executed halt.
 func (it *Interp) Halted() bool { return it.halted }
 
+// PC returns the index of the next instruction to lower. Except after a
+// jr to a computed address, it is always within [0, ProgramLen()].
+func (it *Interp) PC() int { return it.pc }
+
+// ProgramLen returns the number of assembled instructions.
+func (it *Interp) ProgramLen() int { return len(it.prog.instrs) }
+
 // Refill lowers the next instruction to micro-ops. It implements
 // raw.Firmware.
 func (it *Interp) Refill(e *raw.Exec) {

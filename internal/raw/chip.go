@@ -1,6 +1,10 @@
 package raw
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // Config describes a simulated Raw chip.
 type Config struct {
@@ -53,6 +57,14 @@ type Chip struct {
 	// links, keyed by tile, dir and network, until the attached device's
 	// Tick (or forever, if no device is attached).
 	dynEdgeSinks map[[3]int]*dynBinding
+
+	// pool, when non-nil, shards the compute and commit phases of each
+	// cycle across worker goroutines (see parallel.go). nil means
+	// sequential stepping. Managed by SetWorkers.
+	pool *workerPool
+
+	// acct, when non-nil, accumulates per-worker per-phase wall time.
+	acct *stats.PhaseAccount
 }
 
 // NewChip builds a chip. Every boundary static link gets an input queue
@@ -201,25 +213,47 @@ func (c *Chip) dynEdgeOut(tileID int, d Dir, net int, w Word) {
 	// Unattached boundary links drop words, like unconnected pins.
 }
 
-// Step simulates one clock cycle.
+// Step simulates one clock cycle in two phases. Compute: every tile (its
+// processor, static switches, and dynamic routers) steps against the
+// previous cycle's committed queue state, staging its pops and pushes in
+// per-queue buffers. Commit: the staged operations are applied under a
+// barrier. Because compute-phase reads never observe compute-phase writes,
+// the cycle's outcome is independent of tile stepping order, and the
+// sharded parallel engine (SetWorkers) is bit-for-bit identical to the
+// sequential one.
 func (c *Chip) Step() {
-	for _, f := range c.bounded {
-		f.beginCycle()
-	}
+	// Snapshot edge queues so words pushed externally since the last cycle
+	// become visible this cycle. (Bounded fifos re-arm their snapshot in
+	// commit; they have no external writers.)
 	for _, q := range c.edges {
 		q.beginCycle()
 	}
-	for _, t := range c.tiles {
-		t.exec.step()
-	}
-	for _, t := range c.tiles {
-		for net := 0; net < NumStaticNets; net++ {
-			t.st[net].sw.step()
+	if c.pool != nil {
+		c.pool.runCycle()
+	} else {
+		acct := c.acct
+		var t0 stats.Tick
+		if acct != nil {
+			t0 = stats.Now()
+		}
+		for _, t := range c.tiles {
+			t.step()
+		}
+		if acct != nil {
+			t0 = acct.Add(0, stats.PhaseCompute, t0)
+		}
+		for _, f := range c.bounded {
+			f.maybeCommit()
+		}
+		for _, q := range c.edges {
+			q.commit()
+		}
+		if acct != nil {
+			acct.Add(0, stats.PhaseCommit, t0)
 		}
 	}
-	for _, t := range c.tiles {
-		t.dyn[DynGeneral].step()
-		t.dyn[DynMemory].step()
+	if c.acct != nil {
+		c.acct.AddCycles(1)
 	}
 	for _, b := range c.bindings {
 		arrived := b.outBuf
@@ -251,6 +285,51 @@ func (c *Chip) Step() {
 	}
 	c.cycle++
 }
+
+// SetWorkers shards chip stepping across n worker goroutines. n <= 1
+// selects the sequential engine (and stops any existing pool); n is capped
+// at the tile count, since tiles are the unit of sharding. The parallel
+// engine is bit-for-bit identical to the sequential one at every worker
+// count — see the two-phase discussion on Step — so the choice is purely a
+// host-performance knob. Must be called between cycles, not from firmware.
+func (c *Chip) SetWorkers(n int) {
+	if n > len(c.tiles) {
+		n = len(c.tiles)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if c.pool != nil {
+		if c.pool.workers == n {
+			return
+		}
+		c.pool.stop()
+		c.pool = nil
+	}
+	if n > 1 {
+		c.pool = newWorkerPool(c, n)
+	}
+}
+
+// Workers returns the current worker count (1 = sequential engine).
+func (c *Chip) Workers() int {
+	if c.pool == nil {
+		return 1
+	}
+	return c.pool.workers
+}
+
+// EnableWorkerStats starts accumulating per-worker, per-phase wall-time
+// accounting (see stats.PhaseAccount). It costs a few timer reads per
+// worker per cycle, so it is off by default. Must be called between
+// cycles.
+func (c *Chip) EnableWorkerStats() {
+	c.acct = stats.NewPhaseAccount(c.Workers())
+}
+
+// WorkerStats returns the accumulated phase accounting, or nil if
+// EnableWorkerStats was never called.
+func (c *Chip) WorkerStats() *stats.PhaseAccount { return c.acct }
 
 // Run simulates n cycles.
 func (c *Chip) Run(n int64) {

@@ -1,19 +1,36 @@
 package raw
 
-// fifo is a bounded word queue with single-reader/single-writer cycle
-// semantics. Availability (CanPop) and space (CanPush) are judged against a
-// start-of-cycle snapshot taken by beginCycle, which makes the outcome of a
-// cycle independent of the order in which the queue's reader and writer are
-// stepped: a word pushed this cycle is not visible to the reader until next
-// cycle, and a slot freed this cycle is not visible to the writer until
-// next cycle.
+// fifo is a bounded word queue with single-reader/single-writer two-phase
+// cycle semantics. Each cycle splits into a compute phase and a commit
+// phase:
+//
+//   - Compute: availability (CanPop) and space (CanPush) are judged against
+//     a start-of-cycle snapshot, pops advance a read cursor without
+//     touching the backing buffer, and pushes land in a staging buffer.
+//     The reader touches only reader-owned fields (popped) and the writer
+//     only writer-owned fields (pushed, staged), so the queue's two
+//     endpoints may be stepped concurrently from different goroutines.
+//   - Commit: commit() (called under the chip's cycle barrier, never
+//     concurrently with the compute phase) applies the staged pops and
+//     pushes to the backing buffer and re-arms the snapshot.
+//
+// This makes the outcome of a cycle independent of the order — sequential
+// or parallel — in which the queue's reader and writer are stepped: a word
+// pushed this cycle is not visible to the reader until next cycle, and a
+// slot freed this cycle is not visible to the writer until next cycle.
 //
 // The zero value is not usable; construct with newFIFO.
 type fifo struct {
-	buf []Word
-	cap int
+	buf    []Word
+	staged []Word
+	cap    int
 
-	// startLen is len(buf) at the beginning of the current cycle.
+	// head is the index of the first committed, unconsumed word; consumed
+	// words before it are reclaimed lazily (cleared when the queue drains,
+	// compacted when the backing array fills), keeping commit O(1)
+	// amortized instead of memmoving the queue every cycle.
+	head int
+	// startLen is the committed occupancy at the beginning of the cycle.
 	startLen int
 	// popped and pushed guard against an actor acting twice in a cycle;
 	// the simulator's single-reader/single-writer discipline means at most
@@ -22,16 +39,54 @@ type fifo struct {
 	pushed int
 }
 
+// newFIFO allocates twice the logical capacity so the lazy head cursor has
+// slack: by the time the physical array is full, at least half of it is
+// consumed prefix, so each element is memmoved at most once.
 func newFIFO(capacity int) *fifo {
-	return &fifo{buf: make([]Word, 0, capacity), cap: capacity}
+	return &fifo{buf: make([]Word, 0, 2*capacity), cap: capacity}
 }
 
-// beginCycle snapshots the queue state. The Chip calls it for every queue
-// at the top of each cycle.
+// beginCycle snapshots the queue state. Bounded fifos have no external
+// writers, so commit() re-arms the snapshot itself and the Chip only needs
+// beginCycle on first use; it is kept for clarity and tests.
 func (f *fifo) beginCycle() {
-	f.startLen = len(f.buf)
+	f.startLen = len(f.buf) - f.head
 	f.popped = 0
 	f.pushed = 0
+}
+
+// maybeCommit is the per-cycle commit entry point: a branch cheap enough
+// to inline into the sweep over every fifo on the chip, outlining the
+// actual work to commit, which runs only for the few fifos a cycle
+// actually touched.
+func (f *fifo) maybeCommit() {
+	if f.popped != 0 || len(f.staged) != 0 {
+		f.commit()
+	}
+}
+
+// commit applies the cycle's staged pops and pushes and re-arms the
+// snapshot for the next cycle. Must not run concurrently with the compute
+// phase.
+func (f *fifo) commit() {
+	if f.popped > 0 {
+		f.head += f.popped
+		f.popped = 0
+		if f.head == len(f.buf) {
+			f.buf = f.buf[:0]
+			f.head = 0
+		}
+	}
+	if len(f.staged) > 0 {
+		if len(f.buf)+len(f.staged) > cap(f.buf) {
+			f.buf = f.buf[:copy(f.buf, f.buf[f.head:])]
+			f.head = 0
+		}
+		f.buf = append(f.buf, f.staged...)
+		f.staged = f.staged[:0]
+		f.pushed = 0
+	}
+	f.startLen = len(f.buf) - f.head
 }
 
 // CanPop reports whether the reader may pop a word this cycle.
@@ -41,7 +96,7 @@ func (f *fifo) CanPop() bool { return f.startLen-f.popped > 0 }
 func (f *fifo) CanPush() bool { return f.startLen+f.pushed < f.cap }
 
 // Peek returns the head word without consuming it. Valid only if CanPop.
-func (f *fifo) Peek() Word { return f.buf[0] }
+func (f *fifo) Peek() Word { return f.buf[f.head+f.popped] }
 
 // Pop consumes and returns the head word. The caller must have checked
 // CanPop this cycle.
@@ -49,8 +104,7 @@ func (f *fifo) Pop() Word {
 	if !f.CanPop() {
 		panic("raw: fifo underflow (pop without CanPop)")
 	}
-	w := f.buf[0]
-	f.buf = f.buf[1:]
+	w := f.buf[f.head+f.popped]
 	f.popped++
 	return w
 }
@@ -60,12 +114,13 @@ func (f *fifo) Push(w Word) {
 	if !f.CanPush() {
 		panic("raw: fifo overflow (push without CanPush)")
 	}
-	f.buf = append(f.buf, w)
+	f.staged = append(f.staged, w)
 	f.pushed++
 }
 
-// Len returns the current (instantaneous) occupancy.
-func (f *fifo) Len() int { return len(f.buf) }
+// Len returns the current (instantaneous) occupancy, counting this cycle's
+// staged pops and pushes.
+func (f *fifo) Len() int { return len(f.buf) - f.head - f.popped + len(f.staged) }
 
 // poppedThisCycle reports whether the reader already consumed a word this
 // cycle; a physical queue has one read port, so routers must not pop twice.
@@ -74,34 +129,59 @@ func (f *fifo) poppedThisCycle() bool { return f.popped > 0 }
 // unboundedFIFO is an edge-port queue with no capacity limit and no cycle
 // discipline on the external side: the testbench may push or drain any
 // number of words between cycles. The on-chip side still observes the
-// start-of-cycle snapshot so that external pushes land "next cycle".
+// start-of-cycle snapshot so that external pushes land "next cycle", and
+// stages its pops so that the backing buffer is immutable during the
+// compute phase. Unlike bounded fifos, the external writer appends to the
+// buffer directly, so the Chip must call beginCycle after external pushes
+// (top of Step) and commit after the compute phase.
 type unboundedFIFO struct {
-	buf      []Word
+	buf []Word
+	// head is the index of the first committed, unconsumed word. Consumed
+	// words are left in place and reclaimed by an occasional amortized
+	// compaction in commit — edge queues carry thousands of backlogged
+	// words, and compacting on every cycle's pop would memmove the whole
+	// backlog once per cycle.
+	head     int
 	startLen int
 	popped   int
 }
 
 func (f *unboundedFIFO) beginCycle() {
-	f.startLen = len(f.buf)
+	f.startLen = len(f.buf) - f.head
 	f.popped = 0
+}
+
+// commit applies the cycle's staged pops. Must not run concurrently with
+// the compute phase.
+func (f *unboundedFIFO) commit() {
+	if f.popped > 0 {
+		f.head += f.popped
+		f.startLen -= f.popped
+		f.popped = 0
+		if f.head >= 64 && f.head*2 >= len(f.buf) {
+			f.buf = f.buf[:copy(f.buf, f.buf[f.head:])]
+			f.head = 0
+		}
+	}
 }
 
 func (f *unboundedFIFO) CanPop() bool { return f.startLen-f.popped > 0 }
 
-func (f *unboundedFIFO) Peek() Word { return f.buf[0] }
+func (f *unboundedFIFO) Peek() Word { return f.buf[f.head+f.popped] }
 
 func (f *unboundedFIFO) Pop() Word {
 	if !f.CanPop() {
 		panic("raw: edge fifo underflow")
 	}
-	w := f.buf[0]
-	f.buf = f.buf[1:]
+	w := f.buf[f.head+f.popped]
 	f.popped++
 	return w
 }
 
+// Push appends a word. External side only; never called during the compute
+// phase.
 func (f *unboundedFIFO) Push(w Word) { f.buf = append(f.buf, w) }
 
-func (f *unboundedFIFO) Len() int { return len(f.buf) }
+func (f *unboundedFIFO) Len() int { return len(f.buf) - f.head - f.popped }
 
 func (f *unboundedFIFO) poppedThisCycle() bool { return f.popped > 0 }

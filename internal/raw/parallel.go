@@ -1,0 +1,159 @@
+package raw
+
+// Two-phase parallel chip stepping.
+//
+// Each cycle, the pool runs the compute phase (tile stepping) and the
+// commit phase (applying staged fifo operations) across a fixed set of
+// worker goroutines. Sharding is static and owner-based:
+//
+//   - compute: worker w steps the contiguous tile range tiles[lo_w:hi_w);
+//   - commit: worker w commits contiguous stripes of the bounded and edge
+//     fifo lists.
+//
+// Safety and determinism both follow from the two-phase fifo discipline
+// (see fifo.go): during compute, a fifo's reader mutates only reader-owned
+// fields and its writer only writer-owned fields, every fifo has exactly
+// one reading tile and one writing tile, and the backing buffers are
+// immutable. During commit, each fifo is touched by exactly one worker.
+// The inter-phase barrier orders every compute-phase write before every
+// commit-phase read, and the end-of-cycle join orders commits before the
+// main goroutine's device ticks and tracing. No ordering between workers
+// within a phase can influence the result, so the engine is bit-for-bit
+// identical to the sequential one at any worker count.
+//
+// The synchronization cost is one wake per worker plus two barrier
+// crossings per cycle. Workers spin briefly (the typical per-phase work on
+// a loaded 4x4 chip is a few hundred nanoseconds to a few microseconds)
+// and fall back to runtime.Gosched so the pool degrades gracefully when
+// GOMAXPROCS < workers.
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// spinBarrier is a sense-reversing barrier for a fixed party count.
+type spinBarrier struct {
+	parties int32
+	count   atomic.Int32
+	gen     atomic.Uint32
+}
+
+// wait blocks until all parties have arrived.
+func (b *spinBarrier) wait() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.gen.Add(1) // release everyone spinning on gen
+		return
+	}
+	for spins := 0; b.gen.Load() == gen; spins++ {
+		if spins > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// workerPool owns the goroutines that step a chip in parallel. Worker 0 is
+// the caller of runCycle (the simulation's main goroutine); workers
+// 1..workers-1 are pool goroutines parked on their wake channels.
+type workerPool struct {
+	chip    *Chip
+	workers int
+
+	// Shard boundaries: worker w owns tiles[tileLo[w]:tileLo[w+1]],
+	// bounded[fifoLo[w]:fifoLo[w+1]], edges[edgeLo[w]:edgeLo[w+1]].
+	tileLo []int
+	fifoLo []int
+	edgeLo []int
+
+	// phaseDone separates the compute phase from the commit phase;
+	// cycleDone additionally admits worker 0's join at end of commit.
+	phaseDone spinBarrier
+	cycleDone spinBarrier
+
+	wake []chan struct{} // one per pool goroutine (workers 1..n-1)
+}
+
+// shardBounds splits n items into w contiguous ranges, returning the w+1
+// boundary offsets.
+func shardBounds(n, w int) []int {
+	lo := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		lo[i] = i * n / w
+	}
+	return lo
+}
+
+func newWorkerPool(c *Chip, workers int) *workerPool {
+	p := &workerPool{
+		chip:    c,
+		workers: workers,
+		tileLo:  shardBounds(len(c.tiles), workers),
+		fifoLo:  shardBounds(len(c.bounded), workers),
+		edgeLo:  shardBounds(len(c.edges), workers),
+	}
+	p.phaseDone.parties = int32(workers)
+	p.cycleDone.parties = int32(workers)
+	for w := 1; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.loop(w, ch)
+	}
+	return p
+}
+
+// loop is the pool goroutine body: one chip cycle per wake.
+func (p *workerPool) loop(w int, wake chan struct{}) {
+	for range wake {
+		p.work(w)
+	}
+}
+
+// work runs one worker's share of one cycle: compute its tiles, barrier,
+// commit its fifo stripes, barrier.
+func (p *workerPool) work(w int) {
+	c := p.chip
+	acct := c.acct
+	var t0 stats.Tick
+	if acct != nil {
+		t0 = stats.Now()
+	}
+	for _, t := range c.tiles[p.tileLo[w]:p.tileLo[w+1]] {
+		t.step()
+	}
+	if acct != nil {
+		t0 = acct.Add(w, stats.PhaseCompute, t0)
+	}
+	p.phaseDone.wait()
+	for _, f := range c.bounded[p.fifoLo[w]:p.fifoLo[w+1]] {
+		f.maybeCommit()
+	}
+	for _, q := range c.edges[p.edgeLo[w]:p.edgeLo[w+1]] {
+		q.commit()
+	}
+	if acct != nil {
+		acct.Add(w, stats.PhaseCommit, t0)
+	}
+	p.cycleDone.wait()
+}
+
+// runCycle executes one cycle's compute and commit phases across the pool.
+// It returns only after every worker has passed the end-of-cycle barrier,
+// so the caller may touch any chip state afterwards.
+func (p *workerPool) runCycle() {
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.work(0)
+}
+
+// stop terminates the pool goroutines. Must be called between cycles.
+func (p *workerPool) stop() {
+	for _, ch := range p.wake {
+		close(ch)
+	}
+	p.wake = nil
+}

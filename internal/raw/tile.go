@@ -59,6 +59,23 @@ type Tile struct {
 	exec *Exec
 }
 
+// step advances every engine on the tile by one cycle: the processor, the
+// two static switches, and the two dynamic routers. All queue decisions
+// observe start-of-cycle snapshots and all queue writes are staged (see
+// fifo), so the order of tiles — and the order of engines within a tile —
+// cannot change the cycle's outcome. The only cross-tile touches during a
+// step are pushes into neighbor input queues, and each such queue has
+// exactly one writing tile, which is what lets the chip shard tiles across
+// workers (see parallel.go) without locks.
+func (t *Tile) step() {
+	t.exec.step()
+	for net := 0; net < NumStaticNets; net++ {
+		t.st[net].sw.step()
+	}
+	t.dyn[DynGeneral].step()
+	t.dyn[DynMemory].step()
+}
+
 // ID returns the tile number (row-major, tile 0 at the north-west corner,
 // matching Figure 3-1 / 7-2 of the paper).
 func (t *Tile) ID() int { return t.id }
@@ -167,6 +184,10 @@ func (t *Tile) SwitchOn(net int) *swState { return &t.st[net].sw }
 
 // Exec returns the tile processor's micro-op executor.
 func (t *Tile) Exec() *Exec { return t.exec }
+
+// CacheStats returns the tile data cache's cumulative hit and miss counts
+// (equivalence tests and utilization studies).
+func (t *Tile) CacheStats() (hits, misses int64) { return t.cache.Hits(), t.cache.Misses() }
 
 // EdgeSink collects words that left the chip through a boundary static
 // link, stamped with the cycle they crossed the pins.

@@ -61,6 +61,11 @@ type Config struct {
 	Groups map[ip.Addr]uint8
 	// Tracer, if set, receives per-tile per-cycle states (Figure 7-3).
 	Tracer raw.Tracer
+	// Workers shards chip stepping across host goroutines (0 or 1 =
+	// sequential). The parallel engine is cycle-exact — identical traces
+	// and counters at any worker count — so this is purely a host
+	// performance knob.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -137,6 +142,7 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Multicast {
 		r.ci = sharedMixedIndex()
 	}
+	r.Chip.SetWorkers(cfg.Workers)
 	r.Mem = mem.Attach(r.Chip, cfg.DRAMLatency)
 
 	// Forwarding table into DRAM.

@@ -1,0 +1,105 @@
+package stats
+
+import "time"
+
+// Phase accounting for the two-phase parallel simulator engine: wall time
+// spent by each worker in each phase of the chip cycle, accumulated with
+// one slot per (worker, phase) so concurrent workers never share a
+// counter.
+
+// The phases of one simulated cycle.
+const (
+	// PhaseCompute is tile stepping (processors, switches, routers).
+	PhaseCompute = iota
+	// PhaseCommit is applying staged fifo operations.
+	PhaseCommit
+	numPhases
+)
+
+// PhaseNames are the printable phase labels, indexed by phase constant.
+var PhaseNames = [numPhases]string{"compute", "commit"}
+
+// Tick is a monotonic timestamp in nanoseconds, as returned by Now.
+type Tick int64
+
+// Now returns the current monotonic time.
+func Now() Tick { return Tick(time.Now().UnixNano()) }
+
+// phaseSlot is padded to its own cache line so concurrent workers do not
+// false-share.
+type phaseSlot struct {
+	ns [numPhases]int64
+	_  [64 - 8*numPhases]byte
+}
+
+// PhaseAccount accumulates per-worker, per-phase wall time plus the cycle
+// count they cover. The Add method of each worker index must be called
+// from at most one goroutine at a time; different workers may add
+// concurrently.
+type PhaseAccount struct {
+	slots  []phaseSlot
+	cycles int64
+}
+
+// NewPhaseAccount creates an account for the given worker count.
+func NewPhaseAccount(workers int) *PhaseAccount {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PhaseAccount{slots: make([]phaseSlot, workers)}
+}
+
+// Workers returns the worker count the account was built for.
+func (a *PhaseAccount) Workers() int { return len(a.slots) }
+
+// Add records that worker spent the time since t0 in phase, and returns
+// the current time so calls chain across consecutive phases:
+//
+//	t0 = acct.Add(w, stats.PhaseCompute, t0)
+func (a *PhaseAccount) Add(worker, phase int, t0 Tick) Tick {
+	now := Now()
+	a.slots[worker].ns[phase] += int64(now - t0)
+	return now
+}
+
+// AddCycles advances the simulated-cycle count the samples cover. Called
+// from the coordinating goroutine only.
+func (a *PhaseAccount) AddCycles(n int64) { a.cycles += n }
+
+// Cycles returns the simulated cycles covered.
+func (a *PhaseAccount) Cycles() int64 { return a.cycles }
+
+// PhaseNs returns the accumulated nanoseconds for (worker, phase).
+func (a *PhaseAccount) PhaseNs(worker, phase int) int64 { return a.slots[worker].ns[phase] }
+
+// Table renders per-worker rows with per-phase ns/cycle and each worker's
+// share of the busiest worker's total (a load-balance indicator: 1.00 for
+// every row means perfect sharding).
+func (a *PhaseAccount) Table() *Table {
+	t := &Table{
+		Caption: "per-worker phase accounting",
+		Headers: []string{"worker", "compute ns/cyc", "commit ns/cyc", "total ns/cyc", "balance"},
+	}
+	cycles := a.cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	var busiest int64
+	totals := make([]int64, len(a.slots))
+	for w := range a.slots {
+		for ph := 0; ph < numPhases; ph++ {
+			totals[w] += a.slots[w].ns[ph]
+		}
+		if totals[w] > busiest {
+			busiest = totals[w]
+		}
+	}
+	for w := range a.slots {
+		t.AddRow(w,
+			float64(a.slots[w].ns[PhaseCompute])/float64(cycles),
+			float64(a.slots[w].ns[PhaseCommit])/float64(cycles),
+			float64(totals[w])/float64(cycles),
+			Ratio(float64(totals[w]), float64(busiest)))
+	}
+	return t
+}

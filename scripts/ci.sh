@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: tier-1 (build + tests) then tier-2 (vet + race detector).
+# The race run is what guards the parallel chip engine: any cross-worker
+# access outside the two-phase staged-fifo discipline shows up here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + test =="
+go build ./...
+go test ./...
+
+echo "== tier-2: vet + race =="
+go vet ./...
+go test -race ./...
+
+echo "CI green."
