@@ -3,12 +3,15 @@
 #   tier1  - build + unit/equivalence tests (the gate every change must pass)
 #   tier2  - static analysis + the full suite under the race detector
 #            (the parallel engine's data-race hygiene gate)
-#   fuzz   - short runs of the interpreter and allocator fuzz targets
+#   chaos  - the fault-injection chaos harness under the race detector
+#            (fixed seed matrix; conservation + bit-for-bit replay)
+#   fuzz   - short runs of the interpreter, allocator, and fault-schedule
+#            fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
 
 GO ?= go
 
-.PHONY: all tier1 tier2 fuzz bench ci
+.PHONY: all tier1 tier2 chaos fuzz bench ci
 
 all: tier1
 
@@ -20,11 +23,16 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/fault
+	$(GO) test -race -v -run 'TestWatchdog|TestManualDegrade|TestDegraded|TestDropConservation' ./internal/router
+
 fuzz:
 	$(GO) test ./internal/raw/asm -fuzz FuzzInterp -fuzztime 30s
 	$(GO) test ./internal/rotor -fuzz FuzzAllocate -fuzztime 30s
+	$(GO) test ./internal/fault -fuzz FuzzFaultSchedule -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .
 
-ci: tier1 tier2
+ci: tier1 tier2 chaos

@@ -1,0 +1,49 @@
+// Fault-plane cost benchmark: the chip consults the installed
+// raw.FaultPlane at a handful of per-cycle choke points, each behind a
+// nil guard. This benchmark proves the guards are free in the common
+// case — BENCH_fault.json records the numbers against the pre-hook
+// baseline in BENCH_parallel.json (same benchmark body, same host).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// BenchmarkFaultHookOverhead measures host ns per simulated router cycle
+// under full load, exactly like BenchmarkSimulatorCyclesPerSecond's
+// workers=1 leg, in three configurations:
+//
+//	none            no fault plane installed (every hook nil-guarded out)
+//	empty-schedule  an Injector with zero events installed
+//	active          a live schedule (stall windows + DRAM spikes) in force
+//
+// "none" is the number BENCH_fault.json compares against the recorded
+// BENCH_parallel.json baseline (<1% is the acceptance bar); the other
+// legs bound what enabling injection costs.
+func BenchmarkFaultHookOverhead(b *testing.B) {
+	bench := func(sched *fault.Schedule) func(b *testing.B) {
+		return func(b *testing.B) {
+			r, err := core.New(core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sched != nil {
+				r.Cycle().Chip.InstallFaults(fault.NewInjector(sched, 16))
+			}
+			gen := core.PermutationTraffic(1024, 1)
+			r.RunSaturated(5000, gen) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RunSaturated(200, gen) // 200 simulated cycles per op
+			}
+			b.ReportMetric(200, "sim-cycles/op")
+		}
+	}
+	b.Run("none", bench(nil))
+	b.Run("empty-schedule", bench(&fault.Schedule{}))
+	b.Run("active", bench(fault.MustParse(
+		"link@100000+2000:t5.e;flap@200000+500x4:t9.n;dram@0+100000000:+20")))
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	fabsim [-full] [-exp all|background|ablation|fairness|qos|multicast|scale]
+//	fabsim [-full] [-workers 1]
+//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded]
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
-	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded")
+	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
 	flag.Parse()
+	exp.SetWorkers(*workers)
 
 	q := exp.Quick
 	if *full {
@@ -54,5 +57,9 @@ func main() {
 	}
 	if show("lookup") {
 		fmt.Println(exp.LookupCost(5000))
+	}
+	if show("degraded") {
+		_, _, tb := exp.DegradedCrossbar(q)
+		fmt.Println(tb)
 	}
 }

@@ -5,8 +5,13 @@
 //
 //	rawrouter [-size 1024] [-pattern perm|uniform|hotspot] [-cycles 200000]
 //	          [-warmup 80000] [-quantum 256] [-crypto] [-layout] [-seed 1]
+//	          [-workers 1] [-faults SCHEDULE] [-faultseed N] [-watchdog]
 //
-// With -layout it prints the Figure 7-2 tile mapping and exits.
+// With -layout it prints the Figure 7-2 tile mapping and exits. -faults
+// takes the internal/fault text encoding (e.g. "crash@5000:t6"); with
+// -faultseed a seeded schedule of recoverable faults is added. -watchdog
+// arms the quantum-progress watchdog so a crashed crossbar tile degrades
+// the fabric to three ports instead of halting it.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/router"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -30,6 +36,10 @@ func main() {
 	layout := flag.Bool("layout", false, "print the Figure 7-2 tile mapping and exit")
 	traceRun := flag.Bool("trace", false, "print a per-tile utilization summary of the last 800 measured cycles")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 1, "host goroutines stepping the chip (cycle-exact at any count)")
+	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"crash@5000:t6;dram@0+9999:+100\"")
+	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
+	watchdog := flag.Bool("watchdog", false, "arm the quantum-progress watchdog (degrade on a wedged crossbar tile)")
 	flag.Parse()
 
 	if *layout {
@@ -41,14 +51,38 @@ func main() {
 	rcfg := router.DefaultConfig()
 	rcfg.QuantumWords = *quantum
 	rcfg.Crypto = *crypto
+	rcfg.Watchdog = *watchdog
 	if *traceRun {
 		rec = trace.NewRecorder(16, *warmup+*cycles-800, *warmup+*cycles)
 		rcfg.Tracer = rec
 	}
-	r, err := core.New(core.Options{QuantumWords: *quantum, Crypto: *crypto, RouterConfig: &rcfg})
+	r, err := core.New(core.Options{QuantumWords: *quantum, Crypto: *crypto,
+		Workers: *workers, RouterConfig: &rcfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
 		os.Exit(1)
+	}
+
+	sched := &fault.Schedule{}
+	if *faults != "" {
+		s, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			os.Exit(2)
+		}
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	if *faultSeed != 0 {
+		s := fault.Random(*faultSeed, fault.RandomOptions{
+			Horizon: *warmup + *cycles, MaxStalls: 8, MaxFlaps: 4,
+			MaxFreezes: 2, MaxDRAM: 3, MaxStallCycles: 1500,
+		})
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	injecting := len(sched.Events) > 0
+	if injecting {
+		fmt.Printf("fault schedule: %s\n", sched)
+		r.Cycle().Chip.InstallFaults(fault.NewInjector(sched, 16))
 	}
 
 	var gen core.TrafficGen
@@ -82,6 +116,16 @@ func main() {
 	st := r.Cycle().Stats
 	fmt.Printf("ingress accepted %v dropped %v\n", st.Accepted, st.Dropped)
 	fmt.Printf("lookups served %v\n", st.Lookups)
+	if injecting {
+		fmt.Printf("aborted %v underrun quanta %v fabric-lost %d\n",
+			st.AbortDropped, st.Underruns, st.FabricLost)
+		rt := r.Cycle()
+		if rt.Failed() {
+			fmt.Println("router FAIL-STOPPED (unattributable or repeated wedge)")
+		} else if d := rt.DeadPort(); d >= 0 {
+			fmt.Printf("degraded: port %d masked out, 3 live ports\n", d)
+		}
+	}
 
 	if rec != nil {
 		order := make([]int, 16)

@@ -18,11 +18,14 @@
 //
 // Usage:
 //
-//	rawsim [-cycles 1000] [-in tile:side:w1,w2,...] [-regs 0,4] prog.rawasm
+//	rawsim [-cycles 1000] [-in tile:side:w1,w2,...] [-regs 0,4]
+//	       [-faults SCHEDULE] [-faultseed N] prog.rawasm
 //
 // -in pushes words into a boundary static input before the run; -regs
 // dumps those tiles' registers afterwards; all boundary static outputs
-// that received words are printed.
+// that received words are printed. -faults installs a deterministic
+// fault schedule (internal/fault text encoding, e.g. "freeze@100+50:t3");
+// -faultseed adds a seeded schedule of recoverable faults.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/raw"
 	"repro/internal/raw/asm"
 )
@@ -42,6 +46,8 @@ func main() {
 	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
 	workers := flag.Int("workers", 1, "host goroutines stepping the chip (cycle-exact at any count)")
 	workerStats := flag.Bool("workerstats", false, "print per-worker phase accounting after the run")
+	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"freeze@100+50:t3\"")
+	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
@@ -56,6 +62,27 @@ func main() {
 	interps, err := loadProgram(chip, string(src))
 	if err != nil {
 		fatal(err)
+	}
+
+	sched := &fault.Schedule{}
+	if *faults != "" {
+		s, err := fault.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	if *faultSeed != 0 {
+		s := fault.Random(*faultSeed, fault.RandomOptions{
+			Horizon: *cycles, NumTiles: chip.NumTiles(),
+			MaxStalls: 8, MaxFlaps: 4, MaxFreezes: 2, MaxDRAM: 3,
+			MaxStallCycles: *cycles / 10,
+		})
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	if len(sched.Events) > 0 {
+		fmt.Printf("fault schedule: %s\n", sched)
+		chip.InstallFaults(fault.NewInjector(sched, chip.NumTiles()))
 	}
 
 	if *inputs != "" {

@@ -135,4 +135,9 @@ func main() {
 	done = section("control-plane convergence")
 	fmt.Println(exp.NetprocConvergence())
 	done()
+
+	done = section("robustness: degraded crossbar (3 live ports vs 4)")
+	_, _, tb = exp.DegradedCrossbar(q)
+	fmt.Println(tb)
+	done()
 }

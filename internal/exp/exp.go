@@ -727,3 +727,59 @@ func NetprocConvergence() *stats.Table {
 	}
 	return tb
 }
+
+// DegradedCrossbar quantifies graceful degradation (the robustness
+// extension): the rotating crossbar with one crossbar tile masked out of
+// the token rotation — three live ports on a three-stop ring — against
+// the healthy four-port fabric, under saturated conflict-free traffic
+// among the live ports. The per-live-port ratio isolates protocol
+// overhead of the degraded header exchange from the expected 3/4
+// capacity loss.
+func DegradedCrossbar(q Quality) (healthy, degraded []float64, tb *stats.Table) {
+	cycles := cyclesFor(q, 30_000, 120_000)
+	run := func(size, dead int) float64 {
+		cfg := router.DefaultConfig()
+		cfg.Workers = workers
+		r, err := router.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		var live []int
+		for p := 0; p < 4; p++ {
+			if p != dead {
+				live = append(live, p)
+			}
+		}
+		if dead >= 0 {
+			if err := r.Degrade(dead); err != nil {
+				panic(err)
+			}
+		}
+		id := uint16(0)
+		for c := int64(0); c < cycles; c += 200 {
+			for i, p := range live {
+				dst := live[(i+1)%len(live)]
+				for r.InputBacklogWords(p) < 4096 {
+					id++
+					pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)),
+						traffic.PortAddr(dst, uint32(id)), 64, size, id)
+					r.OfferPacket(p, &pkt)
+				}
+			}
+			r.Run(200)
+		}
+		return r.ThroughputGbps()
+	}
+	tb = &stats.Table{
+		Caption: "degraded rotating crossbar: 3 live ports vs 4 (one crossbar tile masked)",
+		Headers: []string{"size(B)", "healthy Gbps", "degraded Gbps", "ratio", "per-port ratio"},
+	}
+	for _, size := range []int{64, 256, 1024} {
+		h := run(size, -1)
+		d := run(size, 2)
+		healthy = append(healthy, h)
+		degraded = append(degraded, d)
+		tb.AddRow(size, h, d, stats.Ratio(d, h), stats.Ratio(d/3, h/4))
+	}
+	return healthy, degraded, tb
+}

@@ -226,3 +226,17 @@ func TestNetprocConvergence(t *testing.T) {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
 }
+
+func TestDegradedCrossbar(t *testing.T) {
+	healthy, degraded, _ := exp.DegradedCrossbar(exp.Quick)
+	for i := range healthy {
+		ratio := degraded[i] / healthy[i]
+		if ratio < 0.55 || ratio > 0.95 {
+			t.Fatalf("point %d: degraded/healthy = %.3f, want ≈ 3/4", i, ratio)
+		}
+		perPort := (degraded[i] / 3) / (healthy[i] / 4)
+		if perPort < 0.75 || perPort > 1.15 {
+			t.Fatalf("point %d: per-live-port ratio %.3f, want ≈ 1", i, perPort)
+		}
+	}
+}

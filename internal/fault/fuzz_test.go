@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/raw"
+)
+
+// FuzzFaultSchedule asserts the schedule grammar's safety contract: any
+// input either fails Parse or yields a schedule that (a) re-encodes
+// canonically — Parse(String()) reproduces both the text and the events —
+// and (b) can be compiled and driven as an injector without panicking.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add("link@2+30:t0.w")
+	f.Add("flap@10+5x3:t2.e;freeze@5+1000:t10;crash@2000:t5")
+	f.Add("corrupt:t4.w.w17.b31;drop:t8.w.w3+2.n1;dram@50+25:+300")
+	f.Add("link@0+1:t1023.s.n1;;  freeze@0+1:t0 ;")
+	f.Add("drop:t0.n.w0+1;drop:t0.n.w0+1073741824")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		re, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if re.String() != canon {
+			t.Fatalf("canonical form is unstable:\n %q\n %q", canon, re.String())
+		}
+		if len(re.Events) != len(s.Events) {
+			t.Fatalf("event count changed across round trip: %d != %d", len(re.Events), len(s.Events))
+		}
+		for i := range s.Events {
+			if re.Events[i] != s.Events[i] {
+				t.Fatalf("event %d changed across round trip: %+v != %+v", i, re.Events[i], s.Events[i])
+			}
+		}
+
+		// The injector must not panic on any parseable schedule.
+		inj := NewInjector(s, 16)
+		cycles := []int64{0, 1, 2, 63, 1 << 20, maxStart}
+		for _, e := range s.Events {
+			cycles = append(cycles, e.Start-1, e.Start, e.Start+1, e.Start+e.Dur-1, e.Start+e.Dur)
+		}
+		for _, c := range cycles {
+			if c < 0 {
+				continue
+			}
+			inj.BeginCycle(c)
+			for tile := 0; tile < 16; tile++ {
+				_ = inj.TileFrozen(tile)
+			}
+			_ = inj.LinkStalled(3, raw.DirE, 0)
+			_ = inj.DRAMPenalty()
+		}
+		for i := 0; i < 64; i++ {
+			_ = inj.CorruptPop(i%16, raw.Dir(i%4), i%2, raw.Word(i))
+			_ = inj.DropEdgeWord(i%16, raw.Dir(i%4), i%2)
+		}
+	})
+}

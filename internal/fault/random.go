@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"repro/internal/raw"
+	"repro/internal/traffic"
+)
+
+// RandomOptions bounds a generated schedule. The zero value is filled
+// with defaults by Random.
+type RandomOptions struct {
+	// Horizon is the cycle range faults are scheduled within.
+	Horizon int64
+	// MaxStalls / MaxFlaps / MaxFreezes / MaxDRAM cap the event counts
+	// per class (the drawn count is uniform in [0, max]).
+	MaxStalls, MaxFlaps, MaxFreezes, MaxDRAM int
+	// MaxStallCycles bounds every stall/flap/freeze window. Keep this
+	// far below any watchdog threshold for schedules that must stay
+	// recoverable.
+	MaxStallCycles int64
+	// Tiles restricts freeze targets; nil allows any tile. Link faults
+	// always draw from the full mesh.
+	Tiles []int
+	// NumTiles/Width describe the mesh (default 16/4).
+	NumTiles, Width int
+}
+
+// Random generates a seeded, replayable schedule of recoverable faults:
+// link stalls, link flaps, bounded tile freezes, and DRAM latency
+// spikes. These classes pause progress without losing words, so a router
+// subjected to them must still deliver every packet. Corruption, drops,
+// and crashes change accounting and are composed explicitly by callers
+// (see the chaos harness).
+func Random(seed uint64, o RandomOptions) *Schedule {
+	if o.Horizon <= 0 {
+		o.Horizon = 100_000
+	}
+	if o.MaxStallCycles <= 0 {
+		o.MaxStallCycles = 2000
+	}
+	if o.NumTiles <= 0 {
+		o.NumTiles = 16
+	}
+	if o.Width <= 0 {
+		o.Width = 4
+	}
+	rng := traffic.NewRNG(seed)
+	s := &Schedule{}
+	dirs := []raw.Dir{raw.DirN, raw.DirE, raw.DirS, raw.DirW}
+	window := func() (start, dur int64) {
+		start = int64(rng.Intn(int(o.Horizon)))
+		dur = 1 + int64(rng.Intn(int(o.MaxStallCycles)))
+		return
+	}
+	for i, n := 0, rng.Intn(o.MaxStalls+1); i < n; i++ {
+		start, dur := window()
+		s.Events = append(s.Events, Event{Kind: KindLink, Start: start, Dur: dur,
+			Tile: rng.Intn(o.NumTiles), Dir: dirs[rng.Intn(4)]})
+	}
+	for i, n := 0, rng.Intn(o.MaxFlaps+1); i < n; i++ {
+		start, dur := window()
+		s.Events = append(s.Events, Event{Kind: KindFlap, Start: start,
+			Dur: 1 + dur/8, Repeat: 2 + rng.Intn(6),
+			Tile: rng.Intn(o.NumTiles), Dir: dirs[rng.Intn(4)]})
+	}
+	for i, n := 0, rng.Intn(o.MaxFreezes+1); i < n; i++ {
+		start, dur := window()
+		tile := rng.Intn(o.NumTiles)
+		if len(o.Tiles) > 0 {
+			tile = o.Tiles[rng.Intn(len(o.Tiles))]
+		}
+		s.Events = append(s.Events, Event{Kind: KindFreeze, Start: start, Dur: dur, Tile: tile})
+	}
+	for i, n := 0, rng.Intn(o.MaxDRAM+1); i < n; i++ {
+		start, dur := window()
+		s.Events = append(s.Events, Event{Kind: KindDRAM, Start: start, Dur: dur,
+			Extra: 1 + rng.Intn(200)})
+	}
+	return s
+}

@@ -17,6 +17,10 @@ type Controller struct {
 	// ServiceInterval is the minimum number of cycles between starting
 	// two requests on one port (bank occupancy); 0 means fully pipelined.
 	ServiceInterval int
+	// ExtraLatency, if non-nil, returns additional access latency in
+	// force when a request is served — the hook fault injection uses for
+	// DRAM latency spikes (wire to Chip.FaultDRAMPenalty).
+	ExtraLatency func() int
 
 	width int
 	store map[raw.Word]raw.Word
@@ -113,6 +117,10 @@ func (p *port) serve(cycle int64, msg []raw.Word) {
 	c := p.c
 	op, tile := raw.DecodeMemCmd(msg[1])
 	addr := msg[2]
+	lat := int64(c.Latency)
+	if c.ExtraLatency != nil {
+		lat += int64(c.ExtraLatency())
+	}
 	switch op {
 	case raw.MemCmdRead:
 		c.Reads++
@@ -123,7 +131,7 @@ func (p *port) serve(cycle int64, msg []raw.Word) {
 		for i := 0; i < raw.CacheLineWords; i++ {
 			words = append(words, c.store[addr+raw.Word(i)])
 		}
-		p.inflight = append(p.inflight, response{due: cycle + int64(c.Latency), words: words})
+		p.inflight = append(p.inflight, response{due: cycle + lat, words: words})
 	case raw.MemCmdWrite:
 		c.Writes++
 		for i := 0; i < raw.CacheLineWords; i++ {

@@ -65,6 +65,15 @@ type Chip struct {
 
 	// acct, when non-nil, accumulates per-worker per-phase wall time.
 	acct *stats.PhaseAccount
+
+	// faults, when non-nil, is the installed fault-injection schedule
+	// (see FaultPlane). Consulted at the top of Step and inside the
+	// static-network transfer predicates.
+	faults FaultPlane
+
+	// cycleHook, when non-nil, runs at the end of every Step (see
+	// SetCycleHook).
+	cycleHook func(cycle int64)
 }
 
 // NewChip builds a chip. Every boundary static link gets an input queue
@@ -119,7 +128,7 @@ func NewChip(cfg Config) *Chip {
 					q := &unboundedFIFO{}
 					c.edges = append(c.edges, q)
 					t.st[net].in[d] = q
-					c.staticIn[[3]int{t.id, int(d), net}] = &StaticIn{q: q}
+					c.staticIn[[3]int{t.id, int(d), net}] = &StaticIn{q: q, chip: c, tile: t.id, dir: d, net: net}
 					t.st[net].edgeOut[d] = &EdgeSink{}
 				}
 				for net := 0; net < numDynNets; net++ {
@@ -222,6 +231,11 @@ func (c *Chip) dynEdgeOut(tileID int, d Dir, net int, w Word) {
 // sharded parallel engine (SetWorkers) is bit-for-bit identical to the
 // sequential one.
 func (c *Chip) Step() {
+	// Advance the fault schedule first: the per-cycle fault state must be
+	// settled before any tile (on any worker) consults it.
+	if c.faults != nil {
+		c.faults.BeginCycle(c.cycle)
+	}
 	// Snapshot edge queues so words pushed externally since the last cycle
 	// become visible this cycle. (Bounded fifos re-arm their snapshot in
 	// commit; they have no external writers.)
@@ -237,6 +251,9 @@ func (c *Chip) Step() {
 			t0 = stats.Now()
 		}
 		for _, t := range c.tiles {
+			if c.faults != nil && c.faults.TileFrozen(t.id) {
+				continue
+			}
 			t.step()
 		}
 		if acct != nil {
@@ -262,6 +279,9 @@ func (c *Chip) Step() {
 		for _, w := range inj {
 			b.in.Push(w)
 		}
+	}
+	if c.cycleHook != nil {
+		c.cycleHook(c.cycle)
 	}
 	if c.cfg.Tracer != nil {
 		for _, t := range c.tiles {

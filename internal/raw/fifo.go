@@ -89,6 +89,17 @@ func (f *fifo) commit() {
 	f.startLen = len(f.buf) - f.head
 }
 
+// reset empties the queue and clears all staged state. Only valid between
+// cycles (degraded-mode reconfiguration).
+func (f *fifo) reset() {
+	f.buf = f.buf[:0]
+	f.staged = f.staged[:0]
+	f.head = 0
+	f.startLen = 0
+	f.popped = 0
+	f.pushed = 0
+}
+
 // CanPop reports whether the reader may pop a word this cycle.
 func (f *fifo) CanPop() bool { return f.startLen-f.popped > 0 }
 
@@ -144,6 +155,9 @@ type unboundedFIFO struct {
 	head     int
 	startLen int
 	popped   int
+	// taken counts committed pops since construction (stream position for
+	// StaticIn.Consumed).
+	taken int64
 }
 
 func (f *unboundedFIFO) beginCycle() {
@@ -157,6 +171,7 @@ func (f *unboundedFIFO) commit() {
 	if f.popped > 0 {
 		f.head += f.popped
 		f.startLen -= f.popped
+		f.taken += int64(f.popped)
 		f.popped = 0
 		if f.head >= 64 && f.head*2 >= len(f.buf) {
 			f.buf = f.buf[:copy(f.buf, f.buf[f.head:])]

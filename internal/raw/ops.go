@@ -81,6 +81,14 @@ type Exec struct {
 // SetFirmware installs the tile's firmware.
 func (e *Exec) SetFirmware(fw Firmware) { e.fw = fw }
 
+// Reset discards all queued and in-flight micro-ops. The next step refills
+// from the firmware as if freshly started. Used by the router's
+// degraded-mode reconfiguration; must be called between cycles.
+func (e *Exec) Reset() {
+	e.ops = e.ops[:0]
+	e.head = 0
+}
+
 // State returns the state the processor was in during the last cycle.
 func (e *Exec) State() TileState { return e.state }
 

@@ -122,6 +122,9 @@ func (p *workerPool) work(w int) {
 		t0 = stats.Now()
 	}
 	for _, t := range c.tiles[p.tileLo[w]:p.tileLo[w+1]] {
+		if c.faults != nil && c.faults.TileFrozen(t.id) {
+			continue
+		}
 		t.step()
 	}
 	if acct != nil {

@@ -125,6 +125,9 @@ func (t *Tile) staticSrcReady(net int, d Dir) bool {
 	if d == DirP {
 		return t.st[net].csto.CanPop()
 	}
+	if fp := t.chip.faults; fp != nil && fp.LinkStalled(t.id, d, net) {
+		return false
+	}
 	q := t.st[net].in[d]
 	return q != nil && q.CanPop()
 }
@@ -137,9 +140,19 @@ func (t *Tile) staticDstReady(net int, d Dir) bool {
 		return t.st[net].csti.CanPush()
 	}
 	if t.Boundary(d) {
+		// A stalled boundary link refuses the outbound direction too (the
+		// whole physical link is down, both ways).
+		if fp := t.chip.faults; fp != nil && fp.LinkStalled(t.id, d, net) {
+			return false
+		}
 		return true
 	}
 	n := t.neighbor(d)
+	// A stalled link is keyed by its reading endpoint: the neighbor's
+	// input queue from the opposite side is the queue this push feeds.
+	if fp := t.chip.faults; fp != nil && fp.LinkStalled(n.id, d.Opposite(), net) {
+		return false
+	}
 	return n.st[net].in[d.Opposite()].(*fifo).CanPush()
 }
 
@@ -147,7 +160,11 @@ func (t *Tile) staticPop(net int, d Dir) Word {
 	if d == DirP {
 		return t.st[net].csto.Pop()
 	}
-	return t.st[net].in[d].Pop()
+	w := t.st[net].in[d].Pop()
+	if fp := t.chip.faults; fp != nil {
+		w = fp.CorruptPop(t.id, d, net, w)
+	}
+	return w
 }
 
 func (t *Tile) staticPush(net int, d Dir, w Word) {
@@ -160,6 +177,26 @@ func (t *Tile) staticPush(net int, d Dir, w Word) {
 		return
 	}
 	t.neighbor(d).st[net].in[d.Opposite()].(*fifo).Push(w)
+}
+
+// ResetStatic discards all in-flight words on one static network of this
+// tile: the processor<->switch queues and the bounded input queues from
+// the four neighbors. Boundary edge queues (external input backlog and
+// output sinks) are preserved — they model off-chip line buffers that
+// survive an on-chip reprogramming. Used by the router's degraded-mode
+// reconfiguration; must be called between cycles.
+func (t *Tile) ResetStatic(net int) {
+	st := &t.st[net]
+	st.csto.reset()
+	st.csti.reset()
+	st.swPC.reset()
+	st.swDone.reset()
+	st.swCount.reset()
+	for d := DirN; d < DirP; d++ {
+		if f, ok := st.in[d].(*fifo); ok {
+			f.reset()
+		}
+	}
 }
 
 // SetSwitchProgram installs a static switch program on network 0.
@@ -216,14 +253,31 @@ func (s *EdgeSink) Count() int64 { return s.total }
 
 // StaticIn is a testbench handle for pushing words into a boundary static
 // input link. Words pushed become visible to the switch on the next cycle.
-type StaticIn struct{ q *unboundedFIFO }
+type StaticIn struct {
+	q    *unboundedFIFO
+	chip *Chip
+	tile int
+	dir  Dir
+	net  int
+}
 
-// Push appends words to the external input stream.
+// Push appends words to the external input stream. With a fault plane
+// installed, individual words may be lost at the pins (DropEdgeWord).
 func (in *StaticIn) Push(words ...Word) {
+	fp := in.chip.faults
 	for _, w := range words {
+		if fp != nil && fp.DropEdgeWord(in.tile, in.dir, in.net) {
+			continue
+		}
 		in.q.Push(w)
 	}
 }
 
 // Len returns the number of words waiting on the external side.
 func (in *StaticIn) Len() int { return in.q.Len() }
+
+// Consumed returns the cumulative number of words the switch has popped
+// (and committed) from this input since construction. Reading it between
+// cycles — or from firmware, whose prior pops are always committed before
+// the next refill — gives an exact stream position.
+func (in *StaticIn) Consumed() int64 { return in.q.taken }

@@ -272,12 +272,65 @@ func AllocatePrio(g GlobalConfig, prio []uint8) Allocation {
 	return allocateOrdered(g, order)
 }
 
+// AllocateDegraded runs the prioritized allocation walk with one crossbar
+// tile masked out of the fabric: the dead tile's egress is never granted
+// and no ring path may enter or traverse it, so every stream falls back to
+// the surviving ring direction (the CW/CCW fallback of §5.2 doing
+// double duty as the fault-recovery path). The walk's order covers live
+// tiles only — the token rotation skips the dead tile — so the schedule
+// stays distributed: every surviving tile computes the same allocation
+// from the same headers.
+func AllocateDegraded(g GlobalConfig, prio []uint8, dead int) Allocation {
+	n := len(g.Hdrs)
+	if len(prio) != n {
+		panic("rotor: priority vector must match ring size")
+	}
+	if dead < 0 || dead >= n {
+		panic("rotor: dead tile out of range")
+	}
+	if g.Hdrs[dead] != HdrEmpty {
+		panic("rotor: dead tile cannot request a transfer")
+	}
+	order := make([]int, 0, n-1)
+	var maxP uint8
+	for _, p := range prio {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	for p := int(maxP); p >= 0; p-- {
+		for k := 0; k < n; k++ {
+			i := (g.Token + k) % n
+			if i != dead && int(prio[i]) == p {
+				order = append(order, i)
+			}
+		}
+	}
+	return allocateMasked(g, order, dead)
+}
+
 // allocateOrdered runs the reservation walk over an explicit tile order.
 func allocateOrdered(g GlobalConfig, order []int) Allocation {
+	return allocateMasked(g, order, -1)
+}
+
+// allocateMasked is the reservation walk with an optional dead tile.
+// Masking works entirely through the walk's existing claim state: the dead
+// tile's egress starts claimed and both its outgoing ring links start
+// busy. Any route terminating at the dead tile hits the out claim; any
+// route entering it must also leave it and hits the busy link; so the
+// unmodified path search simply routes around the hole — or blocks the
+// requester, exactly as contention would.
+func allocateMasked(g GlobalConfig, order []int, dead int) Allocation {
 	n := len(g.Hdrs)
 	outClaimed := make([]bool, n)
 	cwBusy := make([]bool, n)
 	ccwBusy := make([]bool, n)
+	if dead >= 0 {
+		outClaimed[dead] = true
+		cwBusy[dead] = true
+		ccwBusy[dead] = true
+	}
 	a := Allocation{Granted: make([]bool, n), Tiles: make([]TileConfig, n)}
 	for _, i := range order {
 		d := g.Hdrs[i].Dest()

@@ -85,6 +85,57 @@ func keyLess(a, b ConfigKey) bool {
 	return false
 }
 
+// DegradedConfigs enumerates every global configuration reachable with
+// one dead tile — all dead-tile choices, all live-header combinations,
+// all live token positions — and returns the distinct per-tile
+// configurations the degraded allocator can produce, deterministically
+// ordered. These are the switch routines a surviving tile may need after
+// fault recovery.
+func DegradedConfigs(n int) []ConfigKey {
+	seen := make(map[ConfigKey]bool)
+	prio := make([]uint8, n)
+	hdrs := make([]Hdr, n)
+	for dead := 0; dead < n; dead++ {
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == n {
+				for token := 0; token < n; token++ {
+					if token == dead {
+						continue
+					}
+					g := GlobalConfig{Hdrs: append([]Hdr(nil), hdrs...), Token: token}
+					a := AllocateDegraded(g, prio, dead)
+					for i, t := range a.Tiles {
+						if i != dead {
+							seen[t.Key()] = true
+						}
+					}
+				}
+				return
+			}
+			if pos == dead {
+				hdrs[pos] = HdrEmpty
+				rec(pos + 1)
+				return
+			}
+			for h := 0; h <= n; h++ {
+				if Hdr(h).Dest() == dead {
+					continue // no stream targets the dead egress
+				}
+				hdrs[pos] = Hdr(h)
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+	keys := make([]ConfigKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
 // ConfigIndex maps every reachable per-tile configuration to its slot in
 // the switch-code jump table.
 type ConfigIndex struct {
@@ -98,6 +149,22 @@ func NewConfigIndex(n int) *ConfigIndex {
 	ci := &ConfigIndex{keys: keys, index: make(map[ConfigKey]int, len(keys))}
 	for i, k := range keys {
 		ci.index[k] = i
+	}
+	return ci
+}
+
+// NewConfigIndexFT builds the fault-tolerant jump-table index: the
+// healthy minimized configurations in their usual slots, followed by any
+// configurations only the degraded allocator can produce. Healthy slot
+// numbers are unchanged, so programs generated against NewConfigIndex
+// and NewConfigIndexFT dispatch healthy traffic identically.
+func NewConfigIndexFT(n int) *ConfigIndex {
+	ci := NewConfigIndex(n)
+	for _, k := range DegradedConfigs(n) {
+		if _, ok := ci.index[k]; !ok {
+			ci.index[k] = len(ci.keys)
+			ci.keys = append(ci.keys, k)
+		}
 	}
 	return ci
 }

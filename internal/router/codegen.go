@@ -50,18 +50,11 @@ func srcDir(c rotor.Client, d XbarDirs) raw.Dir {
 // GenXbarProgram generates the switch program for port p's crossbar tile.
 func GenXbarProgram(p int, ci *rotor.ConfigIndex) (*XbarProgram, error) {
 	d := XbarDirsOf(p)
-	xp := &XbarProgram{
-		RoutineAddr: make([]raw.Word, ci.Len()),
-		NeedsCount:  make([]bool, ci.Len()),
-		HasOut:      make([]bool, ci.Len()),
-		MaxOffset:   make([]int, ci.Len()),
-	}
-
 	// Fixed preamble: the headers-request/headers-send phases of Figure
 	// 6-2. The local header fans out to this tile's processor and
 	// clockwise-downstream; three more rotation steps deliver the other
 	// tiles' headers.
-	xp.Prog = []raw.SwInstr{
+	preamble := []raw.SwInstr{
 		{Op: raw.SwRoute, Routes: []raw.Route{
 			{Dst: d.CWNext, Src: d.In}, {Dst: raw.DirP, Src: d.In}}},
 		{Op: raw.SwRoute, Routes: []raw.Route{
@@ -74,6 +67,80 @@ func GenXbarProgram(p int, ci *rotor.ConfigIndex) (*XbarProgram, error) {
 		{Op: raw.SwRoute, Routes: []raw.Route{{Dst: d.In, Src: raw.DirP}}},
 		// Jump-table dispatch: the tile processor loads the routine pc.
 		{Op: raw.SwRecvPC},
+	}
+	return genXbarWithPreamble(preamble, ci, d, "crossbar")
+}
+
+// GenXbarProgramDegraded generates the switch program port p's crossbar
+// tile runs after the watchdog masks a dead crossbar tile out of the
+// ring. The three survivors form a path, not a ring, so the header
+// exchange changes shape per tile (rel = ring distance to the hole),
+// using the counterclockwise links the healthy rotation never needed:
+//
+//	rel 1 (dead is CW-next):   own header CCW; both others arrive CW.
+//	rel 2 (dead is opposite):  own header both ways; one neighbor each way,
+//	                           relaying across the middle tile.
+//	rel 3 (dead is CW-prev):   own header CW; both others arrive CCW.
+//
+// The preamble is one instruction shorter than the healthy one (three
+// headers, not four); the per-configuration routines are generated
+// unchanged against the fault-tolerant index, whose degraded-only
+// entries the masked allocator can now reach.
+func GenXbarProgramDegraded(p int, ci *rotor.ConfigIndex, dead int) (*XbarProgram, error) {
+	if dead < 0 || dead > 3 || dead == p {
+		return nil, fmt.Errorf("router: bad dead port %d for crossbar %d", dead, p)
+	}
+	d := XbarDirsOf(p)
+	var exchange []raw.SwInstr
+	switch (dead - p + 4) % 4 {
+	case 1:
+		exchange = []raw.SwInstr{
+			{Op: raw.SwRoute, Routes: []raw.Route{
+				{Dst: d.CCWNext, Src: d.In}, {Dst: raw.DirP, Src: d.In}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{{Dst: raw.DirP, Src: d.CWPrev}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{{Dst: raw.DirP, Src: d.CWPrev}}},
+		}
+	case 2:
+		exchange = []raw.SwInstr{
+			{Op: raw.SwRoute, Routes: []raw.Route{
+				{Dst: d.CWNext, Src: d.In}, {Dst: d.CCWNext, Src: d.In},
+				{Dst: raw.DirP, Src: d.In}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{
+				{Dst: raw.DirP, Src: d.CWPrev}, {Dst: d.CWNext, Src: d.CWPrev}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{
+				{Dst: raw.DirP, Src: d.CCWPrev}, {Dst: d.CCWNext, Src: d.CCWPrev}}},
+		}
+	case 3:
+		exchange = []raw.SwInstr{
+			{Op: raw.SwRoute, Routes: []raw.Route{
+				{Dst: d.CWNext, Src: d.In}, {Dst: raw.DirP, Src: d.In}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{{Dst: raw.DirP, Src: d.CCWPrev}}},
+			{Op: raw.SwRoute, Routes: []raw.Route{{Dst: raw.DirP, Src: d.CCWPrev}}},
+		}
+	}
+	preamble := append(exchange,
+		raw.SwInstr{Op: raw.SwRoute, Routes: []raw.Route{{Dst: d.In, Src: raw.DirP}}},
+		raw.SwInstr{Op: raw.SwRecvPC},
+	)
+	return genXbarWithPreamble(preamble, ci, d, "degraded crossbar")
+}
+
+// ParkProgram is the switch program installed on a failed port's tiles:
+// it blocks forever on a processor pc write that never comes, consuming
+// nothing from its neighbors.
+func ParkProgram() []raw.SwInstr {
+	return []raw.SwInstr{{Op: raw.SwRecvPC}}
+}
+
+// genXbarWithPreamble appends one software-pipelined routine per
+// configuration in ci after the given preamble.
+func genXbarWithPreamble(preamble []raw.SwInstr, ci *rotor.ConfigIndex, d XbarDirs, what string) (*XbarProgram, error) {
+	xp := &XbarProgram{
+		Prog:        preamble,
+		RoutineAddr: make([]raw.Word, ci.Len()),
+		NeedsCount:  make([]bool, ci.Len()),
+		HasOut:      make([]bool, ci.Len()),
+		MaxOffset:   make([]int, ci.Len()),
 	}
 
 	for i := 0; i < ci.Len(); i++ {
@@ -151,7 +218,7 @@ func GenXbarProgram(p int, ci *rotor.ConfigIndex) (*XbarProgram, error) {
 	}
 
 	if err := raw.ValidateProgram(xp.Prog); err != nil {
-		return nil, fmt.Errorf("router: generated crossbar program invalid: %w", err)
+		return nil, fmt.Errorf("router: generated %s program invalid: %w", what, err)
 	}
 	return xp, nil
 }

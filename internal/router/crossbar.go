@@ -19,6 +19,9 @@ type xbarFW struct {
 	dwell int
 	hdrs  [4]raw.Word
 
+	// dead is the masked-out crossbar tile in degraded mode, -1 healthy.
+	dead int
+
 	// Per-quantum derived state.
 	alloc   rotor.Allocation
 	cfgIdx  int
@@ -27,8 +30,24 @@ type xbarFW struct {
 
 func (x *xbarFW) Refill(e *raw.Exec) {
 	// Headers arrive own-first, then from 1, 2, 3 hops clockwise-upstream.
+	// The degraded exchange delivers only the two surviving neighbors, in
+	// an order that depends on where the hole is (see
+	// GenXbarProgramDegraded).
 	p := x.port
-	order := [4]int{p, (p + 3) % 4, (p + 2) % 4, (p + 1) % 4}
+	var order []int
+	if x.dead >= 0 {
+		switch (x.dead - p + 4) % 4 {
+		case 1:
+			order = []int{p, (p + 3) % 4, (p + 2) % 4}
+		case 2:
+			order = []int{p, (p + 3) % 4, (p + 1) % 4}
+		case 3:
+			order = []int{p, (p + 1) % 4, (p + 2) % 4}
+		}
+		x.hdrs[x.dead] = LocalHdrEmpty
+	} else {
+		order = []int{p, (p + 3) % 4, (p + 2) % 4, (p + 1) % 4}
+	}
 	for _, src := range order {
 		src := src
 		e.Recv(func(w raw.Word) { x.hdrs[src] = w })
@@ -55,8 +74,14 @@ func (x *xbarFW) decide(e *raw.Exec) {
 	}
 	// AllocatePrio degenerates to the plain token walk when every class
 	// is zero (exhaustively tested), so priority support costs nothing on
-	// best-effort traffic.
-	x.alloc = rotor.AllocatePrio(rotor.GlobalConfig{Hdrs: hdrs[:], Token: x.token}, prios[:])
+	// best-effort traffic. In degraded mode the masked allocator routes
+	// around the dead tile (the long way when the short arc crosses it).
+	g := rotor.GlobalConfig{Hdrs: hdrs[:], Token: x.token}
+	if x.dead >= 0 {
+		x.alloc = rotor.AllocateDegraded(g, prios[:], x.dead)
+	} else {
+		x.alloc = rotor.AllocatePrio(g, prios[:])
+	}
 	x.cfgIdx = x.rt.ci.Of(x.alloc.Tiles[x.port])
 
 	// L: the quantum streaming length — the longest granted fragment.
@@ -89,6 +114,9 @@ func (x *xbarFW) decide(e *raw.Exec) {
 		}
 		_, fragLen, last, _ := DecodeLocalHdr(x.hdrs[src])
 		eh := EgressHdr(src, fragLen, l, last)
+		if LocalHdrFirstOf(x.hdrs[src]) {
+			eh = EgressHdrFirst(eh)
+		}
 		e.SendFunc(func() raw.Word { return eh })
 	}
 	if x.prog.NeedsCount[idx] {
@@ -135,6 +163,9 @@ func (x *xbarFW) decideMixed(e *raw.Exec) {
 		}
 		_, fragLen, last, _ := DecodeLocalHdr(x.hdrs[src])
 		eh := EgressHdr(src, fragLen, l, last)
+		if LocalHdrFirstOf(x.hdrs[src]) {
+			eh = EgressHdrFirst(eh)
+		}
 		e.SendFunc(func() raw.Word { return eh })
 	}
 	if x.prog.NeedsCount[idx] {
@@ -164,11 +195,26 @@ func (x *xbarFW) advanceToken(e *raw.Exec) {
 		}
 		if x.dwell >= w {
 			x.token = rotor.NextToken(x.token, 4)
+			if x.token == x.dead {
+				x.token = rotor.NextToken(x.token, 4)
+			}
 			x.dwell = 0
 		}
 		x.quantum++
-		if x.rt.onQuantum != nil && x.port == 0 && !x.rt.cfg.Multicast {
+		if x.rt.onQuantum != nil && x.port == x.rt.reportPort && !x.rt.cfg.Multicast {
 			x.rt.onQuantum(x.quantum, x.alloc)
 		}
 	})
+}
+
+// enterDegraded rewires the firmware for the masked ring. Called between
+// cycles by Router.Degrade after the tile's switch was reprogrammed and
+// its in-flight state reset; every surviving tile computes the same
+// initial token, so the distributed allocation stays in lockstep.
+func (x *xbarFW) enterDegraded(dead int, prog *XbarProgram) {
+	x.dead = dead
+	x.prog = prog
+	x.token = (dead + 1) % 4
+	x.dwell = 0
+	x.hdrs = [4]raw.Word{}
 }

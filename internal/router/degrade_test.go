@@ -1,0 +1,254 @@
+package router_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ip"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// TestManualDegradeAllPairs: for every choice of dead crossbar tile, the
+// three survivors still route every (src, dst) pair among themselves,
+// including the pairs whose healthy short arc crossed the dead tile.
+func TestManualDegradeAllPairs(t *testing.T) {
+	for dead := 0; dead < 4; dead++ {
+		r := mustNew(t, router.DefaultConfig())
+		if err := r.Degrade(dead); err != nil {
+			t.Fatal(err)
+		}
+		id := uint16(0)
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if src == dead || dst == dead {
+					continue
+				}
+				id++
+				want := r.Stats.PktsOut[dst] + 1
+				pkt := ip.NewPacket(traffic.PortAddr(src, uint32(id)), traffic.PortAddr(dst, 9), 32, 256, id)
+				r.OfferPacket(src, &pkt)
+				if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[dst] >= want }, 40000) {
+					t.Fatalf("dead=%d: %d->%d never delivered; stats %+v", dead, src, dst, r.Stats)
+				}
+				out, err := r.DrainOutput(dst)
+				if err != nil || len(out) != 1 {
+					t.Fatalf("dead=%d: %d->%d out=%d err=%v", dead, src, dst, len(out), err)
+				}
+				got := out[0]
+				if got.Header.ID != id || got.Header.TTL != 31 {
+					t.Fatalf("dead=%d: %d->%d delivered id=%d ttl=%d", dead, src, dst, got.Header.ID, got.Header.TTL)
+				}
+				for i, w := range pkt.Payload {
+					if got.Payload[i] != w {
+						t.Fatalf("dead=%d: %d->%d payload word %d corrupted", dead, src, dst, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDegradedMultiFrag: reassembly still works over the masked ring.
+func TestDegradedMultiFrag(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	if err := r.Degrade(3); err != nil {
+		t.Fatal(err)
+	}
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 7), 64, 2048, 3)
+	r.OfferPacket(0, &pkt)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 80000) {
+		t.Fatalf("multi-frag packet never delivered degraded; stats %+v", r.Stats)
+	}
+	out, err := r.DrainOutput(2)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	for i := range pkt.Payload {
+		if out[0].Payload[i] != pkt.Payload[i] {
+			t.Fatalf("payload word %d corrupted", i)
+		}
+	}
+}
+
+// TestDegradedDropsDeadDestination: packets addressed to the dead port
+// are aborted at acquire without wedging the survivors.
+func TestDegradedDropsDeadDestination(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	if err := r.Degrade(1); err != nil {
+		t.Fatal(err)
+	}
+	doomed := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 256, 1)
+	r.OfferPacket(0, &doomed)
+	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 2), 64, 256, 2)
+	r.OfferPacket(0, &good)
+	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 40000) {
+		t.Fatalf("good packet stuck behind dead-destination drop; stats %+v", r.Stats)
+	}
+	if r.Stats.AbortDropped[0] != 1 {
+		t.Fatalf("AbortDropped[0] = %d, want 1", r.Stats.AbortDropped[0])
+	}
+	out, err := r.DrainOutput(2)
+	if err != nil || len(out) != 1 || out[0].Header.ID != 2 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	if !r.LineDown(1) {
+		t.Fatal("dead port's line should be marked down")
+	}
+}
+
+// TestDegradeValidation: the reconfiguration rejects nonsense.
+func TestDegradeValidation(t *testing.T) {
+	r := mustNew(t, router.DefaultConfig())
+	if err := r.Degrade(-1); err == nil {
+		t.Fatal("Degrade(-1) accepted")
+	}
+	if err := r.Degrade(4); err == nil {
+		t.Fatal("Degrade(4) accepted")
+	}
+	if err := r.Degrade(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Degrade(1); err == nil {
+		t.Fatal("second Degrade accepted")
+	}
+	mcfg := router.DefaultConfig()
+	mcfg.Multicast = true
+	mr := mustNew(t, mcfg)
+	if err := mr.Degrade(0); err == nil {
+		t.Fatal("Degrade accepted under multicast")
+	}
+	mcfg.Watchdog = true
+	if _, err := router.New(mcfg); err == nil {
+		t.Fatal("New accepted Watchdog+Multicast")
+	}
+}
+
+// TestWatchdogDegradesCrashedCrossbar is the headline robustness
+// scenario: a crossbar tile crashes under load, the quantum-progress
+// watchdog attributes the wedge, the fabric degrades to three ports, and
+// the survivors keep forwarding. Packet conservation holds exactly.
+func TestWatchdogDegradesCrashedCrossbar(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Watchdog = true
+	cfg.WatchdogCycles = 4000
+	r := mustNew(t, cfg)
+
+	// Port 1's crossbar is tile 6 (Figure 7-2); crash it at cycle 3000.
+	inj := fault.NewInjector(fault.MustParse("crash@3000:t6"), 16)
+	r.Chip.InstallFaults(inj)
+
+	rng := traffic.NewRNG(99)
+	id := uint16(0)
+	sent := map[uint16]ip.Packet{}
+	gen := func(p int) ip.Packet {
+		id++
+		size := []int{64, 128, 256, 512}[rng.Intn(4)]
+		pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(rng.Intn(4), uint32(id)), 64, size, id)
+		sent[id] = pkt
+		return pkt
+	}
+	total := func() int64 {
+		var s int64
+		for p := 0; p < 4; p++ {
+			s += r.Stats.PktsOut[p]
+		}
+		return s
+	}
+
+	for c := 0; c < 40000 && r.DeadPort() < 0; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	if r.DeadPort() != 1 {
+		t.Fatalf("watchdog attributed dead port %d (failed=%v), want 1", r.DeadPort(), r.Failed())
+	}
+	if r.Failed() {
+		t.Fatal("router fail-stopped instead of degrading")
+	}
+	atDegrade := total()
+
+	// Keep the degraded fabric under load, then let it drain dry.
+	for c := 0; c < 8000; c += 200 {
+		feedSaturated(r, gen)
+		r.Run(200)
+	}
+	r.Run(80000)
+
+	if r.Failed() {
+		t.Fatal("degraded fabric tripped the watchdog again")
+	}
+	if total() <= atDegrade {
+		t.Fatalf("no packets forwarded after degrade (at=%d now=%d)", atDegrade, total())
+	}
+	for p := 0; p < 4; p++ {
+		if p == 1 {
+			continue
+		}
+		if r.InFlightAtIngress(p) != 0 || r.PendingDrainWords(p) != 0 {
+			t.Fatalf("port %d not quiescent: inflight=%d drain=%d",
+				p, r.InFlightAtIngress(p), r.PendingDrainWords(p))
+		}
+	}
+
+	// Conservation across the fabric: every packet streamed in was either
+	// delivered or fail-stop discarded at degrade time.
+	var in, out int64
+	for p := 0; p < 4; p++ {
+		in += r.Stats.PktsIn[p]
+		out += r.Stats.PktsOut[p]
+	}
+	if in != out+r.Stats.FabricLost {
+		t.Fatalf("conservation: PktsIn %d != PktsOut %d + FabricLost %d",
+			in, out, r.Stats.FabricLost)
+	}
+
+	// Every delivered packet — including those cut mid-stream at the pins
+	// when the fabric degraded — parses, and matches a sent packet intact.
+	var delivered int
+	for p := 0; p < 4; p++ {
+		pkts, err := r.DrainOutput(p)
+		if err != nil {
+			t.Fatalf("output %d corrupt after degrade: %v", p, err)
+		}
+		for _, got := range pkts {
+			want, ok := sent[got.Header.ID]
+			if !ok {
+				t.Fatalf("output %d delivered unknown packet id %d", p, got.Header.ID)
+			}
+			for i := range want.Payload {
+				if got.Payload[i] != want.Payload[i] {
+					t.Fatalf("id %d payload word %d corrupted", got.Header.ID, i)
+				}
+			}
+			delivered++
+		}
+	}
+	if int64(delivered) != out {
+		t.Fatalf("drained %d packets, stats say %d", delivered, out)
+	}
+}
+
+// TestWatchdogQuietOnHealthyFabric: an idle and a loaded healthy router
+// must never trip the watchdog — idle quanta are progress too.
+func TestWatchdogQuietOnHealthyFabric(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Watchdog = true
+	cfg.WatchdogCycles = 4000
+	r := mustNew(t, cfg)
+	r.Run(30000) // fully idle
+	if r.DeadPort() >= 0 || r.Failed() {
+		t.Fatalf("watchdog fired on an idle healthy router: dead=%d failed=%v",
+			r.DeadPort(), r.Failed())
+	}
+	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 7), 64, 256, 42)
+	r.OfferPacket(0, &pkt)
+	r.Run(30000)
+	if r.DeadPort() >= 0 || r.Failed() {
+		t.Fatalf("watchdog fired on a loaded healthy router: dead=%d failed=%v",
+			r.DeadPort(), r.Failed())
+	}
+	if r.Stats.PktsOut[2] != 1 {
+		t.Fatalf("packet not delivered; stats %+v", r.Stats)
+	}
+}

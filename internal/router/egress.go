@@ -29,6 +29,12 @@ func (f *egressFW) Refill(e *raw.Exec) {
 		if src < 0 || src > 3 || fragLen <= 0 || l < fragLen {
 			panic("router: corrupt egress header")
 		}
+		if EgressHdrFirstOf(f.hdrW) && len(f.buf[src]) > 0 {
+			// A packet's first fragment found stale fragments from the
+			// same source: that packet was aborted upstream (underrun
+			// timeout or degraded-mode reset) and will never complete.
+			f.buf[src] = f.buf[src][:0]
+		}
 		pad := l - fragLen
 		whole := last && len(f.buf[src]) == 0
 		switch {
@@ -77,6 +83,16 @@ func (f *egressFW) Refill(e *raw.Exec) {
 			}
 		}
 	})
+}
+
+// resetForDegrade discards all in-flight reassembly state. The packets it
+// abandons were fully streamed into the fabric, so they are accounted in
+// Stats.FabricLost by the degrade procedure that calls this.
+func (f *egressFW) resetForDegrade() {
+	for i := range f.buf {
+		f.buf[i] = f.buf[i][:0]
+	}
+	f.hdrW = 0
 }
 
 // cryptoForward receives the fragment through the processor, applies the

@@ -24,6 +24,7 @@ const (
 	lhPrioShift  = 18
 	lhCryptoBit  = 1 << 21
 	lhMcastBit   = 1 << 22
+	lhFirstBit   = 1 << 23
 	lhMaskShift  = 24
 	lhMemberMask = 0xf
 )
@@ -51,6 +52,14 @@ func LocalHdrPrio(w raw.Word, prio uint8) raw.Word {
 
 // LocalHdrPrioOf extracts the priority class.
 func LocalHdrPrioOf(w raw.Word) uint8 { return uint8(w >> lhPrioShift & 0x7) }
+
+// LocalHdrFirst marks the fragment as its packet's first; the crossbar
+// relays the mark to the egress, which uses it to discard stale
+// reassembly state left by an aborted packet from the same source.
+func LocalHdrFirst(w raw.Word) raw.Word { return w | lhFirstBit }
+
+// LocalHdrFirstOf reports the first-fragment mark.
+func LocalHdrFirstOf(w raw.Word) bool { return w&lhFirstBit != 0 }
 
 // DecodeLocalHdr splits a local header word.
 func DecodeLocalHdr(w raw.Word) (dst int, fragLen int, last bool, crypto bool) {
@@ -132,11 +141,13 @@ func GrantServed(w raw.Word) rotor.McastReq {
 //
 //	bits [3:0]   source port+1
 //	bit  [4]     last fragment
+//	bit  [5]     first fragment
 //	bits [17:8]  fragment length (payload words that matter)
 //	bits [27:18] L (total words streamed, fragLen + padding)
 const (
 	ehSrcMask  = 0xf
 	ehLastBit  = 1 << 4
+	ehFirstBit = 1 << 5
 	ehLenShift = 8
 	ehLenMask  = 0x3ff
 	ehLShift   = 18
@@ -152,6 +163,12 @@ func EgressHdr(src, fragLen, l int, last bool) raw.Word {
 	}
 	return w
 }
+
+// EgressHdrFirst marks an egress header's fragment as its packet's first.
+func EgressHdrFirst(w raw.Word) raw.Word { return w | ehFirstBit }
+
+// EgressHdrFirstOf reports the first-fragment mark.
+func EgressHdrFirstOf(w raw.Word) bool { return w&ehFirstBit != 0 }
 
 // DecodeEgressHdr splits an egress header word.
 func DecodeEgressHdr(w raw.Word) (src, fragLen, l int, last bool) {

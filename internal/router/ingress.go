@@ -38,11 +38,37 @@ type ingressFW struct {
 	// block reading an empty line and stall the whole crossbar's header
 	// exchange.
 	backlog func() int
+	in      *raw.StaticIn
+
+	// Robustness state. pktStart/lineClaim frame the current packet's
+	// words on the line (absolute Consumed() offsets), so an abort knows
+	// exactly how much to drain. dead is the masked-out port after
+	// degradation (-1 healthy). underruns/strikes drive the bounded
+	// retry-with-backoff before the line is declared down.
+	pktStart     int64
+	lineClaim    int64
+	pendingDrain int
+	underruns    int
+	strikes      int
+	lineDown     bool
+	dead         int
 }
 
+// lineDownStrikes is how many underrun timeouts (each with doubled
+// patience) the ingress tolerates before declaring its input line down.
+const lineDownStrikes = 3
+
 func (f *ingressFW) Refill(e *raw.Exec) {
+	if f.pendingDrain > 0 {
+		f.drainPending(e)
+		return
+	}
 	if f.havePkt {
 		f.quantum(e)
+		return
+	}
+	if f.lineDown {
+		f.idleQuantum(e)
 		return
 	}
 	e.Then(func(e *raw.Exec) { // poll the line card: one cycle
@@ -52,6 +78,81 @@ func (f *ingressFW) Refill(e *raw.Exec) {
 		}
 		f.acquire(e)
 	})
+}
+
+// drainPending discards line words still claimed by an aborted packet,
+// as they arrive, then keeps the crossbar protocol in lockstep with an
+// idle quantum. Resynchronizes the line to a packet boundary after an
+// underrun timeout or a degraded-mode reset.
+func (f *ingressFW) drainPending(e *raw.Exec) {
+	n := f.pendingDrain
+	if avail := f.backlog(); avail < n {
+		n = avail
+	}
+	if n == 0 {
+		f.underrun(e)
+		return
+	}
+	f.underruns = 0
+	e.WriteSwitchPC(func() raw.Word { return f.prog.Drop })
+	e.WriteSwitchCount(func() raw.Word { return raw.Word(n) })
+	e.RecvN(func() int { return n }, 1, nil)
+	e.WaitSwitchDone(nil)
+	e.Then(func(*raw.Exec) { f.pendingDrain -= n })
+	f.idleQuantum(e)
+}
+
+// underrun plays an idle quantum while the line card is behind. With
+// UnderrunQuanta configured, a packet whose line stalls for that many
+// consecutive quanta is aborted and its claimed words drained; each
+// timeout doubles the patience (backoff), and after lineDownStrikes
+// timeouts the port is declared down and stops reading the line.
+func (f *ingressFW) underrun(e *raw.Exec) {
+	f.rt.Stats.Underruns[f.port]++
+	f.underruns++
+	limit := f.rt.cfg.UnderrunQuanta
+	if limit > 0 && f.underruns >= limit<<f.strikes {
+		f.strikes++
+		f.underruns = 0
+		if f.havePkt {
+			f.rt.Stats.AbortDropped[f.port]++
+			f.havePkt = false
+			f.mcast = false
+			f.pendingDrain = f.claimedWords()
+		}
+		if f.strikes >= lineDownStrikes {
+			f.lineDown = true
+			f.pendingDrain = 0
+		}
+	}
+	f.idleQuantum(e)
+}
+
+// claimedWords returns how many of the current packet's words have not
+// yet been consumed off the line.
+func (f *ingressFW) claimedWords() int {
+	n := int(f.lineClaim - f.in.Consumed())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// resetForDegrade aborts any in-flight packet fail-stop when the fabric
+// degrades: the firmware restarts from a clean slate, draining whatever
+// the aborted packet still claims on the line, and from now on drops
+// packets addressed to the dead egress at acquire time.
+func (f *ingressFW) resetForDegrade(dead int) {
+	f.dead = dead
+	if f.havePkt {
+		f.rt.Stats.AbortDropped[f.port]++
+	}
+	if f.havePkt || f.lineClaim > f.in.Consumed() {
+		f.pendingDrain = f.claimedWords()
+	}
+	f.havePkt = false
+	f.mcast = false
+	f.underruns = 0
 }
 
 // idleQuantum keeps the crossbar protocol in lockstep when this port has
@@ -66,6 +167,8 @@ func (f *ingressFW) idleQuantum(e *raw.Exec) {
 // acquire reads the next packet's IP header from the line card, verifies
 // it, and resolves the egress port.
 func (f *ingressFW) acquire(e *raw.Exec) {
+	f.pktStart = f.in.Consumed()
+	f.lineClaim = f.pktStart + int64(ip.HeaderWords)
 	e.WriteSwitchPC(func() raw.Word { return f.prog.Acquire })
 	for i := 0; i < 5; i++ {
 		i := i
@@ -94,6 +197,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 		if f.totalLen > 4096 { // 16 KB sanity bound on a corrupt length
 			f.totalLen = ip.HeaderWords
 		}
+		f.lineClaim = f.pktStart + int64(f.totalLen)
 		// The Acquire switch routine has committed to a lookup exchange;
 		// send the destination (a garbage word on the drop path).
 		e.SendFunc(func() raw.Word { return raw.Word(h.Dst) })
@@ -123,6 +227,13 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 				return
 			}
 			f.outPort = int(port)
+			if f.outPort == f.dead {
+				// The destination egress died; fail fast instead of
+				// requesting a grant the masked allocator can never give.
+				f.rt.Stats.AbortDropped[f.port]++
+				f.drop(e)
+				return
+			}
 			f.mcast = false
 			f.havePkt = true
 			f.firstFrag = true
@@ -133,16 +244,14 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 	})
 }
 
-// drop drains the doomed packet's payload words off the line card.
+// drop schedules the doomed packet's remaining words for draining. The
+// drain itself happens in later Refills as the words actually arrive
+// (drainPending), so a dropped packet whose tail is still in flight on
+// the wire can never stall this tile — or, transitively, the crossbar —
+// waiting for it.
 func (f *ingressFW) drop(e *raw.Exec) {
-	payload := f.totalLen - ip.HeaderWords
-	if payload > 0 {
-		e.WriteSwitchPC(func() raw.Word { return f.prog.Drop })
-		e.WriteSwitchCount(func() raw.Word { return raw.Word(payload) })
-		e.RecvN(func() int { return payload }, 1, nil)
-		e.WaitSwitchDone(nil)
-	}
-	// Next Refill acquires the next packet.
+	f.pendingDrain = f.claimedWords()
+	f.idleQuantum(e)
 }
 
 // fragLen returns the current fragment's length in words.
@@ -193,7 +302,7 @@ func (f *ingressFW) ingest(e *raw.Exec) {
 // replay the buffered packet for those served.
 func (f *ingressFW) mcastQuantum(e *raw.Exec) {
 	e.WriteSwitchPC(func() raw.Word { return f.prog.Quantum })
-	hdr := LocalHdrMcast(f.members, f.totalLen, true)
+	hdr := LocalHdrFirst(LocalHdrMcast(f.members, f.totalLen, true))
 	e.SendFunc(func() raw.Word { return hdr })
 	var grant raw.Word
 	e.Recv(func(w raw.Word) { grant = w })
@@ -235,8 +344,26 @@ func (f *ingressFW) quantum(e *raw.Exec) {
 		f.mcastQuantum(e)
 		return
 	}
+	// Store-and-forward gating: don't request a grant until every word
+	// the fragment would cut through is already in the line buffer. A
+	// granted stream whose line card underruns would stall the switch
+	// mid-routine and wedge the whole crossbar quantum; gating converts
+	// that fabric-wide hazard into idle quanta on this port alone.
+	need := f.fragLen()
+	if f.firstFrag {
+		need -= ip.HeaderWords // header words are already held
+	}
+	if f.backlog() < need {
+		f.underrun(e)
+		return
+	}
+	f.underruns = 0
+	f.strikes = 0
 	e.WriteSwitchPC(func() raw.Word { return f.prog.Quantum })
 	hdr := LocalHdr(f.outPort, f.fragLen(), f.lastFrag())
+	if f.firstFrag {
+		hdr = LocalHdrFirst(hdr)
+	}
 	if f.rt.cfg.Crypto {
 		hdr = LocalHdrCrypto(hdr)
 	}

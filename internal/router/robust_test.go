@@ -271,6 +271,61 @@ func TestTOSPriority(t *testing.T) {
 	}
 }
 
+// TestDropConservation: with a fraction of checksum-corrupt frames mixed
+// into the wire, every offered packet is accounted for — delivered or
+// counted in Stats.Dropped — under both uniform and hotspot workloads.
+func TestDropConservation(t *testing.T) {
+	for _, hotspot := range []bool{false, true} {
+		r := mustNew(t, router.DefaultConfig())
+		rng := traffic.NewRNG(31)
+		id := uint16(0)
+		var offered, corrupted int64
+		feed := func() {
+			for p := 0; p < 4; p++ {
+				in := r.Chip.StaticIn(router.Layout[p].Ingress, router.Layout[p].InSide)
+				for r.InputBacklogWords(p) < 2048 {
+					id++
+					dst := rng.Intn(4)
+					if hotspot {
+						dst = 3
+					}
+					pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)), traffic.PortAddr(dst, uint32(id)), 64, 256, id)
+					words := pkt.Words()
+					if id%5 == 0 { // every 5th frame arrives checksum-corrupt
+						words[4] ^= 0x100
+						corrupted++
+					}
+					for _, w := range words {
+						in.Push(raw.Word(w))
+					}
+					offered++
+				}
+			}
+		}
+		for c := 0; c < 30000; c += 200 {
+			feed()
+			r.Run(200)
+		}
+		r.Run(60000) // drain to quiescence
+
+		var dropped, out int64
+		for p := 0; p < 4; p++ {
+			dropped += r.Stats.Dropped[p]
+			out += r.Stats.PktsOut[p]
+			if r.InFlightAtIngress(p) != 0 || r.PendingDrainWords(p) != 0 || r.InputBacklogWords(p) != 0 {
+				t.Fatalf("hotspot=%v port %d not quiescent", hotspot, p)
+			}
+		}
+		if dropped != corrupted {
+			t.Fatalf("hotspot=%v: dropped %d, corrupted %d", hotspot, dropped, corrupted)
+		}
+		if offered != dropped+out {
+			t.Fatalf("hotspot=%v conservation: offered %d != dropped %d + delivered %d",
+				hotspot, offered, dropped, out)
+		}
+	}
+}
+
 // TestInterleavedReassembly: large packets from two inputs to the same
 // egress fragment and interleave quantum by quantum; the egress's
 // per-source reassembly buffers keep both packets intact.

@@ -12,11 +12,15 @@ import (
 	"repro/internal/stats"
 )
 
-// sharedIndex caches the minimized configuration index: it is a pure
-// function of the 4-port ring, and enumerating the 2,500-entry space on
-// every router construction would dominate test setup.
+// sharedIndex caches the fault-tolerant configuration index: it is a
+// pure function of the 4-port ring, and enumerating the space on every
+// router construction would dominate test setup. The FT index keeps the
+// 27 healthy configurations in their usual slots (healthy dispatch is
+// identical to the plain minimized index) and appends the handful only
+// the degraded allocator can reach, so a router can be re-armed for
+// degraded operation without regenerating its jump table.
 var sharedIndex = sync.OnceValue(func() *rotor.ConfigIndex {
-	return rotor.NewConfigIndex(4)
+	return rotor.NewConfigIndexFT(4)
 })
 
 // sharedMixedIndex caches the §8.6 mixed unicast/multicast space (the
@@ -59,6 +63,21 @@ type Config struct {
 	Multicast bool
 	// Groups maps multicast group addresses to egress member masks.
 	Groups map[ip.Addr]uint8
+	// Watchdog enables the quantum-progress supervisor: if the crossbar
+	// stops granting quanta for WatchdogCycles and the wedge can be
+	// attributed to exactly one crossbar tile (its processor stopped
+	// being stepped — a crash or freeze fault), the router masks that
+	// tile out of the token rotation and continues on three ports.
+	// Incompatible with Multicast.
+	Watchdog bool
+	// WatchdogCycles is the no-progress window before the watchdog acts
+	// (default 20,000 cycles ≈ 80 µs at 250 MHz).
+	WatchdogCycles int64
+	// UnderrunQuanta, if > 0, bounds how many consecutive quanta an
+	// ingress waits for its line card before aborting the stalled packet;
+	// the bound doubles per abort (backoff), and after three aborts the
+	// port is declared down. 0 waits forever (flow control only).
+	UnderrunQuanta int
 	// Tracer, if set, receives per-tile per-cycle states (Figure 7-3).
 	Tracer raw.Tracer
 	// Workers shards chip stepping across host goroutines (0 or 1 =
@@ -97,6 +116,16 @@ type Stats struct {
 	// McastIn counts multicast packets fully served at ingress; McastCopies
 	// the egress copies they produced.
 	McastIn, McastCopies [4]int64
+	// AbortDropped counts packets abandoned by robustness machinery:
+	// underrun timeouts, degraded-mode resets, and dead-egress routes.
+	AbortDropped [4]int64
+	// Underruns counts quanta an ingress idled because its line card had
+	// not yet delivered the words the fragment needed.
+	Underruns [4]int64
+	// FabricLost counts packets that were fully inside the fabric
+	// (streamed in, not yet delivered) when a degraded-mode reset
+	// discarded all in-flight state.
+	FabricLost int64
 }
 
 // Router is the assembled 4-port Raw router.
@@ -109,14 +138,31 @@ type Router struct {
 	ins  [4]*raw.StaticIn
 	outs [4]*raw.EdgeSink
 
+	// Firmware handles, needed by the watchdog and degrade procedure.
+	xbars [4]*xbarFW
+	ings  [4]*ingressFW
+	egrs  [4]*egressFW
+
 	Stats Stats
+
+	// Degraded-mode state: deadPort is the masked crossbar tile (-1
+	// healthy); failed means a second wedge (or an unattributable one)
+	// stopped the fabric for good; reportPort is the crossbar that fires
+	// onQuantum.
+	deadPort   int
+	failed     bool
+	reportPort int
 
 	// onQuantum, if set, is called once per quantum (from crossbar 0)
 	// with the executed allocation.
 	onQuantum func(q int64, a rotor.Allocation)
 
-	// parse buffers for DrainOutput.
+	// parse buffers for DrainOutput; parsed counts each output stream's
+	// absolute parse position and cuts the offsets where a degrade
+	// truncated the stream mid-packet.
 	parseBuf [4][]uint32
+	parsed   [4]int64
+	cuts     [4][]int64
 
 	// tableEpoch selects which double-buffered DRAM table the lookup
 	// tiles consult (§2.2.1 table management; flipped by UpdateTable).
@@ -131,19 +177,29 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Weights != nil && len(cfg.Weights) != 4 {
 		return nil, fmt.Errorf("router: weights must have 4 entries, got %d", len(cfg.Weights))
 	}
+	if cfg.Watchdog && cfg.Multicast {
+		return nil, fmt.Errorf("router: watchdog degraded mode supports unicast only")
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = 20000
+	}
 	chipCfg := raw.DefaultConfig()
 	chipCfg.ClockHz = cfg.ClockHz
 	chipCfg.Tracer = cfg.Tracer
 	r := &Router{
-		Chip: raw.NewChip(chipCfg),
-		cfg:  cfg,
-		ci:   sharedIndex(),
+		Chip:     raw.NewChip(chipCfg),
+		cfg:      cfg,
+		ci:       sharedIndex(),
+		deadPort: -1,
 	}
 	if cfg.Multicast {
 		r.ci = sharedMixedIndex()
 	}
 	r.Chip.SetWorkers(cfg.Workers)
 	r.Mem = mem.Attach(r.Chip, cfg.DRAMLatency)
+	// DRAM latency spikes from an installed fault plane (zero-cost nil
+	// guard when no faults are configured).
+	r.Mem.ExtraLatency = r.Chip.FaultDRAMPenalty
 
 	// Forwarding table into DRAM.
 	table := cfg.Table
@@ -168,7 +224,8 @@ func New(cfg Config) (*Router, error) {
 		if err := r.Chip.Tile(pt.Crossbar).SetSwitchProgram(xprog.Prog); err != nil {
 			return nil, err
 		}
-		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(&xbarFW{rt: r, port: p, prog: xprog})
+		r.xbars[p] = &xbarFW{rt: r, port: p, prog: xprog, dead: -1}
+		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(r.xbars[p])
 
 		iprog, err := GenIngressProgram(p)
 		if err != nil {
@@ -178,9 +235,10 @@ func New(cfg Config) (*Router, error) {
 			return nil, err
 		}
 		in := r.Chip.StaticIn(pt.Ingress, pt.InSide)
-		r.Chip.Tile(pt.Ingress).Exec().SetFirmware(&ingressFW{
-			rt: r, port: p, prog: iprog, backlog: in.Len,
-		})
+		r.ings[p] = &ingressFW{
+			rt: r, port: p, prog: iprog, backlog: in.Len, in: in, dead: -1,
+		}
+		r.Chip.Tile(pt.Ingress).Exec().SetFirmware(r.ings[p])
 
 		eprog, err := GenEgressProgram(p)
 		if err != nil {
@@ -189,7 +247,8 @@ func New(cfg Config) (*Router, error) {
 		if err := r.Chip.Tile(pt.Egress).SetSwitchProgram(eprog.Prog); err != nil {
 			return nil, err
 		}
-		r.Chip.Tile(pt.Egress).Exec().SetFirmware(&egressFW{rt: r, port: p, prog: eprog})
+		r.egrs[p] = &egressFW{rt: r, port: p, prog: eprog}
+		r.Chip.Tile(pt.Egress).Exec().SetFirmware(r.egrs[p])
 
 		if err := r.Chip.Tile(pt.Lookup).SetSwitchProgram(GenLookupProgram(p)); err != nil {
 			return nil, err
@@ -198,6 +257,9 @@ func New(cfg Config) (*Router, error) {
 
 		r.ins[p] = r.Chip.StaticIn(pt.Ingress, pt.InSide)
 		r.outs[p] = r.Chip.StaticOut(pt.Egress, pt.OutSide)
+	}
+	if cfg.Watchdog {
+		r.installWatchdog()
 	}
 	return r, nil
 }
@@ -262,7 +324,10 @@ func (r *Router) Run(n int64) { r.Chip.Run(n) }
 func (r *Router) Cycle() int64 { return r.Chip.Cycle() }
 
 // DrainOutput parses the packets that left output port p since the last
-// call. Partial trailing packets are kept for the next call.
+// call. Partial trailing packets are kept for the next call. Packets
+// truncated at the pins by a degraded-mode reset (recorded as cut
+// offsets) are discarded silently — they are already accounted in
+// Stats.FabricLost.
 func (r *Router) DrainOutput(p int) ([]ip.Packet, error) {
 	words, _ := r.outs[p].Drain()
 	for _, w := range words {
@@ -270,28 +335,67 @@ func (r *Router) DrainOutput(p int) ([]ip.Packet, error) {
 	}
 	var pkts []ip.Packet
 	buf := r.parseBuf[p]
-	for len(buf) >= ip.HeaderWords {
-		h, err := ip.Unmarshal(buf)
-		if err != nil {
-			return pkts, fmt.Errorf("router: output %d stream corrupt: %w", p, err)
+	for {
+		// Words available before the next degrade cut, if any.
+		for len(r.cuts[p]) > 0 && r.cuts[p][0] <= r.parsed[p] {
+			r.cuts[p] = r.cuts[p][1:]
 		}
-		n := (int(h.TotalLen) + 3) / 4
-		if n < ip.HeaderWords {
-			n = ip.HeaderWords
+		limit, cutActive := len(buf), false
+		if len(r.cuts[p]) > 0 {
+			if avail := int(r.cuts[p][0] - r.parsed[p]); avail <= limit {
+				limit, cutActive = avail, true
+			}
+		}
+		discardToCut := func() {
+			buf = buf[limit:]
+			r.parsed[p] += int64(limit)
+			r.cuts[p] = r.cuts[p][1:]
+		}
+		if limit < ip.HeaderWords {
+			if cutActive {
+				discardToCut()
+				continue
+			}
+			break
+		}
+		h, err := ip.Unmarshal(buf[:limit])
+		n := 0
+		if err == nil {
+			n = (int(h.TotalLen) + 3) / 4
+			if n < ip.HeaderWords {
+				n = ip.HeaderWords
+			}
+		}
+		if err != nil || (cutActive && n > limit) {
+			if cutActive {
+				discardToCut()
+				continue
+			}
+			return pkts, fmt.Errorf("router: output %d stream corrupt: %w", p, err)
 		}
 		if len(buf) < n {
 			break
 		}
-		pkt, err := ip.ParsePacket(buf[:n])
-		if err != nil {
-			return pkts, fmt.Errorf("router: output %d packet corrupt: %w", p, err)
+		pkt, perr := ip.ParsePacket(buf[:n])
+		if perr != nil {
+			if cutActive {
+				discardToCut()
+				continue
+			}
+			return pkts, fmt.Errorf("router: output %d packet corrupt: %w", p, perr)
 		}
 		pkts = append(pkts, pkt)
 		buf = buf[n:]
+		r.parsed[p] += int64(n)
 	}
 	r.parseBuf[p] = buf
 	return pkts, nil
 }
+
+// UnparsedWords returns the words buffered at output p that do not yet
+// form a complete packet (a truncated tail on a failed port, or a packet
+// still streaming).
+func (r *Router) UnparsedWords(p int) int { return len(r.parseBuf[p]) }
 
 // OutputWords returns the total words ever emitted on output p.
 func (r *Router) OutputWords(p int) int64 { return r.outs[p].Count() }

@@ -1,0 +1,236 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/raw"
+)
+
+// The quantum-progress watchdog (robustness extension). The Rotating
+// Crossbar's liveness invariant is that quanta keep completing: even a
+// fully idle router exchanges empty headers and advances the token every
+// round, so total quantum count across the live crossbar tiles is a
+// heartbeat of the whole fabric. If it stops advancing for
+// WatchdogCycles, something is wedged. The watchdog then tries to
+// attribute the wedge to a single crossbar tile whose processor has not
+// been stepped since progress last advanced — the signature of a crashed
+// or frozen tile, whose micro-op executor the chip skips entirely. An
+// attributable wedge triggers degraded-mode reconfiguration
+// (Router.Degrade); an unattributable one, or a second wedge after
+// degrading, fail-stops the router (Failed reports true).
+type watchdog struct {
+	rt *Router
+
+	// checkMask gates the (cheap) progress check to every 1024th cycle.
+	checkMask int64
+	limit     int64
+
+	lastProgress int64
+	lastChange   int64
+	hbAtChange   [4]int64
+}
+
+func (r *Router) installWatchdog() {
+	w := &watchdog{
+		rt:           r,
+		checkMask:    1024 - 1,
+		limit:        r.cfg.WatchdogCycles,
+		lastProgress: -1, // force a snapshot on the first check
+	}
+	r.Chip.SetCycleHook(w.tick)
+}
+
+// heartbeat sums a tile processor's state counters; the sum advances
+// once per cycle the tile is stepped, so it freezes exactly when the
+// fault plane freezes the tile.
+func heartbeat(e *raw.Exec) int64 {
+	var s int64
+	for _, v := range e.StateCounts() {
+		s += v
+	}
+	return s
+}
+
+// tick runs on the simulation's main goroutine between cycles, so it may
+// read firmware state and reconfigure tiles without racing workers.
+func (w *watchdog) tick(cycle int64) {
+	if cycle&w.checkMask != 0 || w.rt.failed {
+		return
+	}
+	var progress int64
+	for p := 0; p < 4; p++ {
+		if p == w.rt.deadPort {
+			continue
+		}
+		progress += w.rt.xbars[p].quantum
+	}
+	if progress != w.lastProgress {
+		w.lastProgress = progress
+		w.lastChange = cycle
+		for p := 0; p < 4; p++ {
+			w.hbAtChange[p] = heartbeat(w.rt.Chip.Tile(Layout[p].Crossbar).Exec())
+		}
+		return
+	}
+	if cycle-w.lastChange < w.limit {
+		return
+	}
+	// Wedged. Attribute: which crossbar processor stopped being stepped?
+	dead := -1
+	for p := 0; p < 4; p++ {
+		if p == w.rt.deadPort {
+			continue
+		}
+		if heartbeat(w.rt.Chip.Tile(Layout[p].Crossbar).Exec()) == w.hbAtChange[p] {
+			if dead >= 0 {
+				dead = -1 // more than one: cannot mask a single hole
+				break
+			}
+			dead = p
+		}
+	}
+	if dead < 0 || w.rt.deadPort >= 0 {
+		w.rt.failed = true
+		return
+	}
+	if err := w.rt.Degrade(dead); err != nil {
+		w.rt.failed = true
+		return
+	}
+	// Restart the clock for the three-tile fabric.
+	w.lastProgress = -1
+	w.lastChange = cycle
+}
+
+// Degrade masks port dead's crossbar tile out of the token rotation and
+// reconfigures the three survivors for degraded operation. Must be
+// called between cycles (the watchdog calls it from the chip's cycle
+// hook; tests may call it directly before or between Run calls).
+//
+// The procedure is fail-stop at the fabric boundary: every packet fully
+// streamed into the fabric but not yet delivered is discarded and
+// counted in Stats.FabricLost; every packet in flight at a surviving
+// ingress is aborted (Stats.AbortDropped) and its remaining line words
+// drained; output streams truncated mid-packet at the pins are recorded
+// so DrainOutput can skip the orphan words. The dead port's four tiles
+// are parked; the survivors' switches get regenerated degraded programs
+// and their firmware restarts from clean per-quantum state.
+func (r *Router) Degrade(dead int) error {
+	if dead < 0 || dead > 3 {
+		return fmt.Errorf("router: bad dead port %d", dead)
+	}
+	if r.deadPort >= 0 {
+		return fmt.Errorf("router: already degraded (port %d dead)", r.deadPort)
+	}
+	if r.cfg.Multicast {
+		return fmt.Errorf("router: degraded mode supports unicast only")
+	}
+	r.deadPort = dead
+
+	// Fail-stop accounting: everything inside the fabric is lost.
+	var in, out int64
+	for p := 0; p < 4; p++ {
+		in += r.Stats.PktsIn[p]
+		out += r.Stats.PktsOut[p]
+	}
+	if in > out {
+		r.Stats.FabricLost += in - out
+	}
+	for p := 0; p < 4; p++ {
+		r.cuts[p] = append(r.cuts[p], r.outs[p].Count())
+	}
+	if r.reportPort == dead {
+		r.reportPort = (dead + 1) % 4
+	}
+
+	// Park the dead port's pipeline. Its crossbar tile may be frozen (the
+	// usual reason we are here) — reprogramming it is a no-op until it
+	// thaws, at which point the park program blocks it harmlessly.
+	dp := Layout[dead]
+	if f := r.ings[dead]; f.havePkt {
+		r.Stats.AbortDropped[dead]++
+		f.havePkt = false
+	}
+	r.ings[dead].lineDown = true
+	for _, tile := range []int{dp.Ingress, dp.Lookup, dp.Crossbar, dp.Egress} {
+		t := r.Chip.Tile(tile)
+		t.Exec().Reset()
+		t.Exec().SetFirmware(nil)
+		t.ResetStatic(0)
+		if err := t.SetSwitchProgram(ParkProgram()); err != nil {
+			return err
+		}
+	}
+
+	// Reconfigure the survivors.
+	for p := 0; p < 4; p++ {
+		if p == dead {
+			continue
+		}
+		pt := Layout[p]
+
+		xprog, err := GenXbarProgramDegraded(p, r.ci, dead)
+		if err != nil {
+			return err
+		}
+		xt := r.Chip.Tile(pt.Crossbar)
+		xt.Exec().Reset()
+		xt.ResetStatic(0)
+		if err := xt.SetSwitchProgram(xprog.Prog); err != nil {
+			return err
+		}
+		r.xbars[p].enterDegraded(dead, xprog)
+
+		it := r.Chip.Tile(pt.Ingress)
+		it.Exec().Reset()
+		it.ResetStatic(0)
+		if err := it.SetSwitchProgram(r.ings[p].prog.Prog); err != nil {
+			return err
+		}
+		r.ings[p].resetForDegrade(dead)
+
+		et := r.Chip.Tile(pt.Egress)
+		et.Exec().Reset()
+		et.ResetStatic(0)
+		if err := et.SetSwitchProgram(r.egrs[p].prog.Prog); err != nil {
+			return err
+		}
+		r.egrs[p].resetForDegrade()
+
+		lt := r.Chip.Tile(pt.Lookup)
+		lt.Exec().Reset()
+		lt.ResetStatic(0)
+		if err := lt.SetSwitchProgram(GenLookupProgram(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeadPort returns the masked-out port in degraded mode, -1 if healthy.
+func (r *Router) DeadPort() int { return r.deadPort }
+
+// Failed reports whether the watchdog fail-stopped the router (a second
+// wedge after degrading, or a wedge it could not attribute to one tile).
+func (r *Router) Failed() bool { return r.failed }
+
+// LineDown reports whether port p's ingress declared its input line dead
+// (underrun-timeout strikes exhausted, or the port's crossbar died).
+func (r *Router) LineDown(p int) bool { return r.ings[p].lineDown }
+
+// InFlightAtIngress returns how many accepted packets port p's ingress
+// currently holds (0 or 1) — the in-flight term of the conservation
+// identity chaos testing checks.
+func (r *Router) InFlightAtIngress(p int) int {
+	if r.ings[p].havePkt {
+		return 1
+	}
+	return 0
+}
+
+// PendingDrainWords returns how many line words port p's ingress still
+// owes to an aborted packet's drain.
+func (r *Router) PendingDrainWords(p int) int { return r.ings[p].pendingDrain }
+
+// Quanta returns crossbar tile p's completed quantum count.
+func (r *Router) Quanta(p int) int64 { return r.xbars[p].quantum }

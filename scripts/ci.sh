@@ -14,4 +14,12 @@ echo "== tier-2: vet + race =="
 go vet ./...
 go test -race ./...
 
+echo "== tier-2: chaos harness (fixed seed matrix, race detector) =="
+# Seeds are pinned inside the tests (fault.Random seeds 1,2,3,5,7 and the
+# crash/corruption schedules), so this matrix is fully reproducible:
+# conservation, no-duplication, and bit-for-bit replay at 1 and NumCPU
+# workers.
+go test -race -run 'TestChaos' ./internal/fault
+go test -race -run 'TestWatchdog|TestManualDegrade|TestDegraded|TestDropConservation' ./internal/router
+
 echo "CI green."
