@@ -5,13 +5,17 @@
 #            (the parallel engine's data-race hygiene gate)
 #   chaos  - the fault-injection chaos harness under the race detector
 #            (fixed seed matrix; conservation + bit-for-bit replay)
-#   fuzz   - short runs of the interpreter, allocator, and fault-schedule
-#            fuzz targets
+#   soak   - the 20-seed degrade->restore chaos matrix under the race
+#            detector, each seed with a mid-run checkpoint/restore that
+#            must continue bit-for-bit identical to the uninterrupted run
+#   fuzz   - short runs of the interpreter, allocator, fault-schedule,
+#            and chip-snapshot fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
 
 GO ?= go
+SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos fuzz bench ci
+.PHONY: all tier1 tier2 chaos soak fuzz bench ci
 
 all: tier1
 
@@ -27,12 +31,17 @@ chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/fault
 	$(GO) test -race -v -run 'TestWatchdog|TestManualDegrade|TestDegraded|TestDropConservation' ./internal/router
 
+soak:
+	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -v -timeout 60m -run 'TestSoak' ./internal/fault
+	$(GO) test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
+
 fuzz:
 	$(GO) test ./internal/raw/asm -fuzz FuzzInterp -fuzztime 30s
 	$(GO) test ./internal/rotor -fuzz FuzzAllocate -fuzztime 30s
 	$(GO) test ./internal/fault -fuzz FuzzFaultSchedule -fuzztime 30s
+	$(GO) test ./internal/raw -fuzz FuzzSnapshotRoundTrip -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .
 
-ci: tier1 tier2 chaos
+ci: tier1 tier2 chaos soak

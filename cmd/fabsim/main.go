@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	fabsim [-full] [-workers 1]
-//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded]
+//	fabsim [-full] [-workers 1] [-reprobe N]
+//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded|restore]
+//
+// -exp restore runs the port re-admission experiment (degrade -> restore
+// -> probation vs never-failed); -reprobe arms line-flap retry with the
+// given backoff base (in quanta) for that experiment's routers.
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
-	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded, restore")
 	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
+	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the restore experiment (0 = latched LineDown)")
 	flag.Parse()
 	exp.SetWorkers(*workers)
+	exp.SetReprobeQuanta(*reprobe)
 
 	q := exp.Quick
 	if *full {
@@ -60,6 +66,10 @@ func main() {
 	}
 	if show("degraded") {
 		_, _, tb := exp.DegradedCrossbar(q)
+		fmt.Println(tb)
+	}
+	if show("restore") {
+		_, _, tb := exp.RestoredCrossbar(q)
 		fmt.Println(tb)
 	}
 }

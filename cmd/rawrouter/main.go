@@ -6,12 +6,21 @@
 //	rawrouter [-size 1024] [-pattern perm|uniform|hotspot] [-cycles 200000]
 //	          [-warmup 80000] [-quantum 256] [-crypto] [-layout] [-seed 1]
 //	          [-workers 1] [-faults SCHEDULE] [-faultseed N] [-watchdog]
+//	          [-autorestore] [-reprobe N] [-checkpoint FILE] [-restore FILE]
 //
 // With -layout it prints the Figure 7-2 tile mapping and exits. -faults
 // takes the internal/fault text encoding (e.g. "crash@5000:t6"); with
 // -faultseed a seeded schedule of recoverable faults is added. -watchdog
 // arms the quantum-progress watchdog so a crashed crossbar tile degrades
-// the fabric to three ports instead of halting it.
+// the fabric to three ports instead of halting it; -autorestore lets the
+// watchdog re-admit the port when the tile thaws. -reprobe N arms
+// line-flap retry with an N-quanta backoff base (0 = LineDown latches).
+// -checkpoint FILE writes a deterministic checkpoint blob after the run;
+// -restore FILE replays one before running — the restored chip state is
+// bit-for-bit the checkpointed one, and the run then continues with a
+// freshly seeded workload stream (the generator itself is not part of
+// the simulation). A -restore run must pass the same -faults/-faultseed
+// as the run that wrote the blob, or the replay is rejected.
 package main
 
 import (
@@ -40,6 +49,10 @@ func main() {
 	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"crash@5000:t6;dram@0+9999:+100\"")
 	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
 	watchdog := flag.Bool("watchdog", false, "arm the quantum-progress watchdog (degrade on a wedged crossbar tile)")
+	autoRestore := flag.Bool("autorestore", false, "let the watchdog re-admit a degraded port when its tile thaws (requires -watchdog)")
+	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta (0 = LineDown latches permanently)")
+	checkpoint := flag.String("checkpoint", "", "write a deterministic checkpoint blob to FILE after the run")
+	restore := flag.String("restore", "", "replay a checkpoint blob from FILE before running (needs the same -faults/-faultseed as the writer)")
 	flag.Parse()
 
 	if *layout {
@@ -52,6 +65,9 @@ func main() {
 	rcfg.QuantumWords = *quantum
 	rcfg.Crypto = *crypto
 	rcfg.Watchdog = *watchdog
+	rcfg.AutoRestore = *autoRestore
+	rcfg.ReprobeQuanta = *reprobe
+	rcfg.Checkpoint = *checkpoint != "" || *restore != ""
 	if *traceRun {
 		rec = trace.NewRecorder(16, *warmup+*cycles-800, *warmup+*cycles)
 		rcfg.Tracer = rec
@@ -83,6 +99,27 @@ func main() {
 	if injecting {
 		fmt.Printf("fault schedule: %s\n", sched)
 		r.Cycle().Chip.InstallFaults(fault.NewInjector(sched, 16))
+		for _, c := range sched.Controls() {
+			switch c.Kind {
+			case fault.KindRestore:
+				r.Cycle().ScheduleRestore(c.Start, c.Tile)
+			case fault.KindReprobe:
+				r.Cycle().ScheduleReprobe(c.Start, c.Tile)
+			}
+		}
+	}
+
+	if *restore != "" {
+		blob, err := os.ReadFile(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			os.Exit(1)
+		}
+		if err := r.Cycle().RestoreSnapshot(blob); err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored checkpoint %s at cycle %d\n", *restore, r.Cycle().Cycle())
 	}
 
 	var gen core.TrafficGen
@@ -124,7 +161,28 @@ func main() {
 			fmt.Println("router FAIL-STOPPED (unattributable or repeated wedge)")
 		} else if d := rt.DeadPort(); d >= 0 {
 			fmt.Printf("degraded: port %d masked out, 3 live ports\n", d)
+		} else if rt.Restoring() {
+			fmt.Println("restore in progress (draining for re-admission)")
+		} else if p := rt.ProbationPort(); p >= 0 {
+			fmt.Printf("port %d re-admitted, probation in progress\n", p)
 		}
+		if st.Reprobes != [4]int64{} || st.Recovered != [4]int64{} {
+			fmt.Printf("line reprobes %v recovered %v flap-drop words %v\n",
+				st.Reprobes, st.Recovered, st.FlapDrops)
+		}
+	}
+
+	if *checkpoint != "" {
+		blob, err := r.Cycle().Snapshot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", len(blob), *checkpoint, r.Cycle().Cycle())
 	}
 
 	if rec != nil {

@@ -19,13 +19,19 @@
 // Usage:
 //
 //	rawsim [-cycles 1000] [-in tile:side:w1,w2,...] [-regs 0,4]
-//	       [-faults SCHEDULE] [-faultseed N] prog.rawasm
+//	       [-faults SCHEDULE] [-faultseed N]
+//	       [-checkpoint FILE] [-restore FILE] prog.rawasm
 //
 // -in pushes words into a boundary static input before the run; -regs
 // dumps those tiles' registers afterwards; all boundary static outputs
 // that received words are printed. -faults installs a deterministic
 // fault schedule (internal/fault text encoding, e.g. "freeze@100+50:t3");
-// -faultseed adds a seeded schedule of recoverable faults.
+// -faultseed adds a seeded schedule of recoverable faults. -checkpoint
+// FILE writes a deterministic chip checkpoint blob after the run;
+// -restore FILE replays one before running -cycles more. A -restore run
+// must load the same program and pass the same -faults/-faultseed as the
+// run that wrote the blob — the restore verifies the replay and rejects
+// a mismatched environment.
 package main
 
 import (
@@ -48,6 +54,8 @@ func main() {
 	workerStats := flag.Bool("workerstats", false, "print per-worker phase accounting after the run")
 	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"freeze@100+50:t3\"")
 	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
+	checkpoint := flag.String("checkpoint", "", "write a deterministic chip checkpoint blob to FILE after the run")
+	restore := flag.String("restore", "", "replay a chip checkpoint blob from FILE before running (needs the writer's program and fault flags)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
@@ -59,6 +67,11 @@ func main() {
 		fatal(err)
 	}
 	chip := raw.NewChip(raw.DefaultConfig())
+	if *checkpoint != "" || *restore != "" {
+		if err := chip.EnableRecording(); err != nil {
+			fatal(err)
+		}
+	}
 	interps, err := loadProgram(chip, string(src))
 	if err != nil {
 		fatal(err)
@@ -85,6 +98,17 @@ func main() {
 		chip.InstallFaults(fault.NewInjector(sched, chip.NumTiles()))
 	}
 
+	if *restore != "" {
+		blob, err := os.ReadFile(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chip.RestoreSnapshot(blob); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored checkpoint %s at cycle %d\n", *restore, chip.Cycle())
+	}
+
 	if *inputs != "" {
 		for _, spec := range strings.Split(*inputs, ";") {
 			if err := pushInput(chip, spec); err != nil {
@@ -99,6 +123,16 @@ func main() {
 	}
 	chip.Run(*cycles)
 	fmt.Printf("ran %d cycles (%d worker(s))\n", chip.Cycle(), chip.Workers())
+	if *checkpoint != "" {
+		blob, err := chip.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", len(blob), *checkpoint, chip.Cycle())
+	}
 	if *workerStats {
 		fmt.Print(chip.WorkerStats().Table())
 	}

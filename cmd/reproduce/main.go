@@ -18,12 +18,14 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use the short benchmark durations")
 	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
+	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the recovery experiment (0 = latched LineDown)")
 	flag.Parse()
 	q := exp.Full
 	if *quick {
 		q = exp.Quick
 	}
 	exp.SetWorkers(*workers)
+	exp.SetReprobeQuanta(*reprobe)
 
 	section := func(name string) func() {
 		start := time.Now()
@@ -138,6 +140,11 @@ func main() {
 
 	done = section("robustness: degraded crossbar (3 live ports vs 4)")
 	_, _, tb = exp.DegradedCrossbar(q)
+	fmt.Println(tb)
+	done()
+
+	done = section("robustness: port re-admission (degrade -> restore vs never-failed)")
+	_, _, tb = exp.RestoredCrossbar(q)
 	fmt.Println(tb)
 	done()
 }

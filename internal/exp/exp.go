@@ -783,3 +783,86 @@ func DegradedCrossbar(q Quality) (healthy, degraded []float64, tb *stats.Table) 
 	}
 	return healthy, degraded, tb
 }
+
+// reprobeQuanta is the line-flap retry backoff base (in quanta) the
+// recovery experiments run with; 0 keeps the default (latched LineDown).
+var reprobeQuanta int
+
+// SetReprobeQuanta configures line-flap retry for RestoredCrossbar
+// (fabsim/reproduce -reprobe).
+func SetReprobeQuanta(n int) { reprobeQuanta = n }
+
+// RestoredCrossbar quantifies port re-admission (the recovery
+// extension): a router that degraded port 2 away, drained, restored it,
+// and served out the probation window, measured against a router that
+// never failed — same saturated uniform workload, same measurement
+// window. The acceptance bar for the recovery design is that the
+// restored fabric is within 1% of healthy: re-admission leaves the
+// healthy rotor entries bitwise unchanged and the transition slots cost
+// only the one re-entry quantum.
+func RestoredCrossbar(q Quality) (healthy, restored []float64, tb *stats.Table) {
+	warmup := cyclesFor(q, 10_000, 20_000)
+	window := cyclesFor(q, 40_000, 100_000)
+	run := func(size int, arc bool) float64 {
+		cfg := router.DefaultConfig()
+		cfg.Workers = workers
+		cfg.ReprobeQuanta = reprobeQuanta
+		r, err := router.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if arc {
+			if err := r.Degrade(2); err != nil {
+				panic(err)
+			}
+			r.Run(10_000)
+			if err := r.Restore(2); err != nil {
+				panic(err)
+			}
+			if !r.Chip.RunUntil(func() bool {
+				return r.DeadPort() < 0 && r.ProbationPort() < 0
+			}, 100_000) {
+				panic("exp: restore never completed")
+			}
+		}
+		rng := traffic.NewRNG(1234)
+		id := uint16(0)
+		feed := func(cycles int64) {
+			for c := int64(0); c < cycles; c += 200 {
+				for p := 0; p < 4; p++ {
+					for r.InputBacklogWords(p) < 4096 {
+						id++
+						pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)),
+							traffic.PortAddr(rng.Intn(4), uint32(id)), 64, size, id)
+						r.OfferPacket(p, &pkt)
+					}
+				}
+				r.Run(200)
+			}
+		}
+		feed(warmup)
+		var start int64
+		for p := 0; p < 4; p++ {
+			start += r.OutputWords(p)
+		}
+		startCycle := r.Cycle()
+		feed(window)
+		var words int64
+		for p := 0; p < 4; p++ {
+			words += r.OutputWords(p)
+		}
+		return stats.Gbps((words-start)*4, r.Cycle()-startCycle, cfg.ClockHz)
+	}
+	tb = &stats.Table{
+		Caption: "restored rotating crossbar: after degrade(port2) -> restore -> probation vs never-failed",
+		Headers: []string{"size(B)", "healthy Gbps", "restored Gbps", "ratio"},
+	}
+	for _, size := range []int{64, 256, 1024} {
+		h := run(size, false)
+		g := run(size, true)
+		healthy = append(healthy, h)
+		restored = append(restored, g)
+		tb.AddRow(size, h, g, stats.Ratio(g, h))
+	}
+	return healthy, restored, tb
+}

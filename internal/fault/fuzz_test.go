@@ -16,6 +16,7 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add("corrupt:t4.w.w17.b31;drop:t8.w.w3+2.n1;dram@50+25:+300")
 	f.Add("link@0+1:t1023.s.n1;;  freeze@0+1:t0 ;")
 	f.Add("drop:t0.n.w0+1;drop:t0.n.w0+1073741824")
+	f.Add("crash@3000:t6;restore@20000:p1;reprobe@100:p0")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := Parse(text)
 		if err != nil {

@@ -65,6 +65,10 @@ func NewInjector(s *Schedule, numTiles int) *Injector {
 			continue
 		}
 		switch e.Kind {
+		case KindRestore, KindReprobe:
+			// Recovery controls target the router, not the chip; the
+			// harness routes them via Schedule.Controls().
+			continue
 		case KindCorrupt:
 			k := linkKey{e.Tile, e.Dir, e.Net}
 			t := inj.pops[k]

@@ -40,6 +40,16 @@ const (
 	KindDrop
 	// KindDRAM adds Extra cycles of DRAM latency during the window.
 	KindDRAM
+	// KindRestore is a recovery control, not a fault: it schedules the
+	// router's Restore(port) at Start. The injector ignores it; harnesses
+	// feed Schedule.Controls() to the router so a chaos run's recovery
+	// actions replay as deterministically as its faults. Tile carries the
+	// port number.
+	KindRestore
+	// KindReprobe is a recovery control like KindRestore: it forces the
+	// port's ingress to probe its down line at Start, regardless of the
+	// backoff schedule.
+	KindReprobe
 )
 
 // Encoding bounds. The parser rejects values beyond these so that a
@@ -129,6 +139,10 @@ func (s *Schedule) String() string {
 			}
 		case KindDRAM:
 			fmt.Fprintf(&b, "dram@%d+%d:+%d", e.Start, e.Dur, e.Extra)
+		case KindRestore:
+			fmt.Fprintf(&b, "restore@%d:p%d", e.Start, e.Tile)
+		case KindReprobe:
+			fmt.Fprintf(&b, "reprobe@%d:p%d", e.Start, e.Tile)
 		}
 	}
 	return b.String()
@@ -143,6 +157,8 @@ func (s *Schedule) String() string {
 //	corrupt:tT.D.wI.bB[.nN]        flip bit B of the I-th word popped
 //	drop:tT.D.wI+C[.nN]            lose C words at the pins from word I
 //	dram@START+DUR:+X              add X cycles of DRAM latency
+//	restore@START:pP               control: restore port P at START
+//	reprobe@START:pP               control: force port P's line probe
 //
 // where D is one of n/e/s/w. Empty segments are ignored, so a trailing
 // ';' is harmless.
@@ -284,6 +300,29 @@ func parseEvent(seg string) (Event, error) {
 		}
 		e.Extra = int(n)
 		return e, nil
+
+	case "restore", "reprobe":
+		e.Kind = KindRestore
+		if kind == "reprobe" {
+			e.Kind = KindReprobe
+		}
+		if !timed {
+			return e, fmt.Errorf("%s needs @start", kind)
+		}
+		var err error
+		if e.Start, err = parseInt(when, 0, maxStart); err != nil {
+			return e, fmt.Errorf("start: %w", err)
+		}
+		portS, ok := strings.CutPrefix(rest, "p")
+		if !ok {
+			return e, fmt.Errorf("%s needs :pPORT", kind)
+		}
+		n, err := parseInt(portS, 0, 3)
+		if err != nil {
+			return e, fmt.Errorf("port: %w", err)
+		}
+		e.Tile = int(n)
+		return e, nil
 	}
 	return e, fmt.Errorf("unknown fault kind %q", kind)
 }
@@ -377,6 +416,20 @@ func parseInt(s string, min, max int64) (int64, error) {
 		return 0, fmt.Errorf("%d out of range [%d,%d]", v, min, max)
 	}
 	return v, nil
+}
+
+// Controls returns the schedule's recovery-control events (KindRestore,
+// KindReprobe) in start order. They are not faults — the injector skips
+// them — so a harness forwards them to the router (ScheduleRestore,
+// ScheduleReprobe) to replay a chaos run's recovery actions.
+func (s *Schedule) Controls() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == KindRestore || e.Kind == KindReprobe {
+			out = append(out, e)
+		}
+	}
+	return sortEvents(out)
 }
 
 // sortEvents orders timed events by start cycle (stable, so equal starts

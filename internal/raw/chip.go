@@ -74,6 +74,10 @@ type Chip struct {
 	// cycleHook, when non-nil, runs at the end of every Step (see
 	// SetCycleHook).
 	cycleHook func(cycle int64)
+
+	// rec, when non-nil, logs external static-input pushes so the chip
+	// can checkpoint by record-replay (see snapshot.go).
+	rec *recorder
 }
 
 // NewChip builds a chip. Every boundary static link gets an input queue

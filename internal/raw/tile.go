@@ -251,6 +251,21 @@ func (s *EdgeSink) Drain() ([]Word, []int64) {
 // ones.
 func (s *EdgeSink) Count() int64 { return s.total }
 
+// Held returns how many sunk words are currently buffered (not yet
+// drained).
+func (s *EdgeSink) Held() int { return len(s.words) }
+
+// DropFront discards the first n buffered words. Checkpoint restore uses
+// it to realign a replayed sink with the prefix the original run had
+// already drained; Count is unaffected.
+func (s *EdgeSink) DropFront(n int) {
+	if n < 0 || n > len(s.words) {
+		panic("raw: DropFront beyond buffered words")
+	}
+	s.words = s.words[n:]
+	s.cycles = s.cycles[n:]
+}
+
 // StaticIn is a testbench handle for pushing words into a boundary static
 // input link. Words pushed become visible to the switch on the next cycle.
 type StaticIn struct {
@@ -265,7 +280,17 @@ type StaticIn struct {
 // installed, individual words may be lost at the pins (DropEdgeWord).
 func (in *StaticIn) Push(words ...Word) {
 	fp := in.chip.faults
+	rec := in.chip.rec
 	for _, w := range words {
+		// Record before the fault plane's drop check: the checkpoint log
+		// holds what the testbench offered, and replay reproduces the
+		// injector's drops from its own deterministic counters.
+		if rec != nil && rec.active {
+			rec.log = append(rec.log, inputRec{
+				cycle: in.chip.cycle, tile: uint16(in.tile),
+				dir: uint8(in.dir), net: uint8(in.net), word: w,
+			})
+		}
 		if fp != nil && fp.DropEdgeWord(in.tile, in.dir, in.net) {
 			continue
 		}

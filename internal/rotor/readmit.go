@@ -1,0 +1,47 @@
+package rotor
+
+// Re-admission (robustness extension): after a degraded port's tiles
+// recover, the fabric re-enters the port into token rotation at a
+// quantum boundary. For a probation window the re-admitted tile runs the
+// full healthy protocol — it exchanges headers, relays ring traffic, and
+// holds the token — but its egress stays quarantined and its ingress
+// sends only empty headers, so a tile that is not actually healthy again
+// cannot corrupt committed streams; it can only wedge the header
+// exchange, which the watchdog catches and re-degrades.
+
+// AllocateReadmit runs the prioritized allocation walk during the
+// probation window after tile joining rejoins the ring. The walk covers
+// all n tiles in token order (the re-admitted tile is back in rotation),
+// but the joining tile's egress is pre-claimed: no stream is granted to
+// it until probation ends. Its ring links are free, so streams between
+// its neighbors may relay through it — the first real work the
+// re-admitted tile does. The joining tile must not request a transfer of
+// its own (its ingress is still in probation and sends empty headers).
+func AllocateReadmit(g GlobalConfig, prio []uint8, joining int) Allocation {
+	n := len(g.Hdrs)
+	if len(prio) != n {
+		panic("rotor: priority vector must match ring size")
+	}
+	if joining < 0 || joining >= n {
+		panic("rotor: joining tile out of range")
+	}
+	if g.Hdrs[joining] != HdrEmpty {
+		panic("rotor: re-admitted tile cannot request a transfer during probation")
+	}
+	order := make([]int, 0, n)
+	var maxP uint8
+	for _, p := range prio {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	for p := int(maxP); p >= 0; p-- {
+		for k := 0; k < n; k++ {
+			i := (g.Token + k) % n
+			if int(prio[i]) == p {
+				order = append(order, i)
+			}
+		}
+	}
+	return allocateSeeded(g, order, joining, -1)
+}

@@ -322,14 +322,26 @@ func allocateOrdered(g GlobalConfig, order []int) Allocation {
 // unmodified path search simply routes around the hole — or blocks the
 // requester, exactly as contention would.
 func allocateMasked(g GlobalConfig, order []int, dead int) Allocation {
+	return allocateSeeded(g, order, dead, dead)
+}
+
+// allocateSeeded is the reservation walk with pre-claimed resources:
+// quarantined (if >= 0) has its egress claimed before the walk, severed
+// (if >= 0) additionally has both its ring links claimed. Degraded mode
+// severs the dead tile entirely; probation after re-admission only
+// quarantines the joining tile's egress, leaving its ring links free so
+// it relays traffic between its neighbors.
+func allocateSeeded(g GlobalConfig, order []int, quarantined, severed int) Allocation {
 	n := len(g.Hdrs)
 	outClaimed := make([]bool, n)
 	cwBusy := make([]bool, n)
 	ccwBusy := make([]bool, n)
-	if dead >= 0 {
-		outClaimed[dead] = true
-		cwBusy[dead] = true
-		ccwBusy[dead] = true
+	if quarantined >= 0 {
+		outClaimed[quarantined] = true
+	}
+	if severed >= 0 {
+		cwBusy[severed] = true
+		ccwBusy[severed] = true
 	}
 	a := Allocation{Granted: make([]bool, n), Tiles: make([]TileConfig, n)}
 	for _, i := range order {

@@ -136,6 +136,51 @@ func DegradedConfigs(n int) []ConfigKey {
 	return keys
 }
 
+// ReadmitConfigs enumerates every per-tile configuration the probation
+// allocator (AllocateReadmit) can produce, over all choices of joining
+// tile, all header combinations (the joining tile's own header is empty;
+// other tiles may target the quarantined egress and get blocked), and
+// all token positions — the re-admitted tile takes the token first, so
+// token == joining is reachable. These are the transition slots of the
+// fault-tolerant jump table: appended after the degraded configurations
+// so healthy entries stay bitwise unchanged.
+func ReadmitConfigs(n int) []ConfigKey {
+	seen := make(map[ConfigKey]bool)
+	prio := make([]uint8, n)
+	hdrs := make([]Hdr, n)
+	for joining := 0; joining < n; joining++ {
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == n {
+				for token := 0; token < n; token++ {
+					g := GlobalConfig{Hdrs: append([]Hdr(nil), hdrs...), Token: token}
+					a := AllocateReadmit(g, prio, joining)
+					for _, t := range a.Tiles {
+						seen[t.Key()] = true
+					}
+				}
+				return
+			}
+			if pos == joining {
+				hdrs[pos] = HdrEmpty
+				rec(pos + 1)
+				return
+			}
+			for h := 0; h <= n; h++ {
+				hdrs[pos] = Hdr(h)
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+	keys := make([]ConfigKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
 // ConfigIndex maps every reachable per-tile configuration to its slot in
 // the switch-code jump table.
 type ConfigIndex struct {
@@ -155,12 +200,20 @@ func NewConfigIndex(n int) *ConfigIndex {
 
 // NewConfigIndexFT builds the fault-tolerant jump-table index: the
 // healthy minimized configurations in their usual slots, followed by any
-// configurations only the degraded allocator can produce. Healthy slot
-// numbers are unchanged, so programs generated against NewConfigIndex
-// and NewConfigIndexFT dispatch healthy traffic identically.
+// configurations only the degraded allocator can produce, followed by
+// the re-admission transition slots probation quanta can produce.
+// Healthy slot numbers are unchanged, so programs generated against
+// NewConfigIndex and NewConfigIndexFT dispatch healthy traffic
+// identically.
 func NewConfigIndexFT(n int) *ConfigIndex {
 	ci := NewConfigIndex(n)
 	for _, k := range DegradedConfigs(n) {
+		if _, ok := ci.index[k]; !ok {
+			ci.index[k] = len(ci.keys)
+			ci.keys = append(ci.keys, k)
+		}
+	}
+	for _, k := range ReadmitConfigs(n) {
 		if _, ok := ci.index[k]; !ok {
 			ci.index[k] = len(ci.keys)
 			ci.keys = append(ci.keys, k)

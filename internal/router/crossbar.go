@@ -22,6 +22,13 @@ type xbarFW struct {
 	// dead is the masked-out crossbar tile in degraded mode, -1 healthy.
 	dead int
 
+	// readmit counts the probation quanta remaining after a restore:
+	// while positive, the allocation runs with joining's egress
+	// quarantined (rotor.AllocateReadmit). All four tiles decrement in
+	// lockstep, so the distributed schedule stays identical.
+	readmit int
+	joining int
+
 	// Per-quantum derived state.
 	alloc   rotor.Allocation
 	cfgIdx  int
@@ -77,9 +84,12 @@ func (x *xbarFW) decide(e *raw.Exec) {
 	// best-effort traffic. In degraded mode the masked allocator routes
 	// around the dead tile (the long way when the short arc crosses it).
 	g := rotor.GlobalConfig{Hdrs: hdrs[:], Token: x.token}
-	if x.dead >= 0 {
+	switch {
+	case x.dead >= 0:
 		x.alloc = rotor.AllocateDegraded(g, prios[:], x.dead)
-	} else {
+	case x.readmit > 0:
+		x.alloc = rotor.AllocateReadmit(g, prios[:], x.joining)
+	default:
 		x.alloc = rotor.AllocatePrio(g, prios[:])
 	}
 	x.cfgIdx = x.rt.ci.Of(x.alloc.Tiles[x.port])
@@ -200,6 +210,9 @@ func (x *xbarFW) advanceToken(e *raw.Exec) {
 			}
 			x.dwell = 0
 		}
+		if x.readmit > 0 {
+			x.readmit--
+		}
 		x.quantum++
 		if x.rt.onQuantum != nil && x.port == x.rt.reportPort && !x.rt.cfg.Multicast {
 			x.rt.onQuantum(x.quantum, x.alloc)
@@ -217,4 +230,26 @@ func (x *xbarFW) enterDegraded(dead int, prog *XbarProgram) {
 	x.token = (dead + 1) % 4
 	x.dwell = 0
 	x.hdrs = [4]raw.Word{}
+	x.readmit = 0
+	x.joining = -1
+}
+
+// reenterHealthy rewires the firmware for the full four-tile ring after a
+// restore, with a probation window quarantining the re-admitted port's
+// egress. Called between cycles by Router.completeRestore on all four
+// tiles (the restored one included) after their switches were
+// reprogrammed healthy and their in-flight state reset. The token starts
+// at the joining tile on every crossbar, so the distributed allocation
+// resumes in lockstep and the re-admitted port holds the token first —
+// re-entry at a quantum boundary, not mid-rotation.
+func (x *xbarFW) reenterHealthy(prog *XbarProgram, joining, readmit int) {
+	x.dead = -1
+	x.prog = prog
+	x.token = joining
+	x.dwell = 0
+	x.hdrs = [4]raw.Word{}
+	x.joining = joining
+	x.readmit = readmit
+	x.alloc = rotor.Allocation{}
+	x.cfgIdx = 0
 }

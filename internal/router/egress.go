@@ -95,6 +95,17 @@ func (f *egressFW) resetForDegrade() {
 	f.hdrW = 0
 }
 
+// quiet reports whether no partial packet sits in the reassembly
+// buffers. Read between cycles by the restore quiescence check.
+func (f *egressFW) quiet() bool {
+	for i := range f.buf {
+		if len(f.buf[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // cryptoForward receives the fragment through the processor, applies the
 // per-word stream cipher to the payload (the IP header stays in the
 // clear so the next hop can route), and forwards to the pin.

@@ -52,13 +52,44 @@ type ingressFW struct {
 	strikes      int
 	lineDown     bool
 	dead         int
+
+	// Line-flap retry state (cfg.ReprobeQuanta > 0): while lineDown, the
+	// ingress probes the line on an exponential-backoff schedule instead
+	// of latching dead forever. probeMark is the line's total pushed-word
+	// position at the last probe (growth means the line talks again);
+	// reprobeIn counts quanta to the next probe; reprobeAtt the silent
+	// probes so far (backoff exponent); reprobeNow forces a probe (set
+	// between cycles by a scheduled reprobe control). rng is the
+	// per-port xorshift64* jitter state — firmware-owned, so the backoff
+	// schedule replays bit-for-bit at any worker count.
+	probeMark  int64
+	reprobeIn  int
+	reprobeAtt int
+	reprobeNow bool
+	rng        uint64
+
+	// Restore coordination (see restore.go). pause declines new packet
+	// acquisition while a restore drains the fabric; probation holds the
+	// re-admitted port to empty headers until its probation window ends.
+	pause     bool
+	probation bool
 }
 
 // lineDownStrikes is how many underrun timeouts (each with doubled
 // patience) the ingress tolerates before declaring its input line down.
 const lineDownStrikes = 3
 
+// reprobeAttCap bounds the backoff exponent (2^16 quanta ≈ 18 s of
+// simulated time between probes at the default quantum).
+const reprobeAttCap = 16
+
 func (f *ingressFW) Refill(e *raw.Exec) {
+	if f.lineDown {
+		// A down line stops draining and acquiring; with reprobe armed it
+		// periodically checks whether the line resumed talking.
+		f.lineDownQuantum(e)
+		return
+	}
 	if f.pendingDrain > 0 {
 		f.drainPending(e)
 		return
@@ -67,7 +98,10 @@ func (f *ingressFW) Refill(e *raw.Exec) {
 		f.quantum(e)
 		return
 	}
-	if f.lineDown {
+	if f.pause || f.probation {
+		// Restore drain (pause) or post-restore probation: decline new
+		// packets but keep playing idle quanta — the header exchange and
+		// the watchdog's progress heartbeat must stay alive.
 		f.idleQuantum(e)
 		return
 	}
@@ -121,11 +155,103 @@ func (f *ingressFW) underrun(e *raw.Exec) {
 			f.pendingDrain = f.claimedWords()
 		}
 		if f.strikes >= lineDownStrikes {
-			f.lineDown = true
-			f.pendingDrain = 0
+			f.markLineDown()
 		}
 	}
 	f.idleQuantum(e)
+}
+
+// markLineDown declares the input line dead. With reprobe armed the
+// pending drain is kept — a recovered line resynchronizes from it; the
+// latch-forever mode zeroes it, as no words will ever arrive.
+func (f *ingressFW) markLineDown() {
+	f.lineDown = true
+	f.probeMark = f.pushedTotal()
+	f.reprobeAtt = 0
+	if f.rt.cfg.ReprobeQuanta > 0 {
+		f.scheduleReprobe()
+	} else {
+		f.pendingDrain = 0
+	}
+}
+
+// pushedTotal is the line's absolute stream position: every word the
+// testbench ever pushed that survived the fault plane, consumed or not.
+// A down line is alive again exactly when this grows.
+func (f *ingressFW) pushedTotal() int64 { return f.in.Consumed() + int64(f.in.Len()) }
+
+// lineDownQuantum plays an idle quantum on a down line and runs the
+// reprobe schedule: when the countdown (or a forced reprobe control)
+// fires, a silent line backs off exponentially and a talking line comes
+// back up, discarding the words still claimed by the packet that was cut
+// off (FlapDrops) to resynchronize at a packet boundary.
+func (f *ingressFW) lineDownQuantum(e *raw.Exec) {
+	probe := f.reprobeNow
+	f.reprobeNow = false
+	if !probe && f.rt.cfg.ReprobeQuanta > 0 {
+		f.reprobeIn--
+		probe = f.reprobeIn <= 0
+	}
+	if probe {
+		f.probe()
+	}
+	f.idleQuantum(e)
+}
+
+func (f *ingressFW) probe() {
+	pushed := f.pushedTotal()
+	if pushed > f.probeMark {
+		// The line talks again: discard the aborted packet's residue so
+		// the stream resumes at the next packet boundary, and rejoin.
+		f.rt.Stats.Recovered[f.port]++
+		f.pendingDrain = f.claimedWords()
+		f.rt.Stats.FlapDrops[f.port] += int64(f.pendingDrain)
+		f.lineDown = false
+		f.strikes = 0
+		f.underruns = 0
+		f.reprobeAtt = 0
+		return
+	}
+	f.rt.Stats.Reprobes[f.port]++
+	f.probeMark = pushed
+	if f.reprobeAtt < reprobeAttCap {
+		f.reprobeAtt++
+	}
+	if f.rt.cfg.ReprobeQuanta > 0 {
+		f.scheduleReprobe()
+	}
+}
+
+// scheduleReprobe sets the countdown to the next probe: ReprobeQuanta
+// doubled per silent probe, plus up to half that again of seeded jitter
+// so fleets of ports don't probe in phase.
+func (f *ingressFW) scheduleReprobe() {
+	base := f.rt.cfg.ReprobeQuanta << f.reprobeAtt
+	if base <= 0 { // shift overflow guard
+		base = f.rt.cfg.ReprobeQuanta << reprobeAttCap
+	}
+	f.reprobeIn = base + int(f.nextRand()%uint64(base/2+1))
+}
+
+// nextRand steps the per-port xorshift64* jitter stream.
+func (f *ingressFW) nextRand() uint64 {
+	x := f.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	f.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// reprobeSeed derives port p's jitter stream from the configured seed;
+// the port mix keeps streams distinct, the fixed constant keeps a zero
+// seed usable.
+func reprobeSeed(seed uint64, p int) uint64 {
+	s := seed ^ 0x9E3779B97F4A7C15*uint64(p+1)
+	if s == 0 {
+		s = 0x2545F4914F6CDD1D
+	}
+	return s
 }
 
 // claimedWords returns how many of the current packet's words have not
@@ -153,6 +279,30 @@ func (f *ingressFW) resetForDegrade(dead int) {
 	f.havePkt = false
 	f.mcast = false
 	f.underruns = 0
+	f.pause = false
+	f.probation = false
+}
+
+// resetForRestore rejoins the ingress to the healthy fabric after a
+// restore. Live ports keep their line state (a down line stays down and
+// keeps probing); the restored port starts clean — in probation when a
+// window is configured, draining whatever its cut-off packet still
+// claims on the line so the stream resumes at a packet boundary.
+func (f *ingressFW) resetForRestore(restored bool, probation bool) {
+	f.dead = -1
+	f.pause = false
+	if !restored {
+		return
+	}
+	f.probation = probation
+	f.lineDown = false
+	f.strikes = 0
+	f.underruns = 0
+	f.reprobeAtt = 0
+	f.reprobeNow = false
+	f.havePkt = false
+	f.mcast = false
+	f.pendingDrain = f.claimedWords()
 }
 
 // idleQuantum keeps the crossbar protocol in lockstep when this port has

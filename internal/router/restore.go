@@ -1,0 +1,291 @@
+package router
+
+import "fmt"
+
+// Port re-admission (robustness extension). Degrade is fail-stop and
+// instantaneous; Restore is its inverse and must be hitless for the
+// survivors, so it runs as a small state machine driven by the chip's
+// cycle hook:
+//
+//	degraded --Restore--> draining --quiesce--> re-admitting --window--> live
+//
+// Draining: the three live ingresses pause new packet acquisition (still
+// playing idle quanta — the header exchange and the watchdog's heartbeat
+// must not stop) while packets already inside the fabric finish. The
+// hook declares quiescence when no ingress holds a packet, every
+// reassembly buffer is empty, the packet conservation identity balances,
+// and the output word counts have been stable for two consecutive check
+// intervals (residual pipeline words flush during the grace interval).
+//
+// Re-admitting: at that point the fabric is exactly as idle as a freshly
+// built router, so the same between-cycles reconfiguration Degrade uses
+// applies in reverse: all sixteen tiles get their healthy switch
+// programs back (cached from construction — healthy jump-table slots are
+// bitwise unchanged in the FT config index, so these are the original
+// programs, not regenerations), the dead port's four tiles get their
+// firmware re-installed, and every crossbar re-enters the full ring with
+// the token at the joining port.
+//
+// Probation: for ReadmitQuanta quanta the re-admitted port plays the
+// full protocol but its egress stays quarantined (rotor.AllocateReadmit)
+// and its ingress sends only empty headers. A tile that did not really
+// recover can therefore only wedge the header exchange — which the
+// re-armed watchdog catches and re-degrades — never corrupt a committed
+// stream. When the window expires the hook lifts the ingress probation
+// and the port is fully live.
+
+// restoreCheckMask gates the quiescence check to every 256th cycle.
+const restoreCheckMask = 256 - 1
+
+// controlKind enumerates scheduled recovery controls (the router-side
+// counterpart of the fault grammar's restore@/reprobe@ directives).
+type controlKind uint8
+
+const (
+	ctlRestore controlKind = iota
+	ctlReprobe
+)
+
+type control struct {
+	cycle int64
+	port  int
+	kind  controlKind
+	fired bool
+}
+
+// ScheduleRestore arranges for Restore(port) to run at the given cycle
+// (from the cycle hook, so it is deterministic and checkpoint-replayable;
+// a failing Restore — wrong port, not degraded — is a recorded no-op).
+func (r *Router) ScheduleRestore(cycle int64, port int) {
+	r.controls = append(r.controls, control{cycle: cycle, port: port, kind: ctlRestore})
+}
+
+// ScheduleReprobe forces port's next line probe at the given cycle,
+// regardless of the backoff schedule (deterministic, like
+// ScheduleRestore).
+func (r *Router) ScheduleReprobe(cycle int64, port int) {
+	r.controls = append(r.controls, control{cycle: cycle, port: port, kind: ctlReprobe})
+}
+
+// tick is the chip's single cycle hook: it runs between cycles on the
+// simulation's main goroutine (workers parked), so it may read firmware
+// state and reconfigure tiles without racing. Everything here is a few
+// nil checks per cycle against sixteen tile steps.
+func (r *Router) tick(cycle int64) {
+	if r.wd != nil {
+		r.wd.tick(cycle)
+	}
+	if len(r.controls) > 0 {
+		r.runControls(cycle)
+	}
+	if r.restoring {
+		r.restoreTick(cycle)
+	}
+	if r.probationPort >= 0 && cycle&restoreCheckMask == 0 {
+		if r.xbars[r.reportPort].readmit == 0 {
+			r.ings[r.probationPort].probation = false
+			r.event(cycle, r.probationPort, "live")
+			r.probationPort = -1
+		}
+	}
+	if r.cfg.Events != nil && cycle&restoreCheckMask == 0 {
+		for p := 0; p < 4; p++ {
+			if down := r.ings[p].lineDown; down != r.lineDownSeen[p] {
+				r.lineDownSeen[p] = down
+				kind := "line-up"
+				if down {
+					kind = "line-down"
+				}
+				r.cfg.Events.Add(cycle, p, kind)
+			}
+		}
+	}
+}
+
+func (r *Router) runControls(cycle int64) {
+	for i := range r.controls {
+		c := &r.controls[i]
+		if c.fired || c.cycle > cycle {
+			continue
+		}
+		c.fired = true
+		if c.port < 0 || c.port > 3 {
+			continue
+		}
+		switch c.kind {
+		case ctlRestore:
+			if err := r.Restore(c.port); err != nil {
+				r.event(cycle, c.port, "restore-rejected")
+			}
+		case ctlReprobe:
+			r.ings[c.port].reprobeNow = true
+		}
+	}
+}
+
+func (r *Router) event(cycle int64, port int, kind string) {
+	if r.cfg.Events != nil {
+		r.cfg.Events.Add(cycle, port, kind)
+	}
+}
+
+// Restore begins re-admission of the degraded port: live ingresses stop
+// acquiring new packets and the fabric drains; once quiescent, the cycle
+// hook completes the reconfiguration at a quantum boundary. Must be
+// called between cycles (tests call it directly; scheduled controls and
+// the watchdog's AutoRestore call it from the hook). Restore completes
+// only after in-flight packets finish — a paused ingress mid-packet
+// still needs its line words to arrive.
+func (r *Router) Restore(port int) error {
+	if r.failed {
+		return fmt.Errorf("router: fail-stopped; cannot restore")
+	}
+	if r.deadPort < 0 {
+		return fmt.Errorf("router: not degraded; nothing to restore")
+	}
+	if port != r.deadPort {
+		return fmt.Errorf("router: port %d is not the dead port (%d)", port, r.deadPort)
+	}
+	if r.restoring {
+		return fmt.Errorf("router: restore already in progress")
+	}
+	r.restoring = true
+	r.restoreArmed = false
+	for p := 0; p < 4; p++ {
+		if p != r.deadPort {
+			r.ings[p].pause = true
+		}
+	}
+	r.event(r.Chip.Cycle(), port, "restore-drain")
+	return nil
+}
+
+// Restoring reports whether a restore is draining toward quiescence.
+func (r *Router) Restoring() bool { return r.restoring }
+
+// ProbationPort returns the re-admitted port still in its probation
+// window, -1 if none.
+func (r *Router) ProbationPort() int { return r.probationPort }
+
+// restoreTick checks drain quiescence every restoreCheckMask+1 cycles
+// and completes the restore once the fabric has been provably idle for
+// two consecutive checks.
+func (r *Router) restoreTick(cycle int64) {
+	if cycle&restoreCheckMask != 0 {
+		return
+	}
+	if !r.drainQuiescent() {
+		r.restoreArmed = false
+		return
+	}
+	var cur [4]int64
+	for p := range cur {
+		cur[p] = r.outs[p].Count()
+	}
+	if !r.restoreArmed || cur != r.restoreMark {
+		// First passing check, or words still trickling out of the
+		// pipeline: wait one more interval of stability.
+		r.restoreMark = cur
+		r.restoreArmed = true
+		return
+	}
+	r.completeRestore(cycle)
+}
+
+// drainQuiescent reports whether nothing is in flight inside the fabric:
+// no ingress mid-packet, no partial reassembly, and the conservation
+// identity balanced. Line-side state (pending drains, backlogs, down
+// lines) is irrelevant — it does not touch fabric reconfiguration.
+func (r *Router) drainQuiescent() bool {
+	var in, out int64
+	for p := 0; p < 4; p++ {
+		if p != r.deadPort {
+			if r.ings[p].havePkt || !r.egrs[p].quiet() {
+				return false
+			}
+		}
+		in += r.Stats.PktsIn[p]
+		out += r.Stats.PktsOut[p]
+	}
+	return in == out+r.Stats.FabricLost
+}
+
+// completeRestore is Degrade in reverse, run between cycles from the
+// hook once the fabric is drained: healthy switch programs everywhere,
+// firmware re-installed on the parked tiles, crossbars re-entering the
+// four-tile ring in lockstep with the token at the joining port.
+func (r *Router) completeRestore(cycle int64) {
+	dead := r.deadPort
+	readmit := r.readmitQuanta
+	for p := 0; p < 4; p++ {
+		pt := Layout[p]
+
+		xt := r.Chip.Tile(pt.Crossbar)
+		xt.Exec().Reset()
+		xt.ResetStatic(0)
+		if err := xt.SetSwitchProgram(r.xprogs[p].Prog); err != nil {
+			r.failStop(cycle, p, err)
+			return
+		}
+		if p == dead {
+			xt.Exec().SetFirmware(r.xbars[p])
+		}
+		r.xbars[p].reenterHealthy(r.xprogs[p], dead, readmit)
+
+		it := r.Chip.Tile(pt.Ingress)
+		it.Exec().Reset()
+		it.ResetStatic(0)
+		if err := it.SetSwitchProgram(r.ings[p].prog.Prog); err != nil {
+			r.failStop(cycle, p, err)
+			return
+		}
+		if p == dead {
+			it.Exec().SetFirmware(r.ings[p])
+		}
+		r.ings[p].resetForRestore(p == dead, readmit > 0)
+
+		et := r.Chip.Tile(pt.Egress)
+		et.Exec().Reset()
+		et.ResetStatic(0)
+		if err := et.SetSwitchProgram(r.egrs[p].prog.Prog); err != nil {
+			r.failStop(cycle, p, err)
+			return
+		}
+		if p == dead {
+			et.Exec().SetFirmware(r.egrs[p])
+		}
+		r.egrs[p].resetForDegrade()
+
+		lt := r.Chip.Tile(pt.Lookup)
+		lt.Exec().Reset()
+		lt.ResetStatic(0)
+		if err := lt.SetSwitchProgram(GenLookupProgram(p)); err != nil {
+			r.failStop(cycle, p, err)
+			return
+		}
+		if p == dead {
+			lt.Exec().SetFirmware(r.lookups[p])
+		}
+	}
+	r.deadPort = -1
+	r.restoring = false
+	r.restoreArmed = false
+	if readmit > 0 {
+		r.probationPort = dead
+	} else {
+		r.probationPort = -1
+	}
+	if r.wd != nil {
+		r.wd.rearm(cycle)
+	}
+	r.event(cycle, dead, "readmit")
+}
+
+// failStop records an unrecoverable reconfiguration error (cached
+// programs failing to install should be impossible; park safely rather
+// than continue with a half-configured fabric).
+func (r *Router) failStop(cycle int64, port int, err error) {
+	r.failed = true
+	r.restoring = false
+	r.event(cycle, port, fmt.Sprintf("fail-stop: %v", err))
+}

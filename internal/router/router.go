@@ -10,6 +10,7 @@ import (
 	"repro/internal/raw"
 	"repro/internal/rotor"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // sharedIndex caches the fault-tolerant configuration index: it is a
@@ -78,6 +79,36 @@ type Config struct {
 	// the bound doubles per abort (backoff), and after three aborts the
 	// port is declared down. 0 waits forever (flow control only).
 	UnderrunQuanta int
+	// ReprobeQuanta, if > 0, arms line-flap retry: a port declared down
+	// re-probes its line after ReprobeQuanta quanta, doubling the wait on
+	// every silent probe (exponential backoff with seeded jitter from
+	// ReprobeSeed), and comes back up when line words resume — a
+	// transient flap recovers instead of latching the port dead. 0 keeps
+	// the latch-forever behavior.
+	ReprobeQuanta int
+	// ReprobeSeed seeds the per-port xorshift64* jitter on the reprobe
+	// backoff; the stream is firmware state, so it replays bit-for-bit at
+	// any worker count.
+	ReprobeSeed uint64
+	// ReadmitQuanta is the probation window, in quanta, after Restore
+	// re-enters a degraded port into token rotation: the re-admitted tile
+	// exchanges headers, relays ring traffic, and holds the token, but
+	// its egress stays quarantined and its ingress sends only empty
+	// headers until the window expires. 0 selects the default (8); < 0
+	// disables probation (immediate full service).
+	ReadmitQuanta int
+	// AutoRestore lets the watchdog re-admit the degraded port when the
+	// dead crossbar tile's heartbeat resumes (a thawed freeze, as opposed
+	// to a permanent crash). Requires Watchdog.
+	AutoRestore bool
+	// Events, if non-nil, receives recovery-state-machine transitions
+	// (line-down/line-up, degrade, restore-drain, readmit, live,
+	// fail-stop).
+	Events *trace.EventLog
+	// Checkpoint enables input recording at construction so the router
+	// can Snapshot (see snapshot.go). Off by default: the log costs
+	// memory proportional to the words offered.
+	Checkpoint bool
 	// Tracer, if set, receives per-tile per-cycle states (Figure 7-3).
 	Tracer raw.Tracer
 	// Workers shards chip stepping across host goroutines (0 or 1 =
@@ -122,6 +153,11 @@ type Stats struct {
 	// Underruns counts quanta an ingress idled because its line card had
 	// not yet delivered the words the fragment needed.
 	Underruns [4]int64
+	// Reprobes counts silent line probes on a down port; Recovered counts
+	// line-up transitions a probe detected; FlapDrops counts the line
+	// words discarded to resynchronize a recovered line to its next
+	// packet boundary.
+	Reprobes, Recovered, FlapDrops [4]int64
 	// FabricLost counts packets that were fully inside the fabric
 	// (streamed in, not yet delivered) when a degraded-mode reset
 	// discarded all in-flight state.
@@ -153,6 +189,25 @@ type Router struct {
 	failed     bool
 	reportPort int
 
+	// Recovery state (see restore.go). wd is the installed watchdog (nil
+	// without cfg.Watchdog); xprogs and lookups retain the healthy
+	// switch programs and lookup firmware so Restore can re-install them
+	// without regeneration. restoring marks the drain window between
+	// Restore and the quantum-boundary reconfiguration; restoreArmed and
+	// restoreMark implement the two-interval output-stability check.
+	// probationPort is the re-admitted port still in probation (-1 none).
+	// readmitQuanta is cfg.ReadmitQuanta resolved (default applied).
+	wd            *watchdog
+	xprogs        [4]*XbarProgram
+	lookups       [4]*lookupFW
+	restoring     bool
+	restoreArmed  bool
+	restoreMark   [4]int64
+	probationPort int
+	readmitQuanta int
+	controls      []control
+	lineDownSeen  [4]bool
+
 	// onQuantum, if set, is called once per quantum (from crossbar 0)
 	// with the executed allocation.
 	onQuantum func(q int64, a rotor.Allocation)
@@ -183,14 +238,24 @@ func New(cfg Config) (*Router, error) {
 	if cfg.WatchdogCycles == 0 {
 		cfg.WatchdogCycles = 20000
 	}
+	if cfg.AutoRestore && !cfg.Watchdog {
+		return nil, fmt.Errorf("router: AutoRestore requires Watchdog")
+	}
 	chipCfg := raw.DefaultConfig()
 	chipCfg.ClockHz = cfg.ClockHz
 	chipCfg.Tracer = cfg.Tracer
 	r := &Router{
-		Chip:     raw.NewChip(chipCfg),
-		cfg:      cfg,
-		ci:       sharedIndex(),
-		deadPort: -1,
+		Chip:          raw.NewChip(chipCfg),
+		cfg:           cfg,
+		ci:            sharedIndex(),
+		deadPort:      -1,
+		probationPort: -1,
+	}
+	switch {
+	case cfg.ReadmitQuanta > 0:
+		r.readmitQuanta = cfg.ReadmitQuanta
+	case cfg.ReadmitQuanta == 0:
+		r.readmitQuanta = 8
 	}
 	if cfg.Multicast {
 		r.ci = sharedMixedIndex()
@@ -224,6 +289,7 @@ func New(cfg Config) (*Router, error) {
 		if err := r.Chip.Tile(pt.Crossbar).SetSwitchProgram(xprog.Prog); err != nil {
 			return nil, err
 		}
+		r.xprogs[p] = xprog
 		r.xbars[p] = &xbarFW{rt: r, port: p, prog: xprog, dead: -1}
 		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(r.xbars[p])
 
@@ -237,6 +303,7 @@ func New(cfg Config) (*Router, error) {
 		in := r.Chip.StaticIn(pt.Ingress, pt.InSide)
 		r.ings[p] = &ingressFW{
 			rt: r, port: p, prog: iprog, backlog: in.Len, in: in, dead: -1,
+			rng: reprobeSeed(cfg.ReprobeSeed, p),
 		}
 		r.Chip.Tile(pt.Ingress).Exec().SetFirmware(r.ings[p])
 
@@ -253,13 +320,23 @@ func New(cfg Config) (*Router, error) {
 		if err := r.Chip.Tile(pt.Lookup).SetSwitchProgram(GenLookupProgram(p)); err != nil {
 			return nil, err
 		}
-		r.Chip.Tile(pt.Lookup).Exec().SetFirmware(&lookupFW{rt: r, port: p})
+		r.lookups[p] = &lookupFW{rt: r, port: p}
+		r.Chip.Tile(pt.Lookup).Exec().SetFirmware(r.lookups[p])
 
 		r.ins[p] = r.Chip.StaticIn(pt.Ingress, pt.InSide)
 		r.outs[p] = r.Chip.StaticOut(pt.Egress, pt.OutSide)
 	}
 	if cfg.Watchdog {
 		r.installWatchdog()
+	}
+	// A single chip cycle hook dispatches to every router-level observer:
+	// watchdog, scheduled recovery controls, restore quiescence checks,
+	// probation expiry, and event sampling (see restore.go).
+	r.Chip.SetCycleHook(r.tick)
+	if cfg.Checkpoint {
+		if err := r.Chip.EnableRecording(); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,199 @@
+package router
+
+import "fmt"
+
+// Deterministic router checkpoints (robustness extension). The chip
+// layer checkpoints by record-replay (see internal/raw/snapshot.go): the
+// blob holds every boundary input ever pushed, and restoring replays
+// them through a fresh chip, which re-derives all firmware state —
+// including this router's counters, degraded/restore state machine, and
+// scheduled controls — bit for bit. The router wrapper adds the state
+// that lives OUTSIDE the replayed simulation: the output-parse cursors
+// (DrainOutput consumes sink words at arbitrary harness times that the
+// replay does not repeat) and a copy of Stats and the recovery state,
+// used purely to verify that the replay converged to the checkpointed
+// run rather than diverging.
+//
+// A restored run is bit-for-bit identical to an uninterrupted one
+// provided the original run's inputs were all simulation inputs: words
+// offered at the pins, fault schedules, and scheduled recovery controls
+// (ScheduleRestore/ScheduleReprobe). Manual Degrade/Restore calls
+// between Run calls are not recorded — use the scheduled forms in runs
+// that will be checkpointed.
+
+const rtrSnapMagic = "RTRCKPT1"
+
+// Snapshot serializes the router at the current cycle. Requires
+// Config.Checkpoint (input recording from construction). Call between
+// Run calls only.
+func (r *Router) Snapshot() ([]byte, error) {
+	if !r.cfg.Checkpoint {
+		return nil, fmt.Errorf("router: snapshot requires Config.Checkpoint")
+	}
+	chip, err := r.Chip.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	b := []byte(rtrSnapMagic)
+	b = rle64(b, uint64(len(chip)))
+	b = append(b, chip...)
+	for p := 0; p < 4; p++ {
+		b = rle64(b, uint64(r.parsed[p]))
+		b = rle64(b, uint64(len(r.parseBuf[p])))
+		for _, w := range r.parseBuf[p] {
+			b = rle32(b, w)
+		}
+		b = rle64(b, uint64(len(r.cuts[p])))
+		for _, c := range r.cuts[p] {
+			b = rle64(b, uint64(c))
+		}
+		b = rle64(b, uint64(r.outs[p].Count()-int64(r.outs[p].Held())))
+	}
+	for _, v := range r.stateWords() {
+		b = rle64(b, uint64(v))
+	}
+	return b, nil
+}
+
+// RestoreSnapshot rebuilds the checkpointed state on a freshly
+// constructed router. The receiver must have been built with the same
+// Config (Checkpoint included), the same fault injector installed, and
+// the same recovery controls scheduled as the run that produced the
+// blob — the chip replay re-derives all firmware and recovery state from
+// those, and the restore fails with a divergence error if the replayed
+// counters do not match the checkpoint.
+func (r *Router) RestoreSnapshot(blob []byte) error {
+	if !r.cfg.Checkpoint {
+		return fmt.Errorf("router: restore requires Config.Checkpoint")
+	}
+	rd := rtrReader{buf: blob}
+	magic := rd.bytes(len(rtrSnapMagic))
+	if rd.err != nil || string(magic) != rtrSnapMagic {
+		return fmt.Errorf("router: not a router snapshot")
+	}
+	chip := rd.bytes(int(rd.u64()))
+	type portState struct {
+		parsed   int64
+		parseBuf []uint32
+		cuts     []int64
+		drained  int64
+	}
+	var ports [4]portState
+	for p := 0; p < 4; p++ {
+		ps := &ports[p]
+		ps.parsed = int64(rd.u64())
+		ps.parseBuf = make([]uint32, rd.u64())
+		for i := range ps.parseBuf {
+			ps.parseBuf[i] = rd.u32()
+		}
+		ps.cuts = make([]int64, rd.u64())
+		for i := range ps.cuts {
+			ps.cuts[i] = int64(rd.u64())
+		}
+		ps.drained = int64(rd.u64())
+	}
+	want := make([]int64, len(r.stateWords()))
+	for i := range want {
+		want[i] = int64(rd.u64())
+	}
+	if rd.err != nil {
+		return fmt.Errorf("router: truncated snapshot")
+	}
+	if rd.off != len(blob) {
+		return fmt.Errorf("router: %d trailing bytes in snapshot", len(blob)-rd.off)
+	}
+
+	// Replay the simulation; firmware and recovery state re-derive.
+	if err := r.Chip.RestoreSnapshot(chip); err != nil {
+		return err
+	}
+	got := r.stateWords()
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("router: replay diverged from checkpoint (state word %d: %d != %d); was the run driven by unrecorded manual calls?",
+				i, got[i], want[i])
+		}
+	}
+
+	// Re-apply the harness-side parse cursors: drop the sink words the
+	// checkpointed run had already drained, restore the partial tails.
+	for p := 0; p < 4; p++ {
+		ps := &ports[p]
+		if int64(r.outs[p].Held()) < ps.drained {
+			return fmt.Errorf("router: replay emitted fewer words on port %d than the checkpoint drained", p)
+		}
+		r.outs[p].DropFront(int(ps.drained))
+		r.parsed[p] = ps.parsed
+		r.parseBuf[p] = append(r.parseBuf[p][:0], ps.parseBuf...)
+		r.cuts[p] = append(r.cuts[p][:0], ps.cuts...)
+	}
+	return nil
+}
+
+// stateWords flattens the replay-derived router state the restore
+// verifies: every Stats counter plus the recovery state machine.
+func (r *Router) stateWords() []int64 {
+	var w []int64
+	for p := 0; p < 4; p++ {
+		w = append(w,
+			r.Stats.Accepted[p], r.Stats.Dropped[p], r.Stats.Denied[p],
+			r.Stats.FragsSent[p], r.Stats.PktsIn[p], r.Stats.PktsOut[p],
+			r.Stats.Reassembled[p], r.Stats.Lookups[p], r.Stats.McastIn[p],
+			r.Stats.McastCopies[p], r.Stats.AbortDropped[p], r.Stats.Underruns[p],
+			r.Stats.Reprobes[p], r.Stats.Recovered[p], r.Stats.FlapDrops[p])
+	}
+	w = append(w, r.Stats.FabricLost, int64(r.deadPort), int64(r.probationPort))
+	flags := int64(0)
+	if r.failed {
+		flags |= 1
+	}
+	if r.restoring {
+		flags |= 2
+	}
+	return append(w, flags)
+}
+
+func rle32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func rle64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// rtrReader is a bounds-checked little-endian cursor; err latches.
+type rtrReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *rtrReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("short read")
+		}
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *rtrReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *rtrReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

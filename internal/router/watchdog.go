@@ -13,11 +13,17 @@ import (
 // heartbeat of the whole fabric. If it stops advancing for
 // WatchdogCycles, something is wedged. The watchdog then tries to
 // attribute the wedge to a single crossbar tile whose processor has not
-// been stepped since progress last advanced — the signature of a crashed
-// or frozen tile, whose micro-op executor the chip skips entirely. An
+// been stepped across a probe interval — the signature of a crashed or
+// frozen tile, whose micro-op executor the chip skips entirely. An
 // attributable wedge triggers degraded-mode reconfiguration
 // (Router.Degrade); an unattributable one, or a second wedge after
 // degrading, fail-stops the router (Failed reports true).
+//
+// The check is two-phase so the healthy path stays cheap: every check
+// interval it reads only the four quantum counters. Only when those
+// stall past the limit does it snapshot per-tile heartbeats (probing),
+// wait one more interval, and attribute the wedge to the processor whose
+// heartbeat did not move.
 type watchdog struct {
 	rt *Router
 
@@ -27,17 +33,25 @@ type watchdog struct {
 
 	lastProgress int64
 	lastChange   int64
-	hbAtChange   [4]int64
+
+	// probing is set after a stall is detected; hbProbe holds the
+	// heartbeat snapshot the next check attributes against.
+	probing bool
+	hbProbe [4]int64
+
+	// deadHB is the parked dead-port crossbar processor's heartbeat at
+	// degrade time. A frozen tile is never stepped, so movement here
+	// means the tile thawed — the AutoRestore trigger.
+	deadHB int64
 }
 
 func (r *Router) installWatchdog() {
-	w := &watchdog{
+	r.wd = &watchdog{
 		rt:           r,
 		checkMask:    1024 - 1,
 		limit:        r.cfg.WatchdogCycles,
-		lastProgress: -1, // force a snapshot on the first check
+		lastProgress: -1, // force a baseline on the first check
 	}
-	r.Chip.SetCycleHook(w.tick)
 }
 
 // heartbeat sums a tile processor's state counters; the sum advances
@@ -51,37 +65,77 @@ func heartbeat(e *raw.Exec) int64 {
 	return s
 }
 
-// tick runs on the simulation's main goroutine between cycles, so it may
-// read firmware state and reconfigure tiles without racing workers.
+// rearm restarts the watchdog clock (after Degrade reshapes the fabric
+// or a restore re-admits the dead port: the old progress baseline is
+// meaningless for the new configuration).
+func (w *watchdog) rearm(cycle int64) {
+	w.lastProgress = -1
+	w.lastChange = cycle
+	w.probing = false
+}
+
+// noteDegrade records the parked processor's heartbeat baseline for the
+// AutoRestore thaw check and rearms the clock for the three-tile fabric.
+func (w *watchdog) noteDegrade(dead int, cycle int64) {
+	w.deadHB = heartbeat(w.rt.Chip.Tile(Layout[dead].Crossbar).Exec())
+	w.rearm(cycle)
+}
+
+// tick runs on the simulation's main goroutine between cycles (via the
+// router's cycle-hook dispatcher), so it may read firmware state and
+// reconfigure tiles without racing workers.
 func (w *watchdog) tick(cycle int64) {
 	if cycle&w.checkMask != 0 || w.rt.failed {
 		return
 	}
+	r := w.rt
+	if r.deadPort >= 0 && r.cfg.AutoRestore && !r.restoring {
+		if heartbeat(r.Chip.Tile(Layout[r.deadPort].Crossbar).Exec()) != w.deadHB {
+			// The parked processor is being stepped again: the frozen
+			// tile thawed. Begin re-admission (cannot fail here: the
+			// router is degraded, not failed, and not restoring).
+			if err := r.Restore(r.deadPort); err != nil {
+				r.failed = true
+			}
+			return
+		}
+	}
 	var progress int64
 	for p := 0; p < 4; p++ {
-		if p == w.rt.deadPort {
+		if p == r.deadPort {
 			continue
 		}
-		progress += w.rt.xbars[p].quantum
+		progress += r.xbars[p].quantum
 	}
 	if progress != w.lastProgress {
 		w.lastProgress = progress
 		w.lastChange = cycle
-		for p := 0; p < 4; p++ {
-			w.hbAtChange[p] = heartbeat(w.rt.Chip.Tile(Layout[p].Crossbar).Exec())
-		}
+		w.probing = false
 		return
 	}
 	if cycle-w.lastChange < w.limit {
 		return
 	}
-	// Wedged. Attribute: which crossbar processor stopped being stepped?
+	if !w.probing {
+		// Stalled past the limit. Snapshot heartbeats and give the fabric
+		// one more check interval: a live processor keeps being stepped
+		// (even while stalled on the network), a frozen one does not.
+		w.probing = true
+		for p := 0; p < 4; p++ {
+			if p == r.deadPort {
+				continue
+			}
+			w.hbProbe[p] = heartbeat(r.Chip.Tile(Layout[p].Crossbar).Exec())
+		}
+		return
+	}
+	// Attribute: which crossbar processor stopped being stepped?
 	dead := -1
 	for p := 0; p < 4; p++ {
-		if p == w.rt.deadPort {
+		if p == r.deadPort {
 			continue
 		}
-		if heartbeat(w.rt.Chip.Tile(Layout[p].Crossbar).Exec()) == w.hbAtChange[p] {
+		if heartbeat(r.Chip.Tile(Layout[p].Crossbar).Exec()) == w.hbProbe[p] {
 			if dead >= 0 {
 				dead = -1 // more than one: cannot mask a single hole
 				break
@@ -89,17 +143,13 @@ func (w *watchdog) tick(cycle int64) {
 			dead = p
 		}
 	}
-	if dead < 0 || w.rt.deadPort >= 0 {
-		w.rt.failed = true
+	if dead < 0 || r.deadPort >= 0 {
+		r.failed = true
 		return
 	}
-	if err := w.rt.Degrade(dead); err != nil {
-		w.rt.failed = true
-		return
+	if err := r.Degrade(dead); err != nil {
+		r.failed = true
 	}
-	// Restart the clock for the three-tile fabric.
-	w.lastProgress = -1
-	w.lastChange = cycle
 }
 
 // Degrade masks port dead's crossbar tile out of the token rotation and
@@ -119,6 +169,9 @@ func (r *Router) Degrade(dead int) error {
 	if dead < 0 || dead > 3 {
 		return fmt.Errorf("router: bad dead port %d", dead)
 	}
+	if r.failed {
+		return fmt.Errorf("router: fail-stopped; cannot degrade")
+	}
 	if r.deadPort >= 0 {
 		return fmt.Errorf("router: already degraded (port %d dead)", r.deadPort)
 	}
@@ -126,6 +179,7 @@ func (r *Router) Degrade(dead int) error {
 		return fmt.Errorf("router: degraded mode supports unicast only")
 	}
 	r.deadPort = dead
+	r.probationPort = -1
 
 	// Fail-stop accounting: everything inside the fabric is lost.
 	var in, out int64
@@ -204,6 +258,10 @@ func (r *Router) Degrade(dead int) error {
 			return err
 		}
 	}
+	if r.wd != nil {
+		r.wd.noteDegrade(dead, r.Chip.Cycle())
+	}
+	r.event(r.Chip.Cycle(), dead, "degrade")
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one recovery-state-machine transition observed by the router:
+// a line going down or coming back, a port degrading, a restore draining,
+// a port re-admitted, probation ending, or a fail-stop. Events are
+// emitted only from the simulation's main goroutine (the cycle hook and
+// between-cycles reconfiguration), so the log is deterministic and
+// race-free at any worker count.
+type Event struct {
+	Cycle int64
+	Port  int
+	Kind  string
+}
+
+// EventLog accumulates recovery events for tests and post-run reporting.
+type EventLog struct {
+	Events []Event
+}
+
+// Add appends one event.
+func (l *EventLog) Add(cycle int64, port int, kind string) {
+	l.Events = append(l.Events, Event{Cycle: cycle, Port: port, Kind: kind})
+}
+
+// String renders one event per line: "cycle port kind".
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for _, e := range l.Events {
+		fmt.Fprintf(&b, "%d p%d %s\n", e.Cycle, e.Port, e.Kind)
+	}
+	return b.String()
+}

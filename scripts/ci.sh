@@ -22,4 +22,14 @@ echo "== tier-2: chaos harness (fixed seed matrix, race detector) =="
 go test -race -run 'TestChaos' ./internal/fault
 go test -race -run 'TestWatchdog|TestManualDegrade|TestDegraded|TestDropConservation' ./internal/router
 
+echo "== soak: degrade->restore matrix with mid-run checkpoint/restore (race detector) =="
+# Every seed freezes a crossbar tile under recoverable noise, rides the
+# watchdog degrade -> thaw -> auto-restore -> probation arc, and must
+# (a) conserve and deliver every packet intact, and (b) continue
+# bit-for-bit identical after a mid-arc checkpoint is restored into a
+# fresh router at a different worker count. SOAK_SEEDS widens the matrix
+# (make soak runs 20).
+SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoak' ./internal/fault
+go test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
+
 echo "CI green."
