@@ -11,11 +11,14 @@
 #   fuzz   - short runs of the interpreter, allocator, fault-schedule,
 #            and chip-snapshot fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
+#   bench-telemetry - regenerate BENCH_telemetry.json; fails if the
+#            disabled telemetry plane costs >1% vs the pre-telemetry
+#            commit (interleaved same-session legs)
 
 GO ?= go
 SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos soak fuzz bench ci
+.PHONY: all tier1 tier2 chaos soak fuzz bench bench-telemetry ci
 
 all: tier1
 
@@ -44,4 +47,7 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .
 
-ci: tier1 tier2 chaos soak
+bench-telemetry:
+	sh scripts/bench_telemetry.sh
+
+ci: tier1 tier2 chaos soak bench-telemetry

@@ -5,28 +5,38 @@
 //
 // Usage:
 //
-//	fabsim [-full] [-workers 1] [-reprobe N]
-//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded|restore]
+//	fabsim [-full] [-workers 1] [-reprobe N] [-metrics FORMAT[:FILE]]
+//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded|restore|telemetry]
 //
 // -exp restore runs the port re-admission experiment (degrade -> restore
 // -> probation vs never-failed); -reprobe arms line-flap retry with the
-// given backoff base (in quanta) for that experiment's routers.
+// given backoff base (in quanta) for that experiment's routers. -exp
+// telemetry runs the telemetry-plane experiment; adding -metrics also
+// exports its snapshot (jsonl, csv, or prom) to FILE or stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
-	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded, restore")
-	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded, restore, telemetry")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the restore experiment (0 = latched LineDown)")
+	var common cli.Common
+	common.RegisterSim(flag.CommandLine)
+	common.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
-	exp.SetWorkers(*workers)
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fabsim:", err)
+		os.Exit(2)
+	}
+	exp.SetWorkers(common.Workers)
 	exp.SetReprobeQuanta(*reprobe)
 
 	q := exp.Quick
@@ -71,5 +81,20 @@ func main() {
 	if show("restore") {
 		_, _, tb := exp.RestoredCrossbar(q)
 		fmt.Println(tb)
+	}
+	if show("telemetry") {
+		snap, tb := exp.Telemetry(q)
+		fmt.Println(tb)
+		sink, _ := common.MetricsSink()
+		if sink != nil {
+			if err := sink.Export(snap); err != nil {
+				fmt.Fprintln(os.Stderr, "fabsim:", err)
+				os.Exit(1)
+			}
+			if sink.Path != "" {
+				fmt.Printf("telemetry: %s snapshot -> %s (quanta %d)\n",
+					sink.Format, sink.Path, snap.Quanta)
+			}
+		}
 	}
 }

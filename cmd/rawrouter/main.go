@@ -7,6 +7,7 @@
 //	          [-warmup 80000] [-quantum 256] [-crypto] [-layout] [-seed 1]
 //	          [-workers 1] [-faults SCHEDULE] [-faultseed N] [-watchdog]
 //	          [-autorestore] [-reprobe N] [-checkpoint FILE] [-restore FILE]
+//	          [-metrics FORMAT[:FILE]]
 //
 // With -layout it prints the Figure 7-2 tile mapping and exits. -faults
 // takes the internal/fault text encoding (e.g. "crash@5000:t6"); with
@@ -21,6 +22,9 @@
 // freshly seeded workload stream (the generator itself is not part of
 // the simulation). A -restore run must pass the same -faults/-faultseed
 // as the run that wrote the blob, or the replay is rejected.
+// -metrics arms the telemetry plane and exports a snapshot after the
+// run in jsonl, csv, or prom (Prometheus text) format; exports are
+// bit-for-bit identical at any -workers count.
 package main
 
 import (
@@ -28,9 +32,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -43,17 +49,21 @@ func main() {
 	quantum := flag.Int("quantum", 256, "crossbar quantum in words")
 	crypto := flag.Bool("crypto", false, "enable §8.3 computation-in-fabric payload cipher")
 	layout := flag.Bool("layout", false, "print the Figure 7-2 tile mapping and exit")
-	traceRun := flag.Bool("trace", false, "print a per-tile utilization summary of the last 800 measured cycles")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	workers := flag.Int("workers", 1, "host goroutines stepping the chip (cycle-exact at any count)")
-	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"crash@5000:t6;dram@0+9999:+100\"")
-	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
 	watchdog := flag.Bool("watchdog", false, "arm the quantum-progress watchdog (degrade on a wedged crossbar tile)")
 	autoRestore := flag.Bool("autorestore", false, "let the watchdog re-admit a degraded port when its tile thaws (requires -watchdog)")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta (0 = LineDown latches permanently)")
-	checkpoint := flag.String("checkpoint", "", "write a deterministic checkpoint blob to FILE after the run")
-	restore := flag.String("restore", "", "replay a checkpoint blob from FILE before running (needs the same -faults/-faultseed as the writer)")
+	var common cli.Common
+	common.RegisterSim(flag.CommandLine)
+	common.RegisterFaults(flag.CommandLine)
+	common.RegisterTrace(flag.CommandLine)
+	common.RegisterCheckpoint(flag.CommandLine)
+	common.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(2)
+	}
 
 	if *layout {
 		printLayout()
@@ -67,59 +77,42 @@ func main() {
 	rcfg.Watchdog = *watchdog
 	rcfg.AutoRestore = *autoRestore
 	rcfg.ReprobeQuanta = *reprobe
-	rcfg.Checkpoint = *checkpoint != "" || *restore != ""
-	if *traceRun {
+	rcfg.Checkpoint = common.Checkpoint != "" || common.Restore != ""
+	if common.Trace {
 		rec = trace.NewRecorder(16, *warmup+*cycles-800, *warmup+*cycles)
 		rcfg.Tracer = rec
 	}
+	sink, _ := common.MetricsSink()
+	if sink != nil {
+		rcfg.Metrics = telemetry.New(telemetry.Config{})
+	}
 	r, err := core.New(core.Options{QuantumWords: *quantum, Crypto: *crypto,
-		Workers: *workers, RouterConfig: &rcfg})
+		Workers: common.Workers, RouterConfig: &rcfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
 		os.Exit(1)
 	}
 
-	sched := &fault.Schedule{}
-	if *faults != "" {
-		s, err := fault.Parse(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rawrouter:", err)
-			os.Exit(2)
-		}
-		sched.Events = append(sched.Events, s.Events...)
-	}
-	if *faultSeed != 0 {
-		s := fault.Random(*faultSeed, fault.RandomOptions{
-			Horizon: *warmup + *cycles, MaxStalls: 8, MaxFlaps: 4,
-			MaxFreezes: 2, MaxDRAM: 3, MaxStallCycles: 1500,
-		})
-		sched.Events = append(sched.Events, s.Events...)
+	sched, err := common.Schedule(fault.RandomOptions{
+		Horizon: *warmup + *cycles, MaxStalls: 8, MaxFlaps: 4,
+		MaxFreezes: 2, MaxDRAM: 3, MaxStallCycles: 1500,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(2)
 	}
 	injecting := len(sched.Events) > 0
 	if injecting {
 		fmt.Printf("fault schedule: %s\n", sched)
 		r.Cycle().Chip.InstallFaults(fault.NewInjector(sched, 16))
-		for _, c := range sched.Controls() {
-			switch c.Kind {
-			case fault.KindRestore:
-				r.Cycle().ScheduleRestore(c.Start, c.Tile)
-			case fault.KindReprobe:
-				r.Cycle().ScheduleReprobe(c.Start, c.Tile)
-			}
-		}
+		cli.ApplyControls(sched, r.Cycle())
 	}
 
-	if *restore != "" {
-		blob, err := os.ReadFile(*restore)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rawrouter:", err)
-			os.Exit(1)
-		}
-		if err := r.Cycle().RestoreSnapshot(blob); err != nil {
-			fmt.Fprintln(os.Stderr, "rawrouter:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("restored checkpoint %s at cycle %d\n", *restore, r.Cycle().Cycle())
+	if ok, err := common.LoadCheckpoint(r.Cycle().RestoreSnapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(1)
+	} else if ok {
+		fmt.Printf("restored checkpoint %s at cycle %d\n", common.Restore, r.Cycle().Cycle())
 	}
 
 	var gen core.TrafficGen
@@ -150,7 +143,7 @@ func main() {
 	fmt.Printf("per-egress packets: %v   denied quanta: %d   reassembled: %d\n",
 		res.PerPort, res.Denied, res.Reassembled)
 
-	st := r.Cycle().Stats
+	st := r.Cycle().Stats()
 	fmt.Printf("ingress accepted %v dropped %v\n", st.Accepted, st.Dropped)
 	fmt.Printf("lookups served %v\n", st.Lookups)
 	if injecting {
@@ -172,17 +165,22 @@ func main() {
 		}
 	}
 
-	if *checkpoint != "" {
-		blob, err := r.Cycle().Snapshot()
-		if err != nil {
+	if n, err := common.WriteCheckpoint(r.Cycle().Snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", n, common.Checkpoint, r.Cycle().Cycle())
+	}
+
+	if sink != nil {
+		if err := sink.Export(r.Cycle().TelemetrySnapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "rawrouter:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "rawrouter:", err)
-			os.Exit(1)
+		if sink.Path != "" {
+			fmt.Printf("telemetry: %s snapshot -> %s (quanta %d)\n",
+				sink.Format, sink.Path, rcfg.Metrics.Quanta())
 		}
-		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", len(blob), *checkpoint, r.Cycle().Cycle())
 	}
 
 	if rec != nil {

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/fault"
 	"repro/internal/raw"
 	"repro/internal/raw/asm"
@@ -50,13 +51,15 @@ func main() {
 	cycles := flag.Int64("cycles", 1000, "cycles to simulate")
 	inputs := flag.String("in", "", "edge inputs: tile:side:w1,w2,... (comma-free words use ; between specs)")
 	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
-	workers := flag.Int("workers", 1, "host goroutines stepping the chip (cycle-exact at any count)")
 	workerStats := flag.Bool("workerstats", false, "print per-worker phase accounting after the run")
-	faults := flag.String("faults", "", "fault schedule text (see internal/fault), e.g. \"freeze@100+50:t3\"")
-	faultSeed := flag.Uint64("faultseed", 0, "add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
-	checkpoint := flag.String("checkpoint", "", "write a deterministic chip checkpoint blob to FILE after the run")
-	restore := flag.String("restore", "", "replay a chip checkpoint blob from FILE before running (needs the writer's program and fault flags)")
+	var common cli.Common
+	common.RegisterSim(flag.CommandLine)
+	common.RegisterFaults(flag.CommandLine)
+	common.RegisterCheckpoint(flag.CommandLine)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(err)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
 		os.Exit(2)
@@ -67,7 +70,7 @@ func main() {
 		fatal(err)
 	}
 	chip := raw.NewChip(raw.DefaultConfig())
-	if *checkpoint != "" || *restore != "" {
+	if common.Checkpoint != "" || common.Restore != "" {
 		if err := chip.EnableRecording(); err != nil {
 			fatal(err)
 		}
@@ -77,36 +80,23 @@ func main() {
 		fatal(err)
 	}
 
-	sched := &fault.Schedule{}
-	if *faults != "" {
-		s, err := fault.Parse(*faults)
-		if err != nil {
-			fatal(err)
-		}
-		sched.Events = append(sched.Events, s.Events...)
-	}
-	if *faultSeed != 0 {
-		s := fault.Random(*faultSeed, fault.RandomOptions{
-			Horizon: *cycles, NumTiles: chip.NumTiles(),
-			MaxStalls: 8, MaxFlaps: 4, MaxFreezes: 2, MaxDRAM: 3,
-			MaxStallCycles: *cycles / 10,
-		})
-		sched.Events = append(sched.Events, s.Events...)
+	sched, err := common.Schedule(fault.RandomOptions{
+		Horizon: *cycles, NumTiles: chip.NumTiles(),
+		MaxStalls: 8, MaxFlaps: 4, MaxFreezes: 2, MaxDRAM: 3,
+		MaxStallCycles: *cycles / 10,
+	})
+	if err != nil {
+		fatal(err)
 	}
 	if len(sched.Events) > 0 {
 		fmt.Printf("fault schedule: %s\n", sched)
 		chip.InstallFaults(fault.NewInjector(sched, chip.NumTiles()))
 	}
 
-	if *restore != "" {
-		blob, err := os.ReadFile(*restore)
-		if err != nil {
-			fatal(err)
-		}
-		if err := chip.RestoreSnapshot(blob); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("restored checkpoint %s at cycle %d\n", *restore, chip.Cycle())
+	if ok, err := common.LoadCheckpoint(chip.RestoreSnapshot); err != nil {
+		fatal(err)
+	} else if ok {
+		fmt.Printf("restored checkpoint %s at cycle %d\n", common.Restore, chip.Cycle())
 	}
 
 	if *inputs != "" {
@@ -117,21 +107,16 @@ func main() {
 		}
 	}
 
-	chip.SetWorkers(*workers)
+	chip.SetWorkers(common.Workers)
 	if *workerStats {
 		chip.EnableWorkerStats()
 	}
 	chip.Run(*cycles)
 	fmt.Printf("ran %d cycles (%d worker(s))\n", chip.Cycle(), chip.Workers())
-	if *checkpoint != "" {
-		blob, err := chip.Snapshot()
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", len(blob), *checkpoint, chip.Cycle())
+	if n, err := common.WriteCheckpoint(chip.Snapshot); err != nil {
+		fatal(err)
+	} else if n > 0 {
+		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", n, common.Checkpoint, chip.Cycle())
 	}
 	if *workerStats {
 		fmt.Print(chip.WorkerStats().Table())

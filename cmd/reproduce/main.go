@@ -4,27 +4,34 @@
 //
 // Usage:
 //
-//	reproduce [-quick]
+//	reproduce [-quick] [-workers 1] [-reprobe N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use the short benchmark durations")
-	workers := flag.Int("workers", 1, "host goroutines per simulated chip (cycle-exact at any count)")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the recovery experiment (0 = latched LineDown)")
+	var common cli.Common
+	common.RegisterSim(flag.CommandLine)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
 	q := exp.Full
 	if *quick {
 		q = exp.Quick
 	}
-	exp.SetWorkers(*workers)
+	exp.SetWorkers(common.Workers)
 	exp.SetReprobeQuanta(*reprobe)
 
 	section := func(name string) func() {
@@ -145,6 +152,11 @@ func main() {
 
 	done = section("robustness: port re-admission (degrade -> restore vs never-failed)")
 	_, _, tb = exp.RestoredCrossbar(q)
+	fmt.Println(tb)
+	done()
+
+	done = section("telemetry plane: per-quantum metrics")
+	_, tb = exp.Telemetry(q)
 	fmt.Println(tb)
 	done()
 }

@@ -57,12 +57,12 @@ func main() {
 		r.OfferPacket(0, &pkt)
 		var before [4]int64
 		for p := 0; p < 4; p++ {
-			before[p] = r.Stats.PktsOut[p]
+			before[p] = r.Stats().PktsOut[p]
 		}
 		for i := 0; i < 400; i++ {
 			r.Run(100)
 			for p := 0; p < 4; p++ {
-				if r.Stats.PktsOut[p] > before[p] {
+				if r.Stats().PktsOut[p] > before[p] {
 					return p
 				}
 			}

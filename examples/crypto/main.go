@@ -42,7 +42,7 @@ func main() {
 	cyc := fresh.Cycle()
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(3, 2), 64, 128, 777)
 	cyc.OfferPacket(0, &pkt)
-	if !cyc.Chip.RunUntil(func() bool { return cyc.Stats.PktsOut[3] >= 1 }, 50_000) {
+	if !cyc.Chip.RunUntil(func() bool { return cyc.Stats().PktsOut[3] >= 1 }, 50_000) {
 		log.Fatal("demo packet not delivered")
 	}
 	out, err := cyc.DrainOutput(3)

@@ -63,12 +63,12 @@ func main() {
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(224, 1, 1, 1), 64, 512, 7)
 	r.OfferPacket(0, &pkt)
 	if !r.Chip.RunUntil(func() bool {
-		return r.Stats.PktsOut[1] >= 1 && r.Stats.PktsOut[2] >= 1 && r.Stats.PktsOut[3] >= 1
+		return r.Stats().PktsOut[1] >= 1 && r.Stats().PktsOut[2] >= 1 && r.Stats().PktsOut[3] >= 1
 	}, 50_000) {
 		log.Fatal("cycle-level multicast did not deliver")
 	}
 	fmt.Printf("\ncycle-level router: group 224.1.1.1 -> egress copies on ports 1,2,3 after %d cycles\n",
 		r.Cycle())
 	fmt.Printf("  ingress streamed %d fragment(s); crossbar produced %d copies (mixed jump table: 51 routines)\n",
-		r.Stats.FragsSent[0], r.Stats.McastCopies[0])
+		r.Stats().FragsSent[0], r.Stats().McastCopies[0])
 }

@@ -1,0 +1,189 @@
+// Package cli holds the flag handling shared by the simulator commands
+// (rawrouter, rawsim, fabsim, reproduce). Each command registers only
+// the flag groups it supports, but every group is parsed and validated
+// here once: the fault-schedule assembly, checkpoint read/write, and
+// telemetry-export plumbing used to be duplicated per main().
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+)
+
+// Common holds the shared flag values. Zero value is ready; call the
+// Register* methods before flag.Parse and the accessors after.
+type Common struct {
+	// Workers (-workers): host goroutines stepping each simulated chip.
+	Workers int
+	// Faults (-faults) is the fault-schedule text; FaultSeed (-faultseed)
+	// adds a seeded schedule of recoverable faults.
+	Faults    string
+	FaultSeed uint64
+	// Trace (-trace) requests a per-tile utilization summary.
+	Trace bool
+	// Checkpoint / Restore (-checkpoint, -restore) are checkpoint blob
+	// paths (write after the run / replay before it).
+	Checkpoint string
+	Restore    string
+	// Metrics (-metrics) selects a telemetry export: "FORMAT[:FILE]"
+	// with FORMAT jsonl, csv, or prom; no FILE writes to stdout.
+	Metrics string
+}
+
+// RegisterSim installs -workers.
+func (c *Common) RegisterSim(fs *flag.FlagSet) {
+	fs.IntVar(&c.Workers, "workers", 1,
+		"host goroutines stepping the chip (cycle-exact at any count)")
+}
+
+// RegisterFaults installs -faults and -faultseed.
+func (c *Common) RegisterFaults(fs *flag.FlagSet) {
+	fs.StringVar(&c.Faults, "faults", "",
+		"fault schedule text (see internal/fault), e.g. \"crash@5000:t6;dram@0+9999:+100\"")
+	fs.Uint64Var(&c.FaultSeed, "faultseed", 0,
+		"add a seeded schedule of recoverable faults (stalls, flaps, freezes, DRAM spikes)")
+}
+
+// RegisterTrace installs -trace.
+func (c *Common) RegisterTrace(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Trace, "trace", false,
+		"print a per-tile utilization summary of the last 800 measured cycles")
+}
+
+// RegisterCheckpoint installs -checkpoint and -restore.
+func (c *Common) RegisterCheckpoint(fs *flag.FlagSet) {
+	fs.StringVar(&c.Checkpoint, "checkpoint", "",
+		"write a deterministic checkpoint blob to FILE after the run")
+	fs.StringVar(&c.Restore, "restore", "",
+		"replay a checkpoint blob from FILE before running (needs the writer's fault flags)")
+}
+
+// RegisterMetrics installs -metrics.
+func (c *Common) RegisterMetrics(fs *flag.FlagSet) {
+	fs.StringVar(&c.Metrics, "metrics", "",
+		"export a telemetry snapshot after the run: FORMAT[:FILE], FORMAT one of jsonl, csv, prom (no FILE = stdout)")
+}
+
+// Validate checks cross-flag invariants after parsing. Worker counts are
+// not validated here: the engine clamps -workers to [1, tiles], so 0,
+// negative, and huge values all run (the documented surface behavior).
+func (c *Common) Validate() error {
+	if _, err := c.MetricsSink(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Schedule merges the -faults text with the -faultseed random schedule
+// (caller supplies the horizon/limits in opts; opts.Seed is overridden
+// by -faultseed). Returns an empty schedule when neither flag is set.
+func (c *Common) Schedule(opts fault.RandomOptions) (*fault.Schedule, error) {
+	sched := &fault.Schedule{}
+	if c.Faults != "" {
+		s, err := fault.Parse(c.Faults)
+		if err != nil {
+			return nil, err
+		}
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	if c.FaultSeed != 0 {
+		s := fault.Random(c.FaultSeed, opts)
+		sched.Events = append(sched.Events, s.Events...)
+	}
+	return sched, nil
+}
+
+// ApplyControls schedules the fault grammar's restore@/reprobe@
+// directives on the router (they are router-level controls, not chip
+// faults, so the injector does not carry them).
+func ApplyControls(sched *fault.Schedule, rt *router.Router) {
+	for _, ctl := range sched.Controls() {
+		switch ctl.Kind {
+		case fault.KindRestore:
+			rt.ScheduleRestore(ctl.Start, ctl.Tile)
+		case fault.KindReprobe:
+			rt.ScheduleReprobe(ctl.Start, ctl.Tile)
+		}
+	}
+}
+
+// LoadCheckpoint replays -restore's blob through restoreFn. Returns
+// false with no error when -restore was not given.
+func (c *Common) LoadCheckpoint(restoreFn func([]byte) error) (bool, error) {
+	if c.Restore == "" {
+		return false, nil
+	}
+	blob, err := os.ReadFile(c.Restore)
+	if err != nil {
+		return false, err
+	}
+	if err := restoreFn(blob); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WriteCheckpoint snapshots via snapFn and writes the blob to
+// -checkpoint. Returns 0 with no error when -checkpoint was not given.
+func (c *Common) WriteCheckpoint(snapFn func() ([]byte, error)) (int, error) {
+	if c.Checkpoint == "" {
+		return 0, nil
+	}
+	blob, err := snapFn()
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(c.Checkpoint, blob, 0o644); err != nil {
+		return 0, err
+	}
+	return len(blob), nil
+}
+
+// MetricsSink is a parsed -metrics flag: where and in which format to
+// export the post-run telemetry snapshot.
+type MetricsSink struct {
+	// Format is one of telemetry.Formats().
+	Format string
+	// Path is the output file; empty writes to stdout.
+	Path string
+}
+
+// MetricsSink parses -metrics. Returns nil with no error when the flag
+// was not given.
+func (c *Common) MetricsSink() (*MetricsSink, error) {
+	if c.Metrics == "" {
+		return nil, nil
+	}
+	format, path, _ := strings.Cut(c.Metrics, ":")
+	ok := false
+	for _, f := range telemetry.Formats() {
+		if f == format {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("-metrics: unknown format %q (have %s)",
+			format, strings.Join(telemetry.Formats(), ", "))
+	}
+	return &MetricsSink{Format: format, Path: path}, nil
+}
+
+// Export renders the snapshot in the sink's format and writes it to the
+// sink's file (or stdout).
+func (s *MetricsSink) Export(snap telemetry.Snapshot) error {
+	out, err := snap.Encode(s.Format)
+	if err != nil {
+		return err
+	}
+	if s.Path == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(s.Path, out, 0o644)
+}

@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func parseWith(t *testing.T, args ...string) *Common {
+	t.Helper()
+	var c Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterSim(fs)
+	c.RegisterFaults(fs)
+	c.RegisterTrace(fs)
+	c.RegisterCheckpoint(fs)
+	c.RegisterMetrics(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &c
+}
+
+func TestScheduleMergesTextAndSeed(t *testing.T) {
+	c := parseWith(t, "-faults", "crash@5000:t6", "-faultseed", "7")
+	sched, err := c.Schedule(fault.RandomOptions{
+		Horizon: 100000, MaxStalls: 8, MaxFlaps: 4, MaxFreezes: 2, MaxDRAM: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) < 2 {
+		t.Fatalf("schedule has %d events, want text + seeded ones", len(sched.Events))
+	}
+	if sched.Events[0].Kind != fault.KindCrash {
+		t.Fatalf("first event kind = %v, want the parsed crash", sched.Events[0].Kind)
+	}
+}
+
+func TestScheduleEmptyByDefault(t *testing.T) {
+	c := parseWith(t)
+	sched, err := c.Schedule(fault.RandomOptions{Horizon: 1000})
+	if err != nil || len(sched.Events) != 0 {
+		t.Fatalf("default schedule = %v events, err %v; want empty", len(sched.Events), err)
+	}
+}
+
+func TestScheduleRejectsBadText(t *testing.T) {
+	c := parseWith(t, "-faults", "explode@now")
+	if _, err := c.Schedule(fault.RandomOptions{}); err == nil {
+		t.Fatal("bad fault text accepted")
+	}
+}
+
+func TestMetricsSinkParsing(t *testing.T) {
+	cases := []struct {
+		arg    string
+		format string
+		path   string
+		bad    bool
+	}{
+		{"jsonl", "jsonl", "", false},
+		{"csv:out.csv", "csv", "out.csv", false},
+		{"prom:/tmp/m.txt", "prom", "/tmp/m.txt", false},
+		{"xml", "", "", true},
+		{"jsonl;out", "", "", true},
+	}
+	for _, tc := range cases {
+		c := parseWith(t, "-metrics", tc.arg)
+		sink, err := c.MetricsSink()
+		if tc.bad {
+			if err == nil {
+				t.Errorf("-metrics %q accepted, want error", tc.arg)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("-metrics %q: %v", tc.arg, err)
+			continue
+		}
+		if sink.Format != tc.format || sink.Path != tc.path {
+			t.Errorf("-metrics %q = %+v, want format %q path %q", tc.arg, sink, tc.format, tc.path)
+		}
+	}
+	c := parseWith(t)
+	if sink, err := c.MetricsSink(); sink != nil || err != nil {
+		t.Errorf("unset -metrics = %+v, %v; want nil, nil", sink, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Out-of-range worker counts clamp in the engine; Validate passes them.
+	if err := parseWith(t, "-workers", "-1").Validate(); err != nil {
+		t.Errorf("negative -workers rejected (engine clamps): %v", err)
+	}
+	if err := parseWith(t, "-metrics", "bogus").Validate(); err == nil {
+		t.Error("bad -metrics accepted")
+	}
+	if err := parseWith(t, "-workers", "4", "-metrics", "csv:x.csv").Validate(); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	blob := []byte{1, 2, 3, 4}
+
+	w := parseWith(t, "-checkpoint", path)
+	n, err := w.WriteCheckpoint(func() ([]byte, error) { return blob, nil })
+	if err != nil || n != len(blob) {
+		t.Fatalf("WriteCheckpoint = %d, %v", n, err)
+	}
+
+	r := parseWith(t, "-restore", path)
+	var got []byte
+	ok, err := r.LoadCheckpoint(func(b []byte) error { got = b; return nil })
+	if err != nil || !ok || string(got) != string(blob) {
+		t.Fatalf("LoadCheckpoint = %v, %v, blob %v", ok, err, got)
+	}
+
+	// Unset flags are no-ops.
+	none := parseWith(t)
+	if n, err := none.WriteCheckpoint(nil); n != 0 || err != nil {
+		t.Fatalf("unset WriteCheckpoint = %d, %v", n, err)
+	}
+	if ok, err := none.LoadCheckpoint(nil); ok || err != nil {
+		t.Fatalf("unset LoadCheckpoint = %v, %v", ok, err)
+	}
+	_ = os.Remove(path)
+}

@@ -154,8 +154,8 @@ func (c2 *TwoChip) Cycle() int64 { return c2.A.Cycle() }
 
 // ExternalPktsOut sums packets delivered on external ports only.
 func (c2 *TwoChip) ExternalPktsOut() int64 {
-	return c2.A.Stats.PktsOut[0] + c2.A.Stats.PktsOut[1] +
-		c2.B.Stats.PktsOut[0] + c2.B.Stats.PktsOut[1]
+	return c2.A.Stats().PktsOut[0] + c2.A.Stats().PktsOut[1] +
+		c2.B.Stats().PktsOut[0] + c2.B.Stats().PktsOut[1]
 }
 
 // ExternalWordsOut sums words delivered on external ports only.

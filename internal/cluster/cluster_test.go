@@ -26,14 +26,14 @@ func TestCrossChipPacket(t *testing.T) {
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(3, 7), 64, 256, 42)
 	c.OfferPacket(0, &pkt)
 	delivered := func() bool {
-		out := c.B.Stats.PktsOut[1] // cluster port 3 = chip B local 1
+		out := c.B.Stats().PktsOut[1] // cluster port 3 = chip B local 1
 		return out >= 1
 	}
 	for i := 0; i < 600 && !delivered(); i++ {
 		c.Run(100)
 	}
 	if !delivered() {
-		t.Fatalf("cross-chip packet never delivered; A=%+v B=%+v", c.A.Stats, c.B.Stats)
+		t.Fatalf("cross-chip packet never delivered; A=%+v B=%+v", c.A.Stats(), c.B.Stats())
 	}
 	out, err := c.DrainOutput(3)
 	if err != nil || len(out) != 1 {
@@ -57,11 +57,11 @@ func TestLocalPacketStaysOnChip(t *testing.T) {
 	c := mustCluster(t)
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 7), 64, 128, 5)
 	c.OfferPacket(0, &pkt)
-	for i := 0; i < 200 && c.A.Stats.PktsOut[1] == 0; i++ {
+	for i := 0; i < 200 && c.A.Stats().PktsOut[1] == 0; i++ {
 		c.Run(100)
 	}
-	if c.A.Stats.PktsOut[1] != 1 {
-		t.Fatalf("local packet not delivered; %+v", c.A.Stats)
+	if c.A.Stats().PktsOut[1] != 1 {
+		t.Fatalf("local packet not delivered; %+v", c.A.Stats())
 	}
 	if c.TrunkWords[0] != 0 || c.TrunkWords[1] != 0 {
 		t.Fatalf("local packet crossed the trunk: %v", c.TrunkWords)
@@ -147,7 +147,7 @@ func TestTrunkScaling(t *testing.T) {
 			if chip == 1 {
 				r = c.B
 			}
-			if r.Stats.PktsOut[local] >= 1 {
+			if r.Stats().PktsOut[local] >= 1 {
 				return c.Cycle()
 			}
 		}

@@ -245,10 +245,10 @@ func (r *Router) runCycleFor(cycles int64, gen TrafficGen) {
 func (r *Router) snapCycle() snapshot {
 	s := snapshot{cycles: r.cyc.Cycle(), pkts: r.cyc.TotalPktsOut()}
 	for p := 0; p < 4; p++ {
-		s.perPort = append(s.perPort, r.cyc.Stats.PktsOut[p])
+		s.perPort = append(s.perPort, r.cyc.Stats().PktsOut[p])
 		s.words += r.cyc.OutputWords(p)
-		s.denied += r.cyc.Stats.Denied[p]
-		s.reassembled += r.cyc.Stats.Reassembled[p]
+		s.denied += r.cyc.Stats().Denied[p]
+		s.reassembled += r.cyc.Stats().Reassembled[p]
 	}
 	return s
 }

@@ -20,7 +20,7 @@ func TestCycleEngineParallelEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		res := r.RunMeasured(1000, 3000, core.UniformTraffic(256, 42))
-		return res, r.Cycle().Stats, r.Cycle().Cycle()
+		return res, r.Cycle().Stats().Stats, r.Cycle().Cycle()
 	}
 	wantRes, wantStats, wantCycle := run(1)
 	if wantRes.Packets == 0 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/stats"
 	"repro/internal/switchfab"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -516,8 +517,8 @@ func McastCycle(q Quality) (amplification float64, tb *stats.Table) {
 	}
 	var in, out int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
 	}
 	amplification = stats.Ratio(float64(out), float64(in))
 	tb = &stats.Table{
@@ -672,7 +673,7 @@ func CycleLatency(q Quality) *stats.Table {
 				}
 				pkt := ip.NewPacket(traffic.PortAddr(0, uint32(k)), traffic.PortAddr(dst, uint32(k)), 64, size, uint16(k))
 				r.OfferPacket(0, &pkt)
-				if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[dst] >= 1 }, 50_000) {
+				if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[dst] >= 1 }, 50_000) {
 					panic("latency probe stuck")
 				}
 				total += r.Cycle()
@@ -865,4 +866,45 @@ func RestoredCrossbar(q Quality) (healthy, restored []float64, tb *stats.Table) 
 		tb.AddRow(size, h, g, stats.Ratio(g, h))
 	}
 	return healthy, restored, tb
+}
+
+// Telemetry exercises the telemetry plane end to end: a saturated
+// uniform workload with the per-quantum collector armed, reported
+// entirely from the exported snapshot (never from router internals).
+// Because sampling happens on the cycle-hook goroutine, the snapshot —
+// and therefore every number in the table — is bit-for-bit identical at
+// any worker count.
+func Telemetry(q Quality) (snap telemetry.Snapshot, tb *stats.Table) {
+	cfg := router.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Metrics = telemetry.New(telemetry.Config{})
+	r, err := router.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rng := traffic.NewRNG(42)
+	id := uint16(0)
+	cycles := cyclesFor(q, 40_000, 150_000)
+	for c := int64(0); c < cycles; c += 200 {
+		for p := 0; p < 4; p++ {
+			for r.InputBacklogWords(p) < 4096 {
+				id++
+				pkt := ip.NewPacket(traffic.PortAddr(p, uint32(id)),
+					traffic.PortAddr(rng.Intn(4), uint32(id)), 64, 1024, id)
+				r.OfferPacket(p, &pkt)
+			}
+		}
+		r.Run(200)
+	}
+	snap = r.TelemetrySnapshot()
+	tb = &stats.Table{
+		Caption: "telemetry plane: per-quantum metrics over a saturated uniform workload",
+		Headers: []string{"port", "granted q", "denied q", "words granted", "link util", "token-wait mean"},
+	}
+	for p := 0; p < 4; p++ {
+		ps := snap.Ports[p]
+		tb.AddRow(p, ps.GrantedQuanta, ps.DeniedQuanta, ps.WordsGranted,
+			ps.LinkUtilization, ps.TokenWait.Mean())
+	}
+	return snap, tb
 }

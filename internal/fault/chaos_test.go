@@ -66,11 +66,11 @@ func runChaos(t *testing.T, sched *fault.Schedule, watchdog bool, workers int,
 	}
 	r.Run(int64(drainCycles))
 
-	res.stats = r.Stats
+	res.stats = r.Stats().Stats
 	res.dead = r.DeadPort()
 	res.failed = r.Failed()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "cycle=%d dead=%d failed=%v stats=%+v", r.Cycle(), res.dead, res.failed, r.Stats)
+	fmt.Fprintf(h, "cycle=%d dead=%d failed=%v stats=%+v", r.Cycle(), res.dead, res.failed, r.Stats())
 	for p := 0; p < 4; p++ {
 		fmt.Fprintf(h, " out%d=%d q%d=%d", p, r.OutputWords(p), p, r.Quanta(p))
 		pkts, err := r.DrainOutput(p)
@@ -240,9 +240,9 @@ func TestChaosCorruptionAndPinDrops(t *testing.T) {
 			}
 		}
 		r.Run(60000)
-		res.stats = r.Stats
+		res.stats = r.Stats().Stats
 		h := fnv.New64a()
-		fmt.Fprintf(h, "stats=%+v", r.Stats)
+		fmt.Fprintf(h, "stats=%+v", r.Stats())
 		for p := 0; p < 4; p++ {
 			pkts, err := r.DrainOutput(p)
 			if err != nil {
@@ -313,7 +313,7 @@ func TestInjectorDisabledIsInert(t *testing.T) {
 		r.OfferPacket(0, &pkt)
 		r.Run(20000)
 		h := fnv.New64a()
-		fmt.Fprintf(h, "%+v %d", r.Stats, r.OutputWords(2))
+		fmt.Fprintf(h, "%+v %d", r.Stats().Stats, r.OutputWords(2))
 		return h.Sum64()
 	}
 	if run(false) != run(true) {

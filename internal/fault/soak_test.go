@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ip"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -59,6 +60,9 @@ func soakCfg(workers int, ev *trace.EventLog) router.Config {
 	cfg.UnderrunQuanta = 8
 	cfg.ReprobeQuanta = 16
 	cfg.Events = ev
+	// The telemetry plane rides along the whole soak: it must neither
+	// perturb the arc nor break checkpoint/restore determinism.
+	cfg.Metrics = telemetry.New(telemetry.Config{})
 	return cfg
 }
 
@@ -163,15 +167,28 @@ func TestSoakDegradeRestoreMatrix(t *testing.T) {
 					seed, ref.r.DeadPort(), ref.r.Failed())
 			}
 
+			// The flight recorder must have seen the same arc the event
+			// log did, under the typed kinds' stable wire names.
+			snap := ref.r.TelemetrySnapshot()
+			kinds := map[string]bool{}
+			for _, e := range snap.Events {
+				kinds[e.Kind] = true
+			}
+			for _, want := range []string{"degrade", "restore-drain", "readmit", "live"} {
+				if !kinds[want] {
+					t.Fatalf("seed %d: flight recorder missing %q; got %v", seed, want, kinds)
+				}
+			}
+
 			// Conservation and integrity over the whole history.
 			var in, out int64
 			for p := 0; p < 4; p++ {
-				in += ref.r.Stats.PktsIn[p]
-				out += ref.r.Stats.PktsOut[p]
+				in += ref.r.Stats().PktsIn[p]
+				out += ref.r.Stats().PktsOut[p]
 			}
-			if in != out+ref.r.Stats.FabricLost {
+			if in != out+ref.r.Stats().FabricLost {
 				t.Fatalf("seed %d: conservation: PktsIn %d != PktsOut %d + FabricLost %d",
-					seed, in, out, ref.r.Stats.FabricLost)
+					seed, in, out, ref.r.Stats().FabricLost)
 			}
 			seen := map[uint16]bool{}
 			for p := 0; p < 4; p++ {

@@ -33,6 +33,16 @@ type xbarFW struct {
 	alloc   rotor.Allocation
 	cfgIdx  int
 	quantum int64
+
+	// Telemetry capture (armed only when cfg.Metrics is set): the
+	// boundary snapshot the router's cycle hook samples. Written at the
+	// quantum boundary and read by the hook before the next boundary —
+	// both see committed state on the report port's tile, so the values
+	// are identical at any worker count.
+	lastToken int
+	lastReq   uint8
+	lastGrant uint8
+	lastWords [4]int
 }
 
 func (x *xbarFW) Refill(e *raw.Exec) {
@@ -192,6 +202,9 @@ func (x *xbarFW) decideMixed(e *raw.Exec) {
 
 func (x *xbarFW) advanceToken(e *raw.Exec) {
 	e.Then(func(*raw.Exec) {
+		if x.rt.cfg.Metrics != nil && x.port == x.rt.reportPort {
+			x.captureQuantum()
+		}
 		// Weighted round robin (§8.7): the token dwells at port i for
 		// Weights[i] quanta. Every crossbar tile advances the same local
 		// counter, so the token still never crosses the network.
@@ -218,6 +231,28 @@ func (x *xbarFW) advanceToken(e *raw.Exec) {
 			x.rt.onQuantum(x.quantum, x.alloc)
 		}
 	})
+}
+
+// captureQuantum records the completed quantum's scheduler decision for
+// the telemetry plane: the token owner, which ports requested (non-empty
+// header) and were granted, and the granted fragment lengths. It runs in
+// the boundary's Then closure, before the token rotates, touching only
+// this tile's firmware state.
+func (x *xbarFW) captureQuantum() {
+	x.lastToken = x.token
+	var req, grant uint8
+	for p := 0; p < 4; p++ {
+		x.lastWords[p] = 0
+		if x.hdrs[p] != LocalHdrEmpty {
+			req |= 1 << p
+		}
+		if x.alloc.Granted[p] {
+			grant |= 1 << p
+			_, fragLen, _, _ := DecodeLocalHdr(x.hdrs[p])
+			x.lastWords[p] = fragLen
+		}
+	}
+	x.lastReq, x.lastGrant = req, grant
 }
 
 // enterDegraded rewires the firmware for the masked ring. Called between

@@ -59,9 +59,9 @@ func TestNoDeadlockExhaustive(t *testing.T) {
 					want++
 				}
 			}
-			if r.Stats.PktsOut[p] != want {
+			if r.Stats().PktsOut[p] != want {
 				t.Fatalf("vector %v: egress %d got %d packets, want %d",
-					dsts, p, r.Stats.PktsOut[p], want)
+					dsts, p, r.Stats().PktsOut[p], want)
 			}
 		}
 	}

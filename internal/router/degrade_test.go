@@ -25,11 +25,11 @@ func TestManualDegradeAllPairs(t *testing.T) {
 					continue
 				}
 				id++
-				want := r.Stats.PktsOut[dst] + 1
+				want := r.Stats().PktsOut[dst] + 1
 				pkt := ip.NewPacket(traffic.PortAddr(src, uint32(id)), traffic.PortAddr(dst, 9), 32, 256, id)
 				r.OfferPacket(src, &pkt)
-				if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[dst] >= want }, 40000) {
-					t.Fatalf("dead=%d: %d->%d never delivered; stats %+v", dead, src, dst, r.Stats)
+				if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[dst] >= want }, 40000) {
+					t.Fatalf("dead=%d: %d->%d never delivered; stats %+v", dead, src, dst, r.Stats())
 				}
 				out, err := r.DrainOutput(dst)
 				if err != nil || len(out) != 1 {
@@ -57,8 +57,8 @@ func TestDegradedMultiFrag(t *testing.T) {
 	}
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 7), 64, 2048, 3)
 	r.OfferPacket(0, &pkt)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 80000) {
-		t.Fatalf("multi-frag packet never delivered degraded; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[2] >= 1 }, 80000) {
+		t.Fatalf("multi-frag packet never delivered degraded; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil || len(out) != 1 {
@@ -82,11 +82,11 @@ func TestDegradedDropsDeadDestination(t *testing.T) {
 	r.OfferPacket(0, &doomed)
 	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 2), 64, 256, 2)
 	r.OfferPacket(0, &good)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 40000) {
-		t.Fatalf("good packet stuck behind dead-destination drop; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[2] >= 1 }, 40000) {
+		t.Fatalf("good packet stuck behind dead-destination drop; stats %+v", r.Stats())
 	}
-	if r.Stats.AbortDropped[0] != 1 {
-		t.Fatalf("AbortDropped[0] = %d, want 1", r.Stats.AbortDropped[0])
+	if r.Stats().AbortDropped[0] != 1 {
+		t.Fatalf("AbortDropped[0] = %d, want 1", r.Stats().AbortDropped[0])
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil || len(out) != 1 || out[0].Header.ID != 2 {
@@ -151,7 +151,7 @@ func TestWatchdogDegradesCrashedCrossbar(t *testing.T) {
 	total := func() int64 {
 		var s int64
 		for p := 0; p < 4; p++ {
-			s += r.Stats.PktsOut[p]
+			s += r.Stats().PktsOut[p]
 		}
 		return s
 	}
@@ -195,12 +195,12 @@ func TestWatchdogDegradesCrashedCrossbar(t *testing.T) {
 	// delivered or fail-stop discarded at degrade time.
 	var in, out int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
 	}
-	if in != out+r.Stats.FabricLost {
+	if in != out+r.Stats().FabricLost {
 		t.Fatalf("conservation: PktsIn %d != PktsOut %d + FabricLost %d",
-			in, out, r.Stats.FabricLost)
+			in, out, r.Stats().FabricLost)
 	}
 
 	// Every delivered packet — including those cut mid-stream at the pins
@@ -248,7 +248,7 @@ func TestWatchdogQuietOnHealthyFabric(t *testing.T) {
 		t.Fatalf("watchdog fired on a loaded healthy router: dead=%d failed=%v",
 			r.DeadPort(), r.Failed())
 	}
-	if r.Stats.PktsOut[2] != 1 {
-		t.Fatalf("packet not delivered; stats %+v", r.Stats)
+	if r.Stats().PktsOut[2] != 1 {
+		t.Fatalf("packet not delivered; stats %+v", r.Stats())
 	}
 }

@@ -54,7 +54,7 @@ func (f *egressFW) Refill(e *raw.Exec) {
 			e.WriteSwitchCount(func() raw.Word { return raw.Word(pad) })
 			e.RecvN(func() int { return pad }, 1, nil) // discard padding
 			e.WaitSwitchDone(nil)
-			e.Then(func(*raw.Exec) { f.rt.Stats.PktsOut[f.port]++ })
+			e.Then(func(*raw.Exec) { f.rt.stats.PktsOut[f.port]++ })
 		default:
 			// Reassembly path: buffer the fragment (2 cycles/word into
 			// local data memory, §4.4), stream the packet once complete.
@@ -76,8 +76,8 @@ func (f *egressFW) Refill(e *raw.Exec) {
 					e.WaitSwitchDone(nil)
 					e.Then(func(*raw.Exec) {
 						f.buf[src] = f.buf[src][:0]
-						f.rt.Stats.PktsOut[f.port]++
-						f.rt.Stats.Reassembled[f.port]++
+						f.rt.stats.PktsOut[f.port]++
+						f.rt.stats.Reassembled[f.port]++
 					})
 				})
 			}
@@ -126,7 +126,7 @@ func (f *egressFW) cryptoForward(e *raw.Exec, fragLen, pad int) {
 	e.Compute(f.rt.cfg.CryptoCyclesPerWord * fragLen)
 	e.SendN(func() int { return fragLen }, func(i int) raw.Word { return words[i] })
 	e.WaitSwitchDone(nil)
-	e.Then(func(*raw.Exec) { f.rt.Stats.PktsOut[f.port]++ })
+	e.Then(func(*raw.Exec) { f.rt.stats.PktsOut[f.port]++ })
 }
 
 // CryptoMask is the deterministic keystream of the §8.3 demonstration

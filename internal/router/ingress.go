@@ -142,14 +142,14 @@ func (f *ingressFW) drainPending(e *raw.Exec) {
 // timeout doubles the patience (backoff), and after lineDownStrikes
 // timeouts the port is declared down and stops reading the line.
 func (f *ingressFW) underrun(e *raw.Exec) {
-	f.rt.Stats.Underruns[f.port]++
+	f.rt.stats.Underruns[f.port]++
 	f.underruns++
 	limit := f.rt.cfg.UnderrunQuanta
 	if limit > 0 && f.underruns >= limit<<f.strikes {
 		f.strikes++
 		f.underruns = 0
 		if f.havePkt {
-			f.rt.Stats.AbortDropped[f.port]++
+			f.rt.stats.AbortDropped[f.port]++
 			f.havePkt = false
 			f.mcast = false
 			f.pendingDrain = f.claimedWords()
@@ -203,16 +203,16 @@ func (f *ingressFW) probe() {
 	if pushed > f.probeMark {
 		// The line talks again: discard the aborted packet's residue so
 		// the stream resumes at the next packet boundary, and rejoin.
-		f.rt.Stats.Recovered[f.port]++
+		f.rt.stats.Recovered[f.port]++
 		f.pendingDrain = f.claimedWords()
-		f.rt.Stats.FlapDrops[f.port] += int64(f.pendingDrain)
+		f.rt.stats.FlapDrops[f.port] += int64(f.pendingDrain)
 		f.lineDown = false
 		f.strikes = 0
 		f.underruns = 0
 		f.reprobeAtt = 0
 		return
 	}
-	f.rt.Stats.Reprobes[f.port]++
+	f.rt.stats.Reprobes[f.port]++
 	f.probeMark = pushed
 	if f.reprobeAtt < reprobeAttCap {
 		f.reprobeAtt++
@@ -271,7 +271,7 @@ func (f *ingressFW) claimedWords() int {
 func (f *ingressFW) resetForDegrade(dead int) {
 	f.dead = dead
 	if f.havePkt {
-		f.rt.Stats.AbortDropped[f.port]++
+		f.rt.stats.AbortDropped[f.port]++
 	}
 	if f.havePkt || f.lineClaim > f.in.Consumed() {
 		f.pendingDrain = f.claimedWords()
@@ -356,7 +356,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 		e.WaitSwitchDone(nil)
 		e.Then(func(e *raw.Exec) {
 			if bad || port == lookupNoRoute {
-				f.rt.Stats.Dropped[f.port]++
+				f.rt.stats.Dropped[f.port]++
 				f.drop(e)
 				return
 			}
@@ -364,7 +364,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 				// Multicast (§8.6): single-quantum packets only; the
 				// payload is ingested into local memory for replay.
 				if f.totalLen > f.rt.cfg.QuantumWords {
-					f.rt.Stats.Dropped[f.port]++
+					f.rt.stats.Dropped[f.port]++
 					f.drop(e)
 					return
 				}
@@ -372,7 +372,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 				f.mcast = true
 				f.havePkt = true
 				f.pktID++
-				f.rt.Stats.Accepted[f.port]++
+				f.rt.stats.Accepted[f.port]++
 				f.ingest(e)
 				return
 			}
@@ -380,7 +380,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 			if f.outPort == f.dead {
 				// The destination egress died; fail fast instead of
 				// requesting a grant the masked allocator can never give.
-				f.rt.Stats.AbortDropped[f.port]++
+				f.rt.stats.AbortDropped[f.port]++
 				f.drop(e)
 				return
 			}
@@ -389,7 +389,7 @@ func (f *ingressFW) acquire(e *raw.Exec) {
 			f.firstFrag = true
 			f.remaining = f.totalLen - ip.HeaderWords
 			f.pktID++
-			f.rt.Stats.Accepted[f.port]++
+			f.rt.stats.Accepted[f.port]++
 		})
 	})
 }
@@ -461,7 +461,7 @@ func (f *ingressFW) mcastQuantum(e *raw.Exec) {
 		served := GrantServed(grant)
 		_, l := DecodeGrant(grant)
 		if served == 0 {
-			f.rt.Stats.Denied[f.port]++
+			f.rt.stats.Denied[f.port]++
 			return
 		}
 		// One fanout-split stream serves every granted member.
@@ -475,14 +475,14 @@ func (f *ingressFW) mcastQuantum(e *raw.Exec) {
 		})
 		e.WaitSwitchDone(nil)
 		e.Then(func(*raw.Exec) {
-			f.rt.Stats.FragsSent[f.port]++
-			f.rt.Stats.McastCopies[f.port] += int64(served.Count())
+			f.rt.stats.FragsSent[f.port]++
+			f.rt.stats.McastCopies[f.port] += int64(served.Count())
 			f.members &^= served
 			if f.members == 0 {
 				f.havePkt = false
 				f.mcast = false
-				f.rt.Stats.PktsIn[f.port]++
-				f.rt.Stats.McastIn[f.port]++
+				f.rt.stats.PktsIn[f.port]++
+				f.rt.stats.McastIn[f.port]++
 			}
 		})
 	})
@@ -527,7 +527,7 @@ func (f *ingressFW) quantum(e *raw.Exec) {
 	e.Then(func(e *raw.Exec) {
 		granted, l := DecodeGrant(grant)
 		if !granted {
-			f.rt.Stats.Denied[f.port]++
+			f.rt.stats.Denied[f.port]++
 			return // next Refill retries the quantum
 		}
 		f.stream(e, l)
@@ -561,10 +561,10 @@ func (f *ingressFW) stream(e *raw.Exec, l int) {
 	e.WaitSwitchDone(nil)
 	e.Then(func(*raw.Exec) {
 		f.firstFrag = false
-		f.rt.Stats.FragsSent[f.port]++
+		f.rt.stats.FragsSent[f.port]++
 		if last {
 			f.havePkt = false
-			f.rt.Stats.PktsIn[f.port]++
+			f.rt.stats.PktsIn[f.port]++
 		}
 	})
 }

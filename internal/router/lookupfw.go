@@ -53,7 +53,7 @@ func (f *lookupFW) Refill(e *raw.Exec) {
 			mask, ok := f.rt.cfg.Groups[ipAddr(f.dst)]
 			e.Compute(3) // the CAM probe
 			e.SendFunc(func() raw.Word {
-				f.rt.Stats.Lookups[f.port]++
+				f.rt.stats.Lookups[f.port]++
 				if !ok || mask == 0 {
 					return lookupNoRoute
 				}
@@ -71,7 +71,7 @@ func (f *lookupFW) probe(e *raw.Exec) {
 	e.CacheRead(func() raw.Word { return l1 + f.dst>>16 },
 		func(w raw.Word) { f.v1 = w })
 	e.Then(func(e *raw.Exec) {
-		f.rt.Stats.Lookups[f.port]++
+		f.rt.stats.Lookups[f.port]++
 		v := int32(f.v1)
 		if v >= -1 {
 			e.SendFunc(func() raw.Word { return replyWord(v) })

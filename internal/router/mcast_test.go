@@ -26,10 +26,10 @@ func TestMcastCycleLevel(t *testing.T) {
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(224, 1, 1, 1), 64, 256, 42)
 	r.OfferPacket(0, &pkt)
 	ok := r.Chip.RunUntil(func() bool {
-		return r.Stats.PktsOut[1] >= 1 && r.Stats.PktsOut[2] >= 1 && r.Stats.PktsOut[3] >= 1
+		return r.Stats().PktsOut[1] >= 1 && r.Stats().PktsOut[2] >= 1 && r.Stats().PktsOut[3] >= 1
 	}, 30000)
 	if !ok {
-		t.Fatalf("multicast copies missing; stats %+v", r.Stats)
+		t.Fatalf("multicast copies missing; stats %+v", r.Stats())
 	}
 	for _, port := range []int{1, 2, 3} {
 		out, err := r.DrainOutput(port)
@@ -49,8 +49,8 @@ func TestMcastCycleLevel(t *testing.T) {
 			}
 		}
 	}
-	if r.Stats.McastIn[0] != 1 || r.Stats.McastCopies[0] != 3 {
-		t.Fatalf("mcast stats: in=%d copies=%d", r.Stats.McastIn[0], r.Stats.McastCopies[0])
+	if r.Stats().McastIn[0] != 1 || r.Stats().McastCopies[0] != 3 {
+		t.Fatalf("mcast stats: in=%d copies=%d", r.Stats().McastIn[0], r.Stats().McastCopies[0])
 	}
 	if out0, _ := r.DrainOutput(0); len(out0) != 0 {
 		t.Fatal("non-member port 0 received a copy")
@@ -73,10 +73,10 @@ func TestMcastPartialReplay(t *testing.T) {
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(224, 2, 2, 2), 64, 512, 99)
 	r.OfferPacket(0, &pkt)
 	ok := r.Chip.RunUntil(func() bool {
-		return r.Stats.McastIn[0] >= 1 && r.Stats.PktsOut[2] >= 9
+		return r.Stats().McastIn[0] >= 1 && r.Stats().PktsOut[2] >= 9
 	}, 100000)
 	if !ok {
-		t.Fatalf("mixed traffic incomplete; stats %+v", r.Stats)
+		t.Fatalf("mixed traffic incomplete; stats %+v", r.Stats())
 	}
 	out1, err := r.DrainOutput(1)
 	if err != nil || len(out1) != 1 {
@@ -109,11 +109,11 @@ func TestMcastUnknownGroupDropped(t *testing.T) {
 	r.OfferPacket(0, &pkt)
 	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 128, 2)
 	r.OfferPacket(0, &good)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 40000) {
-		t.Fatalf("good packet stuck; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 40000) {
+		t.Fatalf("good packet stuck; stats %+v", r.Stats())
 	}
-	if r.Stats.Dropped[0] != 1 {
-		t.Fatalf("dropped %d, want 1", r.Stats.Dropped[0])
+	if r.Stats().Dropped[0] != 1 {
+		t.Fatalf("dropped %d, want 1", r.Stats().Dropped[0])
 	}
 }
 
@@ -137,9 +137,9 @@ func TestMcastMixedSaturation(t *testing.T) {
 	}
 	var in, out, copies int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
-		copies += r.Stats.McastCopies[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
+		copies += r.Stats().McastCopies[p]
 		if _, err := r.DrainOutput(p); err != nil {
 			t.Fatalf("output %d corrupt: %v", p, err)
 		}

@@ -1,6 +1,10 @@
 package router
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Port re-admission (robustness extension). Degrade is fail-stop and
 // instantaneous; Restore is its inverse and must be hitless for the
@@ -84,21 +88,24 @@ func (r *Router) tick(cycle int64) {
 	if r.probationPort >= 0 && cycle&restoreCheckMask == 0 {
 		if r.xbars[r.reportPort].readmit == 0 {
 			r.ings[r.probationPort].probation = false
-			r.event(cycle, r.probationPort, "live")
+			r.event(cycle, r.probationPort, trace.EvLive)
 			r.probationPort = -1
 		}
 	}
-	if r.cfg.Events != nil && cycle&restoreCheckMask == 0 {
+	if (r.cfg.Events != nil || r.cfg.Metrics != nil) && cycle&restoreCheckMask == 0 {
 		for p := 0; p < 4; p++ {
 			if down := r.ings[p].lineDown; down != r.lineDownSeen[p] {
 				r.lineDownSeen[p] = down
-				kind := "line-up"
+				kind := trace.EvLineUp
 				if down {
-					kind = "line-down"
+					kind = trace.EvLineDown
 				}
-				r.cfg.Events.Add(cycle, p, kind)
+				r.event(cycle, p, kind)
 			}
 		}
+	}
+	if r.cfg.Metrics != nil {
+		r.sampleTelemetry(cycle)
 	}
 }
 
@@ -115,7 +122,7 @@ func (r *Router) runControls(cycle int64) {
 		switch c.kind {
 		case ctlRestore:
 			if err := r.Restore(c.port); err != nil {
-				r.event(cycle, c.port, "restore-rejected")
+				r.event(cycle, c.port, trace.EvRestoreRejected)
 			}
 		case ctlReprobe:
 			r.ings[c.port].reprobeNow = true
@@ -123,9 +130,18 @@ func (r *Router) runControls(cycle int64) {
 	}
 }
 
-func (r *Router) event(cycle int64, port int, kind string) {
+// event routes one typed recovery event to every armed sink: the
+// configured event log and the telemetry flight recorder.
+func (r *Router) event(cycle int64, port int, kind trace.EventKind) {
+	r.eventDetail(cycle, port, kind, "")
+}
+
+func (r *Router) eventDetail(cycle int64, port int, kind trace.EventKind, detail string) {
 	if r.cfg.Events != nil {
-		r.cfg.Events.Add(cycle, port, kind)
+		r.cfg.Events.AddDetail(cycle, port, kind, detail)
+	}
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.RecordEvent(trace.Event{Cycle: cycle, Port: port, Kind: kind, Detail: detail})
 	}
 }
 
@@ -156,7 +172,7 @@ func (r *Router) Restore(port int) error {
 			r.ings[p].pause = true
 		}
 	}
-	r.event(r.Chip.Cycle(), port, "restore-drain")
+	r.event(r.Chip.Cycle(), port, trace.EvRestoreDrain)
 	return nil
 }
 
@@ -204,10 +220,10 @@ func (r *Router) drainQuiescent() bool {
 				return false
 			}
 		}
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.stats.PktsIn[p]
+		out += r.stats.PktsOut[p]
 	}
-	return in == out+r.Stats.FabricLost
+	return in == out+r.stats.FabricLost
 }
 
 // completeRestore is Degrade in reverse, run between cycles from the
@@ -278,7 +294,7 @@ func (r *Router) completeRestore(cycle int64) {
 	if r.wd != nil {
 		r.wd.rearm(cycle)
 	}
-	r.event(cycle, dead, "readmit")
+	r.event(cycle, dead, trace.EvReadmit)
 }
 
 // failStop records an unrecoverable reconfiguration error (cached
@@ -287,5 +303,5 @@ func (r *Router) completeRestore(cycle int64) {
 func (r *Router) failStop(cycle int64, port int, err error) {
 	r.failed = true
 	r.restoring = false
-	r.event(cycle, port, fmt.Sprintf("fail-stop: %v", err))
+	r.eventDetail(cycle, port, trace.EvFailStop, err.Error())
 }

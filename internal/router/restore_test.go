@@ -95,15 +95,15 @@ func TestDegradeRestoreCycleAllPorts(t *testing.T) {
 		}
 
 		// The re-admitted port must source and sink traffic again.
-		inBefore, outBefore := r.Stats.PktsIn[dead], r.Stats.PktsOut[dead]
+		inBefore, outBefore := r.Stats().PktsIn[dead], r.Stats().PktsOut[dead]
 		for c := 0; c < 20000; c += 200 {
 			feedSaturated(r, gen)
 			r.Run(200)
 		}
-		if r.Stats.PktsIn[dead] <= inBefore {
+		if r.Stats().PktsIn[dead] <= inBefore {
 			t.Fatalf("port %d sourced no packets after restore", dead)
 		}
-		if r.Stats.PktsOut[dead] <= outBefore {
+		if r.Stats().PktsOut[dead] <= outBefore {
 			t.Fatalf("port %d delivered no packets after restore", dead)
 		}
 	}
@@ -112,12 +112,12 @@ func TestDegradeRestoreCycleAllPorts(t *testing.T) {
 	r.Run(200000)
 	var in, out int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
 	}
-	if in != out+r.Stats.FabricLost {
+	if in != out+r.Stats().FabricLost {
 		t.Fatalf("conservation: PktsIn %d != PktsOut %d + FabricLost %d",
-			in, out, r.Stats.FabricLost)
+			in, out, r.Stats().FabricLost)
 	}
 	var delivered int64
 	for p := 0; p < 4; p++ {
@@ -209,15 +209,15 @@ func TestAutoRestoreAfterThaw(t *testing.T) {
 	}
 
 	// Full service on the restored port, both directions.
-	inBefore, outBefore := r.Stats.PktsIn[1], r.Stats.PktsOut[1]
+	inBefore, outBefore := r.Stats().PktsIn[1], r.Stats().PktsOut[1]
 	for c := 0; c < 20000; c += 200 {
 		feedSaturated(r, gen)
 		r.Run(200)
 	}
 	r.Run(200000)
-	if r.Stats.PktsIn[1] <= inBefore || r.Stats.PktsOut[1] <= outBefore {
+	if r.Stats().PktsIn[1] <= inBefore || r.Stats().PktsOut[1] <= outBefore {
 		t.Fatalf("port 1 not back in service: in %d->%d out %d->%d",
-			inBefore, r.Stats.PktsIn[1], outBefore, r.Stats.PktsOut[1])
+			inBefore, r.Stats().PktsIn[1], outBefore, r.Stats().PktsOut[1])
 	}
 	if r.Failed() || r.DeadPort() >= 0 {
 		t.Fatalf("fabric unhealthy after restore: dead=%d failed=%v", r.DeadPort(), r.Failed())
@@ -225,12 +225,12 @@ func TestAutoRestoreAfterThaw(t *testing.T) {
 
 	var in, out int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
 	}
-	if in != out+r.Stats.FabricLost {
+	if in != out+r.Stats().FabricLost {
 		t.Fatalf("conservation: PktsIn %d != PktsOut %d + FabricLost %d",
-			in, out, r.Stats.FabricLost)
+			in, out, r.Stats().FabricLost)
 	}
 	for p := 0; p < 4; p++ {
 		if _, err := r.DrainOutput(p); err != nil {
@@ -353,15 +353,15 @@ func TestLineFlapReprobe(t *testing.T) {
 		r.InputPins(0).Push(raw.Word(w))
 	}
 	if !runUntil(r, 200000, func() bool { return r.LineDown(0) }) {
-		t.Fatalf("line never declared down; stats %+v", r.Stats)
+		t.Fatalf("line never declared down; stats %+v", r.Stats())
 	}
-	if r.Stats.AbortDropped[0] != 1 {
-		t.Fatalf("AbortDropped[0] = %d, want 1", r.Stats.AbortDropped[0])
+	if r.Stats().AbortDropped[0] != 1 {
+		t.Fatalf("AbortDropped[0] = %d, want 1", r.Stats().AbortDropped[0])
 	}
 
 	// Silent probes back off but keep coming.
 	r.Run(400000)
-	if r.Stats.Reprobes[0] == 0 {
+	if r.Stats().Reprobes[0] == 0 {
 		t.Fatal("no silent reprobes on a down line")
 	}
 	if !r.LineDown(0) {
@@ -376,19 +376,19 @@ func TestLineFlapReprobe(t *testing.T) {
 	fresh := ip.NewPacket(traffic.PortAddr(0, 2), traffic.PortAddr(2, 7), 64, 256, 6)
 	r.OfferPacket(0, &fresh)
 
-	if !runUntil(r, 600000, func() bool { return r.Stats.PktsOut[2] >= 1 }) {
-		t.Fatalf("fresh packet never delivered after flap; stats %+v", r.Stats)
+	if !runUntil(r, 600000, func() bool { return r.Stats().PktsOut[2] >= 1 }) {
+		t.Fatalf("fresh packet never delivered after flap; stats %+v", r.Stats())
 	}
 	if r.LineDown(0) {
 		t.Fatal("line still down after recovery")
 	}
-	if r.Stats.Recovered[0] != 1 {
-		t.Fatalf("Recovered[0] = %d, want 1", r.Stats.Recovered[0])
+	if r.Stats().Recovered[0] != 1 {
+		t.Fatalf("Recovered[0] = %d, want 1", r.Stats().Recovered[0])
 	}
 	// 64-word packet, 10 words arrived before the cut (5 header consumed
 	// at acquire + 5 payload drained during the strikes): 54 residue words.
-	if r.Stats.FlapDrops[0] != int64(len(words)-10) {
-		t.Fatalf("FlapDrops[0] = %d, want %d", r.Stats.FlapDrops[0], len(words)-10)
+	if r.Stats().FlapDrops[0] != int64(len(words)-10) {
+		t.Fatalf("FlapDrops[0] = %d, want %d", r.Stats().FlapDrops[0], len(words)-10)
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil || len(out) != 1 || out[0].Header.ID != 6 {
@@ -432,14 +432,14 @@ func TestReprobeForcedControl(t *testing.T) {
 	r.OfferPacket(0, &fresh)
 	r.ScheduleReprobe(r.Cycle()+1, 0)
 
-	if !runUntil(r, 200000, func() bool { return r.Stats.PktsOut[3] >= 1 }) {
-		t.Fatalf("forced reprobe did not recover the line; stats %+v", r.Stats)
+	if !runUntil(r, 200000, func() bool { return r.Stats().PktsOut[3] >= 1 }) {
+		t.Fatalf("forced reprobe did not recover the line; stats %+v", r.Stats())
 	}
-	if r.Stats.Reprobes[0] != 0 {
-		t.Fatalf("Reprobes[0] = %d, want 0 (control fired before any scheduled probe)", r.Stats.Reprobes[0])
+	if r.Stats().Reprobes[0] != 0 {
+		t.Fatalf("Reprobes[0] = %d, want 0 (control fired before any scheduled probe)", r.Stats().Reprobes[0])
 	}
-	if r.Stats.Recovered[0] != 1 {
-		t.Fatalf("Recovered[0] = %d, want 1", r.Stats.Recovered[0])
+	if r.Stats().Recovered[0] != 1 {
+		t.Fatalf("Recovered[0] = %d, want 1", r.Stats().Recovered[0])
 	}
 }
 
@@ -466,9 +466,9 @@ func TestLatchedLineDownUnchanged(t *testing.T) {
 		r.InputPins(0).Push(raw.Word(w))
 	}
 	r.Run(400000)
-	if !r.LineDown(0) || r.Stats.Recovered[0] != 0 || r.Stats.Reprobes[0] != 0 {
+	if !r.LineDown(0) || r.Stats().Recovered[0] != 0 || r.Stats().Reprobes[0] != 0 {
 		t.Fatalf("latched line reprobed: down=%v recovered=%d reprobes=%d",
-			r.LineDown(0), r.Stats.Recovered[0], r.Stats.Reprobes[0])
+			r.LineDown(0), r.Stats().Recovered[0], r.Stats().Reprobes[0])
 	}
 }
 
@@ -494,7 +494,7 @@ func TestScheduledRestoreControl(t *testing.T) {
 	}
 	pkt := ip.NewPacket(traffic.PortAddr(3, 1), traffic.PortAddr(0, 7), 64, 256, 77)
 	r.OfferPacket(3, &pkt)
-	if !runUntil(r, 40000, func() bool { return r.Stats.PktsOut[0] >= 1 }) {
-		t.Fatalf("restored port carried no traffic; stats %+v", r.Stats)
+	if !runUntil(r, 40000, func() bool { return r.Stats().PktsOut[0] >= 1 }) {
+		t.Fatalf("restored port carried no traffic; stats %+v", r.Stats())
 	}
 }

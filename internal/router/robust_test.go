@@ -26,9 +26,9 @@ func TestCycleQoSWeightedToken(t *testing.T) {
 	}
 	var total int64
 	for p := 0; p < 4; p++ {
-		total += r.Stats.PktsIn[p]
+		total += r.Stats().PktsIn[p]
 	}
-	share := float64(r.Stats.PktsIn[0]) / float64(total)
+	share := float64(r.Stats().PktsIn[0]) / float64(total)
 	if share < 0.42 || share > 0.58 {
 		t.Fatalf("premium port share %.3f, want ≈0.50 (w/(w+3) with w=3)", share)
 	}
@@ -57,15 +57,15 @@ func TestInputUnderrunRecovers(t *testing.T) {
 		in.Push(raw.Word(w))
 	}
 	r.Run(5000)
-	if r.Stats.PktsOut[1] != 0 {
+	if r.Stats().PktsOut[1] != 0 {
 		t.Fatal("packet delivered before its payload arrived")
 	}
 	// Late payload.
 	for _, w := range words[ip.HeaderWords:] {
 		in.Push(raw.Word(w))
 	}
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 20000) {
-		t.Fatalf("fabric did not recover from input underrun; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 20000) {
+		t.Fatalf("fabric did not recover from input underrun; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(1)
 	if err != nil || len(out) != 1 {
@@ -91,11 +91,11 @@ func TestGarbageFrameOnTheWire(t *testing.T) {
 	}
 	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 64, 7)
 	r.OfferPacket(0, &good)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 40000) {
-		t.Fatalf("good packet stuck behind garbage; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 40000) {
+		t.Fatalf("good packet stuck behind garbage; stats %+v", r.Stats())
 	}
-	if r.Stats.Dropped[0] != 1 {
-		t.Fatalf("dropped %d, want 1", r.Stats.Dropped[0])
+	if r.Stats().Dropped[0] != 1 {
+		t.Fatalf("dropped %d, want 1", r.Stats().Dropped[0])
 	}
 	out, err := r.DrainOutput(1)
 	if err != nil || len(out) != 1 || out[0].Header.ID != 7 {
@@ -116,7 +116,7 @@ func TestHotspotSustained(t *testing.T) {
 		feedSaturated(r, gen)
 		r.Run(200)
 	}
-	if r.Stats.PktsOut[0]+r.Stats.PktsOut[1]+r.Stats.PktsOut[2] != 0 {
+	if r.Stats().PktsOut[0]+r.Stats().PktsOut[1]+r.Stats().PktsOut[2] != 0 {
 		t.Fatal("packets leaked to non-hotspot outputs")
 	}
 	gbps := r.ThroughputGbps()
@@ -126,7 +126,7 @@ func TestHotspotSustained(t *testing.T) {
 	}
 	var lo, hi int64 = 1 << 62, 0
 	for p := 0; p < 4; p++ {
-		g := r.Stats.PktsIn[p]
+		g := r.Stats().PktsIn[p]
 		if g < lo {
 			lo = g
 		}
@@ -135,7 +135,7 @@ func TestHotspotSustained(t *testing.T) {
 		}
 	}
 	if hi-lo > hi/10 {
-		t.Fatalf("hotspot service unfair: per-input %v", r.Stats.PktsIn)
+		t.Fatalf("hotspot service unfair: per-input %v", r.Stats().PktsIn)
 	}
 }
 
@@ -144,8 +144,8 @@ func TestHeaderOnlyPacket(t *testing.T) {
 	r := mustNew(t, router.DefaultConfig())
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 2), 64, ip.HeaderBytes, 9)
 	r.OfferPacket(0, &pkt)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 20000) {
-		t.Fatalf("header-only packet never delivered; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[2] >= 1 }, 20000) {
+		t.Fatalf("header-only packet never delivered; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil || len(out) != 1 {
@@ -168,8 +168,8 @@ func TestBackToBackMixedSizes(t *testing.T) {
 		r.OfferPacket(0, &pkt)
 		want = append(want, id)
 	}
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= int64(len(want)) }, 100000) {
-		t.Fatalf("only %d of %d delivered", r.Stats.PktsOut[1], len(want))
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= int64(len(want)) }, 100000) {
+		t.Fatalf("only %d of %d delivered", r.Stats().PktsOut[1], len(want))
 	}
 	out, err := r.DrainOutput(1)
 	if err != nil || len(out) != len(want) {
@@ -256,14 +256,14 @@ func TestTOSPriority(t *testing.T) {
 	}
 	var total int64
 	for p := 0; p < 4; p++ {
-		total += r.Stats.PktsIn[p]
+		total += r.Stats().PktsIn[p]
 	}
-	share := float64(r.Stats.PktsIn[0]) / float64(total)
+	share := float64(r.Stats().PktsIn[0]) / float64(total)
 	// Strict priority: the premium input owns the egress almost entirely.
 	if share < 0.9 {
 		t.Fatalf("premium TOS share %.3f, want ≈ 1.0 (strict priority)", share)
 	}
-	if r.Stats.PktsIn[1]+r.Stats.PktsIn[2]+r.Stats.PktsIn[3] == 0 {
+	if r.Stats().PktsIn[1]+r.Stats().PktsIn[2]+r.Stats().PktsIn[3] == 0 {
 		// Best effort gets only the quanta the premium flow leaves (its
 		// own per-packet acquire gaps); zero would mean the model starves
 		// even those — acceptable for strict priority, so no assertion.
@@ -310,8 +310,8 @@ func TestDropConservation(t *testing.T) {
 
 		var dropped, out int64
 		for p := 0; p < 4; p++ {
-			dropped += r.Stats.Dropped[p]
-			out += r.Stats.PktsOut[p]
+			dropped += r.Stats().Dropped[p]
+			out += r.Stats().PktsOut[p]
 			if r.InFlightAtIngress(p) != 0 || r.PendingDrainWords(p) != 0 || r.InputBacklogWords(p) != 0 {
 				t.Fatalf("hotspot=%v port %d not quiescent", hotspot, p)
 			}
@@ -337,8 +337,8 @@ func TestInterleavedReassembly(t *testing.T) {
 	b := ip.NewPacket(traffic.PortAddr(1, 2), traffic.PortAddr(2, 6), 64, 1024, 11)
 	r.OfferPacket(0, &a)
 	r.OfferPacket(1, &b)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 2 }, 100000) {
-		t.Fatalf("interleaved packets incomplete; %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[2] >= 2 }, 100000) {
+		t.Fatalf("interleaved packets incomplete; %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil || len(out) != 2 {
@@ -356,7 +356,7 @@ func TestInterleavedReassembly(t *testing.T) {
 			}
 		}
 	}
-	if r.Stats.Reassembled[2] != 2 {
-		t.Fatalf("reassembled %d, want 2", r.Stats.Reassembled[2])
+	if r.Stats().Reassembled[2] != 2 {
+		t.Fatalf("reassembled %d, want 2", r.Stats().Reassembled[2])
 	}
 }

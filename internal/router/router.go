@@ -10,6 +10,7 @@ import (
 	"repro/internal/raw"
 	"repro/internal/rotor"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -105,6 +106,13 @@ type Config struct {
 	// (line-down/line-up, degrade, restore-drain, readmit, live,
 	// fail-stop).
 	Events *trace.EventLog
+	// Metrics, if non-nil, arms the telemetry plane: the collector
+	// receives one QuantumSample per completed quantum and a copy of
+	// every recovery event, and TelemetrySnapshot folds its accumulated
+	// state into the exported snapshot. Nil (the default) disables
+	// collection; like Events and the raw fault plane, the disabled cost
+	// is a nil check on paths that already run.
+	Metrics *telemetry.Collector
 	// Checkpoint enables input recording at construction so the router
 	// can Snapshot (see snapshot.go). Off by default: the log costs
 	// memory proportional to the words offered.
@@ -130,7 +138,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats are the router's internal counters, updated by firmware.
+// Stats are the router's internal counters, updated by firmware. Read
+// them through Router.Stats(), which returns an immutable snapshot; the
+// live struct is router-internal.
 type Stats struct {
 	// Accepted counts packets that passed ingress validation; Dropped
 	// those that failed (bad checksum, TTL, no route).
@@ -164,6 +174,16 @@ type Stats struct {
 	FabricLost int64
 }
 
+// StatsSnapshot is an immutable, versioned copy of the router's counters
+// returned by Stats(). Schema tracks telemetry.SchemaVersion; Cycle is
+// the chip cycle the snapshot was taken at. The embedded Stats fields
+// are values, so a snapshot never changes as the simulation advances.
+type StatsSnapshot struct {
+	Schema int
+	Cycle  int64
+	Stats
+}
+
 // Router is the assembled 4-port Raw router.
 type Router struct {
 	Chip *raw.Chip
@@ -179,7 +199,11 @@ type Router struct {
 	ings  [4]*ingressFW
 	egrs  [4]*egressFW
 
-	Stats Stats
+	stats Stats
+
+	// lastSampledQ is the last quantum boundary the telemetry plane
+	// ingested (see sampleTelemetry in telemetry.go).
+	lastSampledQ int64
 
 	// Degraded-mode state: deadPort is the masked crossbar tile (-1
 	// healthy); failed means a second wedge (or an unattributable one)
@@ -356,6 +380,25 @@ func CanonicalTable() *lookup.Patricia {
 // Config returns the router configuration.
 func (r *Router) Config() Config { return r.cfg }
 
+// Stats returns an immutable snapshot of the router's counters. The
+// copy is cheap (a few hundred bytes) and safe to hold across Run calls:
+// it never changes as the simulation advances.
+func (r *Router) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Schema: telemetry.SchemaVersion,
+		Cycle:  r.Chip.Cycle(),
+		Stats:  r.stats,
+	}
+}
+
+// StatsRef returns a pointer to the live counter struct.
+//
+// Deprecated: read counters through Stats(), which returns an immutable
+// snapshot. StatsRef exists only to bridge one release of external
+// callers that mutated or aliased the old public Stats field; it will be
+// removed in the next release.
+func (r *Router) StatsRef() *Stats { return &r.stats }
+
 // UpdateTable installs a new forwarding table while the router forwards
 // (§2.2.1: "the network processor builds a forwarding table for each
 // forwarding engine"). The image is DMA'd into the idle epoch's DRAM
@@ -481,7 +524,7 @@ func (r *Router) OutputWords(p int) int64 { return r.outs[p].Count() }
 func (r *Router) TotalPktsOut() int64 {
 	var t int64
 	for p := 0; p < 4; p++ {
-		t += r.Stats.PktsOut[p]
+		t += r.stats.PktsOut[p]
 	}
 	return t
 }

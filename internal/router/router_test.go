@@ -38,8 +38,8 @@ func TestSinglePacket(t *testing.T) {
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(2, 7), 64, 256, 42)
 	r.OfferPacket(0, &pkt)
 
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[2] >= 1 }, 20000) {
-		t.Fatalf("packet never delivered; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[2] >= 1 }, 20000) {
+		t.Fatalf("packet never delivered; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(2)
 	if err != nil {
@@ -70,7 +70,7 @@ func TestAllPairs(t *testing.T) {
 			r := mustNew(t, router.DefaultConfig())
 			pkt := ip.NewPacket(traffic.PortAddr(src, 1), traffic.PortAddr(dst, 9), 32, 128, 7)
 			r.OfferPacket(src, &pkt)
-			if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[dst] >= 1 }, 20000) {
+			if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[dst] >= 1 }, 20000) {
 				t.Fatalf("%d->%d never delivered", src, dst)
 			}
 			out, err := r.DrainOutput(dst)
@@ -148,8 +148,8 @@ func TestMultiFragReassembly(t *testing.T) {
 	r := mustNew(t, router.DefaultConfig())
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 7), 64, 2048, 3)
 	r.OfferPacket(0, &pkt)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 50000) {
-		t.Fatalf("multi-frag packet never delivered; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 50000) {
+		t.Fatalf("multi-frag packet never delivered; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(1)
 	if err != nil || len(out) != 1 {
@@ -160,8 +160,8 @@ func TestMultiFragReassembly(t *testing.T) {
 			t.Fatalf("payload word %d corrupted", i)
 		}
 	}
-	if r.Stats.Reassembled[1] != 1 || r.Stats.FragsSent[0] != 2 {
-		t.Fatalf("reassembled=%d frags=%d", r.Stats.Reassembled[1], r.Stats.FragsSent[0])
+	if r.Stats().Reassembled[1] != 1 || r.Stats().FragsSent[0] != 2 {
+		t.Fatalf("reassembled=%d frags=%d", r.Stats().Reassembled[1], r.Stats().FragsSent[0])
 	}
 }
 
@@ -184,11 +184,11 @@ func TestDropPaths(t *testing.T) {
 	good := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 2), 64, 128, 4)
 	r.OfferPacket(0, &good)
 
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 100000) {
-		t.Fatalf("good packet stuck behind drops; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 100000) {
+		t.Fatalf("good packet stuck behind drops; stats %+v", r.Stats())
 	}
-	if r.Stats.Dropped[0] != 3 {
-		t.Fatalf("dropped %d, want 3", r.Stats.Dropped[0])
+	if r.Stats().Dropped[0] != 3 {
+		t.Fatalf("dropped %d, want 3", r.Stats().Dropped[0])
 	}
 	out, err := r.DrainOutput(1)
 	if err != nil || len(out) != 1 {
@@ -359,8 +359,8 @@ func TestCryptoInFabric(t *testing.T) {
 	r := mustNew(t, cfg)
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(3, 2), 64, 256, 11)
 	r.OfferPacket(0, &pkt)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[3] >= 1 }, 30000) {
-		t.Fatalf("crypto packet never delivered; stats %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[3] >= 1 }, 30000) {
+		t.Fatalf("crypto packet never delivered; stats %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(3)
 	if err != nil || len(out) != 1 {

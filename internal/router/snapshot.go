@@ -136,13 +136,13 @@ func (r *Router) stateWords() []int64 {
 	var w []int64
 	for p := 0; p < 4; p++ {
 		w = append(w,
-			r.Stats.Accepted[p], r.Stats.Dropped[p], r.Stats.Denied[p],
-			r.Stats.FragsSent[p], r.Stats.PktsIn[p], r.Stats.PktsOut[p],
-			r.Stats.Reassembled[p], r.Stats.Lookups[p], r.Stats.McastIn[p],
-			r.Stats.McastCopies[p], r.Stats.AbortDropped[p], r.Stats.Underruns[p],
-			r.Stats.Reprobes[p], r.Stats.Recovered[p], r.Stats.FlapDrops[p])
+			r.stats.Accepted[p], r.stats.Dropped[p], r.stats.Denied[p],
+			r.stats.FragsSent[p], r.stats.PktsIn[p], r.stats.PktsOut[p],
+			r.stats.Reassembled[p], r.stats.Lookups[p], r.stats.McastIn[p],
+			r.stats.McastCopies[p], r.stats.AbortDropped[p], r.stats.Underruns[p],
+			r.stats.Reprobes[p], r.stats.Recovered[p], r.stats.FlapDrops[p])
 	}
-	w = append(w, r.Stats.FabricLost, int64(r.deadPort), int64(r.probationPort))
+	w = append(w, r.stats.FabricLost, int64(r.deadPort), int64(r.probationPort))
 	flags := int64(0)
 	if r.failed {
 		flags |= 1

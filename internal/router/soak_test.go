@@ -46,9 +46,9 @@ func TestSoakEverything(t *testing.T) {
 
 	var in, out, denied int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
-		denied += r.Stats.Denied[p]
+		in += r.Stats().PktsIn[p]
+		out += r.Stats().PktsOut[p]
+		denied += r.Stats().Denied[p]
 		pkts, err := r.DrainOutput(p)
 		if err != nil {
 			t.Fatalf("output %d stream corrupt after soak: %v", p, err)
@@ -65,8 +65,8 @@ func TestSoakEverything(t *testing.T) {
 	if out < in {
 		t.Fatalf("deliveries (%d) below ingress completions (%d) beyond in-flight slack", out, in)
 	}
-	if r.Stats.Dropped != [4]int64{} {
-		t.Fatalf("unexpected drops: %v", r.Stats.Dropped)
+	if r.Stats().Dropped != [4]int64{} {
+		t.Fatalf("unexpected drops: %v", r.Stats().Dropped)
 	}
 	t.Logf("soak: %d in, %d egress deliveries (mcast amplified), %d denials, %.2f Gbps",
 		in, out, denied, r.ThroughputGbps())

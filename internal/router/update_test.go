@@ -21,8 +21,8 @@ func TestTableUpdateWhileForwarding(t *testing.T) {
 	// use 11/8's address so the canonical route targets port 1).
 	before := ip.NewPacket(traffic.PortAddr(0, 1), traffic.PortAddr(1, 5), 64, 128, 1)
 	r.OfferPacket(0, &before)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 20000) {
-		t.Fatalf("pre-update packet not delivered; %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 20000) {
+		t.Fatalf("pre-update packet not delivered; %+v", r.Stats())
 	}
 
 	// The network processor moves 11/8 to port 3.
@@ -40,8 +40,8 @@ func TestTableUpdateWhileForwarding(t *testing.T) {
 
 	after := ip.NewPacket(traffic.PortAddr(0, 2), traffic.PortAddr(1, 6), 64, 128, 2)
 	r.OfferPacket(0, &after)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[3] >= 1 }, 30000) {
-		t.Fatalf("post-update packet did not follow the new route; %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[3] >= 1 }, 30000) {
+		t.Fatalf("post-update packet did not follow the new route; %+v", r.Stats())
 	}
 	out, err := r.DrainOutput(3)
 	if err != nil || len(out) != 1 || out[0].Header.ID != 2 {
@@ -51,8 +51,8 @@ func TestTableUpdateWhileForwarding(t *testing.T) {
 	r.UpdateTable(router.CanonicalTable())
 	third := ip.NewPacket(traffic.PortAddr(0, 3), traffic.PortAddr(1, 7), 64, 128, 3)
 	r.OfferPacket(0, &third)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 2 }, 30000) {
-		t.Fatalf("second flip did not restore the route; %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 2 }, 30000) {
+		t.Fatalf("second flip did not restore the route; %+v", r.Stats())
 	}
 }
 
@@ -84,7 +84,7 @@ func TestNetprocDrivesRouter(t *testing.T) {
 	// A packet to 40.1.2.3 must leave on port 1 (toward node 1).
 	pkt := ip.NewPacket(traffic.PortAddr(0, 1), ip.AddrFrom(40, 1, 2, 3), 64, 128, 9)
 	r.OfferPacket(0, &pkt)
-	if !r.Chip.RunUntil(func() bool { return r.Stats.PktsOut[1] >= 1 }, 30000) {
-		t.Fatalf("packet did not follow the RIP-computed route; %+v", r.Stats)
+	if !r.Chip.RunUntil(func() bool { return r.Stats().PktsOut[1] >= 1 }, 30000) {
+		t.Fatalf("packet did not follow the RIP-computed route; %+v", r.Stats())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/raw"
+	"repro/internal/trace"
 )
 
 // The quantum-progress watchdog (robustness extension). The Rotating
@@ -184,11 +185,11 @@ func (r *Router) Degrade(dead int) error {
 	// Fail-stop accounting: everything inside the fabric is lost.
 	var in, out int64
 	for p := 0; p < 4; p++ {
-		in += r.Stats.PktsIn[p]
-		out += r.Stats.PktsOut[p]
+		in += r.stats.PktsIn[p]
+		out += r.stats.PktsOut[p]
 	}
 	if in > out {
-		r.Stats.FabricLost += in - out
+		r.stats.FabricLost += in - out
 	}
 	for p := 0; p < 4; p++ {
 		r.cuts[p] = append(r.cuts[p], r.outs[p].Count())
@@ -202,7 +203,7 @@ func (r *Router) Degrade(dead int) error {
 	// thaws, at which point the park program blocks it harmlessly.
 	dp := Layout[dead]
 	if f := r.ings[dead]; f.havePkt {
-		r.Stats.AbortDropped[dead]++
+		r.stats.AbortDropped[dead]++
 		f.havePkt = false
 	}
 	r.ings[dead].lineDown = true
@@ -261,7 +262,7 @@ func (r *Router) Degrade(dead int) error {
 	if r.wd != nil {
 		r.wd.noteDegrade(dead, r.Chip.Cycle())
 	}
-	r.event(r.Chip.Cycle(), dead, "degrade")
+	r.event(r.Chip.Cycle(), dead, trace.EvDegrade)
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package telemetry
+
+import "math/bits"
+
+// NumBuckets is the histogram bucket count: bucket 0 holds zero-valued
+// observations, bucket i (1..16) holds values v with 2^(i-1) <= v < 2^i,
+// and the last bucket holds everything >= 2^16. Power-of-two bucketing
+// keeps Observe at a bit-length and an increment — cheap enough for the
+// always-on plane — while still resolving the distributions that matter
+// here (token waits of a few quanta, blocked bursts up to a quantum).
+const NumBuckets = 18
+
+// Histogram is a fixed-layout power-of-two histogram. The zero value is
+// ready to use, and the layout is part of the export schema.
+type Histogram struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Max     int64             `json:"max"`
+	Buckets [NumBuckets]int64 `json:"buckets"`
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	i := bits.Len64(uint64(v))
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// BucketUpper returns bucket i's inclusive upper bound, or -1 for the
+// overflow bucket (rendered as +Inf by the Prometheus exporter).
+func BucketUpper(i int) int64 {
+	if i >= NumBuckets-1 {
+		return -1
+	}
+	return (int64(1) << i) - 1
+}
+
+// Mean returns the observation mean (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}

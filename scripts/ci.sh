@@ -32,4 +32,12 @@ echo "== soak: degrade->restore matrix with mid-run checkpoint/restore (race det
 SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoak' ./internal/fault
 go test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
 
+echo "== telemetry: export determinism + disabled-overhead gate =="
+# Exports must be byte-identical at 1 and NumCPU workers, and the
+# disabled plane (cfg.Metrics == nil) must cost <1% versus the
+# pre-telemetry commit (interleaved same-session legs; see
+# scripts/bench_telemetry.sh and BENCH_telemetry.json).
+go test -race -run 'TestTelemetry' ./internal/fault
+sh scripts/bench_telemetry.sh
+
 echo "CI green."
