@@ -14,11 +14,15 @@
 #   bench-telemetry - regenerate BENCH_telemetry.json; fails if the
 #            disabled telemetry plane costs >1% vs the pre-telemetry
 #            commit (interleaved same-session legs)
+#   bench-engine - regenerate BENCH_engine.json; fails if the compiled
+#            fast engine is not >=2x the reference interpreter on the
+#            1,024-byte-packet steady-state workload (paired ref/fast
+#            rounds in one binary)
 
 GO ?= go
 SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos soak fuzz bench bench-telemetry ci
+.PHONY: all tier1 tier2 chaos soak fuzz bench bench-telemetry bench-engine ci
 
 all: tier1
 
@@ -50,4 +54,7 @@ bench:
 bench-telemetry:
 	sh scripts/bench_telemetry.sh
 
-ci: tier1 tier2 chaos soak bench-telemetry
+bench-engine:
+	sh scripts/bench_engine.sh
+
+ci: tier1 tier2 chaos soak bench-telemetry bench-engine

@@ -1,0 +1,87 @@
+// BenchmarkEngine compares the reference interpreter (EngineRef) against
+// the compiled fast engine (EngineFast) on identical workloads. Both
+// engines are bit-for-bit identical in simulation output (the equivalence
+// suites in internal/raw and internal/fault enforce it), so every delta
+// here is pure host speed. scripts/bench_engine.sh runs these legs in
+// paired rounds and records BENCH_engine.json, gating on the steady-state
+// speedup.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/raw"
+)
+
+// streamEngineChip programs every tile of a 4x4 chip as a west->east
+// streaming pipeline: one-instruction SwJump self-loops, processors idle
+// — the steady state the fast engine's macro-step targets.
+func streamEngineChip(b *testing.B, eng raw.Engine) *raw.Chip {
+	b.Helper()
+	cfg := raw.DefaultConfig()
+	cfg.Engine = eng
+	chip := raw.NewChip(cfg)
+	for t := 0; t < chip.NumTiles(); t++ {
+		prog := []raw.SwInstr{{Op: raw.SwJump, Arg: 0,
+			Routes: []raw.Route{{Dst: raw.DirE, Src: raw.DirW}}}}
+		if err := chip.Tile(t).SetSwitchProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return chip
+}
+
+func BenchmarkEngine(b *testing.B) {
+	// stream1024B: each op pushes one 1,024-byte packet (256 words) into
+	// every row's west edge and runs 300 cycles — enough to stream the
+	// packet across the chip and out the east edge. The chip sits in the
+	// SwJump self-loop steady state, so the fast engine's macro-step can
+	// collapse the run while the reference engine interprets every cycle.
+	stream := func(eng raw.Engine) func(*testing.B) {
+		return func(b *testing.B) {
+			chip := streamEngineChip(b, eng)
+			width, height := 4, 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for y := 0; y < height; y++ {
+					in := chip.StaticIn(chip.TileAt(0, y).ID(), raw.DirW)
+					for w := 0; w < 256; w++ {
+						in.Push(raw.Word(i*256 + w))
+					}
+				}
+				chip.Run(300)
+				for y := 0; y < height; y++ {
+					words, _ := chip.StaticOut(chip.TileAt(width-1, y).ID(), raw.DirE).Drain()
+					if len(words) != 256 {
+						b.Fatalf("row %d: drained %d words, want 256", y, len(words))
+					}
+				}
+			}
+			b.ReportMetric(300, "sim-cycles/op")
+		}
+	}
+	// router1024B: the full Figure 7-2 router under saturated 1,024-byte
+	// permutation traffic. The firmware keeps the tile processors busy and
+	// the router arms a per-cycle hook, so the macro-step stays disarmed:
+	// this leg measures the compiled per-cycle dispatch alone.
+	router := func(eng raw.Engine) func(*testing.B) {
+		return func(b *testing.B) {
+			r, err := core.New(core.Options{ChipEngine: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := core.PermutationTraffic(1024, 1)
+			r.RunSaturated(5000, gen) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RunSaturated(200, gen)
+			}
+			b.ReportMetric(200, "sim-cycles/op")
+		}
+	}
+	b.Run("stream1024B/engine=ref", stream(raw.EngineRef))
+	b.Run("stream1024B/engine=fast", stream(raw.EngineFast))
+	b.Run("router1024B/engine=ref", router(raw.EngineRef))
+	b.Run("router1024B/engine=fast", router(raw.EngineFast))
+}

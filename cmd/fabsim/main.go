@@ -31,11 +31,20 @@ func main() {
 	var common cli.Common
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterMetrics(flag.CommandLine)
+	common.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
 		os.Exit(2)
 	}
+	stopProf, err := common.StartProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabsim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	engine, _ := common.EngineChoice() // validated above
+	exp.SetEngine(engine)
 	exp.SetWorkers(common.Workers)
 	exp.SetReprobeQuanta(*reprobe)
 

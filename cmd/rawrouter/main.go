@@ -59,6 +59,7 @@ func main() {
 	common.RegisterTrace(flag.CommandLine)
 	common.RegisterCheckpoint(flag.CommandLine)
 	common.RegisterMetrics(flag.CommandLine)
+	common.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
@@ -69,6 +70,13 @@ func main() {
 		printLayout()
 		return
 	}
+	stopProf, err := common.StartProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	engine, _ := common.EngineChoice() // validated above
 
 	var rec *trace.Recorder
 	rcfg := router.DefaultConfig()
@@ -87,7 +95,7 @@ func main() {
 		rcfg.Metrics = telemetry.New(telemetry.Config{})
 	}
 	r, err := core.New(core.Options{QuantumWords: *quantum, Crypto: *crypto,
-		Workers: common.Workers, RouterConfig: &rcfg})
+		Workers: common.Workers, ChipEngine: engine, RouterConfig: &rcfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
 		os.Exit(1)

@@ -56,6 +56,7 @@ func main() {
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterFaults(flag.CommandLine)
 	common.RegisterCheckpoint(flag.CommandLine)
+	common.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fatal(err)
@@ -64,12 +65,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
 		os.Exit(2)
 	}
+	stopProf, err := common.StartProfile()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	chip := raw.NewChip(raw.DefaultConfig())
+	engine, _ := common.EngineChoice() // validated above
+	cfg := raw.DefaultConfig()
+	cfg.Engine = engine
+	chip := raw.NewChip(cfg)
 	if common.Checkpoint != "" || common.Restore != "" {
 		if err := chip.EnableRecording(); err != nil {
 			fatal(err)

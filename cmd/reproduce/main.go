@@ -22,15 +22,24 @@ func main() {
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the recovery experiment (0 = latched LineDown)")
 	var common cli.Common
 	common.RegisterSim(flag.CommandLine)
+	common.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
 	}
+	stopProf, err := common.StartProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 	q := exp.Full
 	if *quick {
 		q = exp.Quick
 	}
+	engine, _ := common.EngineChoice() // validated above
+	exp.SetEngine(engine)
 	exp.SetWorkers(common.Workers)
 	exp.SetReprobeQuanta(*reprobe)
 

@@ -9,9 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/raw"
 	"repro/internal/router"
 	"repro/internal/telemetry"
 )
@@ -21,6 +24,13 @@ import (
 type Common struct {
 	// Workers (-workers): host goroutines stepping each simulated chip.
 	Workers int
+	// Engine (-engine): chip cycle engine, "ref" or "fast". Parse with
+	// EngineChoice after flag.Parse.
+	Engine string
+	// CPUProfile / MemProfile (-cpuprofile, -memprofile) are pprof output
+	// paths; see StartProfile.
+	CPUProfile string
+	MemProfile string
 	// Faults (-faults) is the fault-schedule text; FaultSeed (-faultseed)
 	// adds a seeded schedule of recoverable faults.
 	Faults    string
@@ -36,10 +46,75 @@ type Common struct {
 	Metrics string
 }
 
-// RegisterSim installs -workers.
+// RegisterSim installs -workers and -engine.
 func (c *Common) RegisterSim(fs *flag.FlagSet) {
 	fs.IntVar(&c.Workers, "workers", 1,
 		"host goroutines stepping the chip (cycle-exact at any count)")
+	fs.StringVar(&c.Engine, "engine", "ref",
+		"chip cycle engine: ref (reference interpreter) or fast (compiled route tables, bit-for-bit equivalent)")
+}
+
+// RegisterProfile installs -cpuprofile and -memprofile.
+func (c *Common) RegisterProfile(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to FILE")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write a pprof heap profile to FILE at exit")
+}
+
+// EngineChoice parses -engine ("" and "ref" select the reference
+// interpreter).
+func (c *Common) EngineChoice() (raw.Engine, error) {
+	eng, err := raw.ParseEngine(c.Engine)
+	if err != nil {
+		return 0, fmt.Errorf("-engine: %w", err)
+	}
+	return eng, nil
+}
+
+// StartProfile starts CPU profiling if -cpuprofile was given and returns
+// a stop function to defer in main: it stops the CPU profile and, if
+// -memprofile was given, garbage-collects and writes the heap profile.
+// Call after flag parsing; errors opening either file are returned
+// immediately so main can fail before simulating anything.
+func (c *Common) StartProfile() (stop func(), err error) {
+	var cpuF *os.File
+	if c.CPUProfile != "" {
+		cpuF, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	// Open the heap profile's file up front too: a typo should fail the
+	// run at startup, not after minutes of simulation.
+	var memF *os.File
+	if c.MemProfile != "" {
+		memF, err = os.Create(c.MemProfile)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memF != nil {
+			runtime.GC() // settle retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			memF.Close()
+		}
+	}, nil
 }
 
 // RegisterFaults installs -faults and -faultseed.
@@ -75,6 +150,9 @@ func (c *Common) RegisterMetrics(fs *flag.FlagSet) {
 // negative, and huge values all run (the documented surface behavior).
 func (c *Common) Validate() error {
 	if _, err := c.MetricsSink(); err != nil {
+		return err
+	}
+	if _, err := c.EngineChoice(); err != nil {
 		return err
 	}
 	return nil

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/ip"
+	"repro/internal/raw"
 	"repro/internal/rotor"
 	"repro/internal/router"
 	"repro/internal/stats"
@@ -66,6 +67,13 @@ type Options struct {
 	// at any worker count; only host throughput changes. Ignored by the
 	// fabric engine.
 	Workers int
+	// ChipEngine selects the cycle engine's chip stepping strategy:
+	// raw.EngineRef (the reference interpreter, the zero value) or
+	// raw.EngineFast (compiled route tables). Like Workers it is purely a
+	// host performance knob — results are bit-for-bit identical — and it
+	// is ignored by the fabric engine. (Engine above picks the fidelity
+	// level; ChipEngine picks how the cycle-true level is executed.)
+	ChipEngine raw.Engine
 }
 
 // Packet is a routing request at the facade level.
@@ -127,6 +135,7 @@ func New(opt Options) (*Router, error) {
 		cfg.ClockHz = opt.ClockHz
 		cfg.QuantumWords = opt.QuantumWords
 		cfg.Workers = opt.Workers
+		cfg.Engine = opt.ChipEngine
 		cfg.Crypto = opt.Crypto
 		cfg.CryptoKey = opt.CryptoKey
 		cfg.Weights = opt.Weights

@@ -45,6 +45,17 @@ var workers int
 // worker count; only wall time changes.
 func SetWorkers(n int) { workers = n }
 
+// chipEngine is the chip cycle engine applied to every cycle-level
+// router the harness builds; see SetEngine.
+var chipEngine raw.Engine
+
+// SetEngine makes every cycle-level router the harness constructs step
+// its chip with the given engine (threaded from the -engine flags of
+// cmd/reproduce and cmd/fabsim). Like SetWorkers, it cannot change any
+// regenerated number — the fast engine is bit-for-bit equivalent — only
+// wall time.
+func SetEngine(e raw.Engine) { chipEngine = e }
+
 // Quality selects experiment duration.
 type Quality int
 
@@ -83,7 +94,7 @@ func Figure71(q Quality, average bool) ([]Figure71Point, float64, *stats.Table) 
 	warm := cyclesFor(q, 80_000, 120_000)
 	var pts []Figure71Point
 	for i, size := range traffic.Sizes {
-		r, err := core.New(core.Options{Workers: workers})
+		r, err := core.New(core.Options{Workers: workers, ChipEngine: chipEngine})
 		if err != nil {
 			panic(err)
 		}
@@ -136,6 +147,7 @@ func Figure73(q Quality) (small, large *trace.Recorder, render string) {
 		cfg := router.DefaultConfig()
 		cfg.Tracer = rec
 		cfg.Workers = workers
+		cfg.Engine = chipEngine
 		r, err := router.New(cfg)
 		if err != nil {
 			panic(err)
@@ -393,7 +405,7 @@ func Scale8(q Quality) *stats.Table {
 // Headline checks the §7.2 headline: ≈3.3 Mpps and ≈26.9 Gbps at 1,024
 // bytes peak.
 func Headline(q Quality) (mpps, gbps float64) {
-	r, err := core.New(core.Options{Workers: workers})
+	r, err := core.New(core.Options{Workers: workers, ChipEngine: chipEngine})
 	if err != nil {
 		panic(err)
 	}
@@ -493,6 +505,7 @@ func McastCycle(q Quality) (amplification float64, tb *stats.Table) {
 	cfg.Multicast = true
 	cfg.Groups = map[ip.Addr]uint8{ip.AddrFrom(224, 1, 1, 1): 0b1111}
 	cfg.Workers = workers
+	cfg.Engine = chipEngine
 	r, err := router.New(cfg)
 	if err != nil {
 		panic(err)
@@ -698,7 +711,7 @@ func QuantumAblation(q Quality) *stats.Table {
 		Headers: []string{"quantum (words)", "Gbps", "frags/pkt"},
 	}
 	for _, qw := range []int{64, 128, 256} {
-		r, err := core.New(core.Options{QuantumWords: qw, Workers: workers})
+		r, err := core.New(core.Options{QuantumWords: qw, Workers: workers, ChipEngine: chipEngine})
 		if err != nil {
 			panic(err)
 		}
@@ -741,6 +754,7 @@ func DegradedCrossbar(q Quality) (healthy, degraded []float64, tb *stats.Table) 
 	run := func(size, dead int) float64 {
 		cfg := router.DefaultConfig()
 		cfg.Workers = workers
+		cfg.Engine = chipEngine
 		r, err := router.New(cfg)
 		if err != nil {
 			panic(err)
@@ -807,6 +821,7 @@ func RestoredCrossbar(q Quality) (healthy, restored []float64, tb *stats.Table) 
 	run := func(size int, arc bool) float64 {
 		cfg := router.DefaultConfig()
 		cfg.Workers = workers
+		cfg.Engine = chipEngine
 		cfg.ReprobeQuanta = reprobeQuanta
 		r, err := router.New(cfg)
 		if err != nil {
@@ -877,6 +892,7 @@ func RestoredCrossbar(q Quality) (healthy, restored []float64, tb *stats.Table) 
 func Telemetry(q Quality) (snap telemetry.Snapshot, tb *stats.Table) {
 	cfg := router.DefaultConfig()
 	cfg.Workers = workers
+	cfg.Engine = chipEngine
 	cfg.Metrics = telemetry.New(telemetry.Config{})
 	r, err := router.New(cfg)
 	if err != nil {

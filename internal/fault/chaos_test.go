@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ip"
+	"repro/internal/raw"
 	"repro/internal/router"
 	"repro/internal/traffic"
 )
@@ -30,13 +31,15 @@ type chaosResult struct {
 }
 
 // runChaos runs one full scenario: build a router on `workers` host
-// workers, install the schedule, feed seeded traffic for feedCycles,
-// then drain for drainCycles and fingerprint everything observable.
-func runChaos(t *testing.T, sched *fault.Schedule, watchdog bool, workers int,
+// workers with the given cycle engine, install the schedule, feed seeded
+// traffic for feedCycles, then drain for drainCycles and fingerprint
+// everything observable.
+func runChaos(t *testing.T, sched *fault.Schedule, watchdog bool, workers int, eng raw.Engine,
 	trafficSeed uint64, feedCycles, drainCycles int) *chaosResult {
 	t.Helper()
 	cfg := router.DefaultConfig()
 	cfg.Workers = workers
+	cfg.Engine = eng
 	if watchdog {
 		cfg.Watchdog = true
 		cfg.WatchdogCycles = 4000
@@ -113,7 +116,7 @@ func TestChaosRecoverableFaults(t *testing.T) {
 			Horizon: 10000, MaxStalls: 6, MaxFlaps: 3, MaxFreezes: 2,
 			MaxDRAM: 2, MaxStallCycles: 1200,
 		})
-		res := runChaos(t, sched, false, 1, seed+100, 15000, 60000)
+		res := runChaos(t, sched, false, 1, raw.EngineRef, seed+100, 15000, 60000)
 		if int64(len(res.delivered)) != res.offered {
 			t.Fatalf("seed %d (%q): delivered %d of %d offered; stats %+v",
 				seed, sched, len(res.delivered), res.offered, res.stats)
@@ -138,8 +141,8 @@ func TestChaosReplayBitForBit(t *testing.T) {
 		Horizon: 8000, MaxStalls: 5, MaxFlaps: 2, MaxFreezes: 1,
 		MaxDRAM: 2, MaxStallCycles: 1000,
 	})
-	a := runChaos(t, sched, false, 1, 42, 12000, 50000)
-	b := runChaos(t, sched, false, 1, 42, 12000, 50000)
+	a := runChaos(t, sched, false, 1, raw.EngineRef, 42, 12000, 50000)
+	b := runChaos(t, sched, false, 1, raw.EngineRef, 42, 12000, 50000)
 	if a.fp != b.fp {
 		t.Fatalf("same-seed replay diverged: %x vs %x", a.fp, b.fp)
 	}
@@ -147,7 +150,7 @@ func TestChaosReplayBitForBit(t *testing.T) {
 	if nc < 2 {
 		nc = 2
 	}
-	c := runChaos(t, sched, false, nc, 42, 12000, 50000)
+	c := runChaos(t, sched, false, nc, raw.EngineRef, 42, 12000, 50000)
 	if a.fp != c.fp {
 		t.Fatalf("parallel engine (workers=%d) diverged from sequential: %x vs %x", nc, a.fp, c.fp)
 	}
@@ -167,7 +170,7 @@ func TestChaosCrashDegrade(t *testing.T) {
 		fault.MustParse("crash@5000:t10").Events...)}
 
 	run := func(workers int) *chaosResult {
-		return runChaos(t, sched, true, workers, 9, 18000, 70000)
+		return runChaos(t, sched, true, workers, raw.EngineRef, 9, 18000, 70000)
 	}
 	a := run(1)
 	if a.dead != 2 { // tile 10 is port 2's crossbar

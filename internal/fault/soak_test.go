@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ip"
+	"repro/internal/raw"
 	"repro/internal/router"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -50,9 +51,10 @@ func soakSeeds(t *testing.T) int {
 	return 2
 }
 
-func soakCfg(workers int, ev *trace.EventLog) router.Config {
+func soakCfg(workers int, eng raw.Engine, ev *trace.EventLog) router.Config {
 	cfg := router.DefaultConfig()
 	cfg.Workers = workers
+	cfg.Engine = eng
 	cfg.Watchdog = true
 	cfg.WatchdogCycles = 3000
 	cfg.AutoRestore = true
@@ -90,10 +92,10 @@ type soakRun struct {
 	sent map[uint16]ip.Packet
 }
 
-func newSoakRun(t *testing.T, workers int, sched *fault.Schedule) *soakRun {
+func newSoakRun(t *testing.T, workers int, eng raw.Engine, sched *fault.Schedule) *soakRun {
 	t.Helper()
 	ev := &trace.EventLog{}
-	r, err := router.New(soakCfg(workers, ev))
+	r, err := router.New(soakCfg(workers, eng, ev))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestSoakDegradeRestoreMatrix(t *testing.T) {
 		sched, port := soakSchedule(seed)
 		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
 			// Uninterrupted reference: feed, checkpoint mid-arc, drain dry.
-			ref := newSoakRun(t, 1, sched)
+			ref := newSoakRun(t, 1, raw.EngineRef, sched)
 			ref.feedPhase(seed + 100)
 			blob, err := ref.r.Snapshot()
 			if err != nil {
@@ -213,9 +215,12 @@ func TestSoakDegradeRestoreMatrix(t *testing.T) {
 				}
 			}
 
-			// Crash-and-restore at a different worker count: the restored
-			// continuation must land on the identical final checkpoint.
-			res := newSoakRun(t, nc, sched)
+			// Crash-and-restore at a different worker count AND under the
+			// other cycle engine: the restored continuation must land on
+			// the identical final checkpoint. This is the cross-engine
+			// checkpoint/restore gate — a ref-written blob replayed through
+			// the fast engine's own step path, verified by digest.
+			res := newSoakRun(t, nc, raw.EngineFast, sched)
 			if err := res.r.RestoreSnapshot(blob); err != nil {
 				t.Fatalf("seed %d: restore: %v", seed, err)
 			}
@@ -225,7 +230,7 @@ func TestSoakDegradeRestoreMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(refFinal, resFinal) {
-				t.Fatalf("seed %d: restored continuation (workers=%d) diverged from uninterrupted run",
+				t.Fatalf("seed %d: restored continuation (workers=%d, fast engine) diverged from uninterrupted run",
 					seed, nc)
 			}
 		})

@@ -16,6 +16,9 @@ type Config struct {
 	ClockHz float64
 	// Tracer, if non-nil, receives per-tile per-cycle states.
 	Tracer Tracer
+	// Engine selects the cycle-stepping implementation (see Engine); the
+	// zero value is the reference interpreter.
+	Engine Engine
 }
 
 // DefaultConfig returns the 4x4, 250 MHz prototype configuration.
@@ -78,6 +81,25 @@ type Chip struct {
 	// rec, when non-nil, logs external static-input pushes so the chip
 	// can checkpoint by record-replay (see snapshot.go).
 	rec *recorder
+
+	// engine selects the cycle-stepping implementation; fe is the fast
+	// engine's derived state (compiled bindings, skip list), rebuilt on
+	// demand when feDirty (see engine.go, fast.go).
+	engine  Engine
+	fe      *fastEngine
+	feDirty bool
+	// macro-step engagement counters (see MacroStats).
+	macroWindows int64
+	macroCycles  int64
+
+	// fifoSlab backs every bounded fifo on the chip in one contiguous
+	// allocation (index-addressed ring buffers): the per-cycle commit
+	// sweep and the fast engine's bindings then walk adjacent memory
+	// instead of pointer-chasing 400+ individual allocations. Sized
+	// exactly in NewChip; c.fifo falls back to individual allocation if
+	// the estimate is ever short (never, by construction), because
+	// growing the slab would move live pointers.
+	fifoSlab []fifo
 }
 
 // NewChip builds a chip. Every boundary static link gets an input queue
@@ -92,10 +114,17 @@ func NewChip(cfg Config) *Chip {
 	}
 	c := &Chip{
 		cfg:          cfg,
+		engine:       cfg.Engine,
 		staticIn:     make(map[[3]int]*StaticIn),
 		dynEdgeSinks: make(map[[3]int]*dynBinding),
 	}
 	n := cfg.Width * cfg.Height
+	// Pre-size the fifo slab: per tile, 5 processor<->switch queues per
+	// static net plus recv and the inject queue per dynamic net; per
+	// internal directed link, one input queue per network.
+	perTile := NumStaticNets*5 + numDynNets*2
+	internalLinks := 2 * ((cfg.Width-1)*cfg.Height + cfg.Width*(cfg.Height-1))
+	c.fifoSlab = make([]fifo, 0, n*perTile+internalLinks*(NumStaticNets+numDynNets))
 	c.tiles = make([]*Tile, n)
 	for id := 0; id < n; id++ {
 		t := &Tile{
@@ -154,7 +183,13 @@ func NewChip(cfg Config) *Chip {
 }
 
 func (c *Chip) fifo(capacity int) *fifo {
-	f := newFIFO(capacity)
+	var f *fifo
+	if len(c.fifoSlab) < cap(c.fifoSlab) {
+		c.fifoSlab = append(c.fifoSlab, fifo{buf: make([]Word, 0, 2*capacity), cap: capacity})
+		f = &c.fifoSlab[len(c.fifoSlab)-1]
+	} else {
+		f = newFIFO(capacity)
+	}
 	c.bounded = append(c.bounded, f)
 	return f
 }
@@ -216,6 +251,7 @@ func (c *Chip) AttachDynDevice(tileID int, d Dir, net int, dev DynDevice) {
 		in: t.dyn[net].in[d].(*unboundedFIFO)}
 	c.bindings = append(c.bindings, b)
 	c.dynEdgeSinks[[3]int{tileID, int(d), net}] = b
+	c.invalidateFast()
 }
 
 // dynEdgeOut buffers a word that left the chip on a boundary dynamic link.
@@ -235,6 +271,12 @@ func (c *Chip) dynEdgeOut(tileID int, d Dir, net int, w Word) {
 // sharded parallel engine (SetWorkers) is bit-for-bit identical to the
 // sequential one.
 func (c *Chip) Step() {
+	// Resolve fast-engine bindings before anything moves; a stale build
+	// mid-cycle would race with worker reads.
+	var fe *fastEngine
+	if c.engine == EngineFast {
+		fe = c.ensureFast()
+	}
 	// Advance the fault schedule first: the per-cycle fault state must be
 	// settled before any tile (on any worker) consults it.
 	if c.faults != nil {
@@ -254,11 +296,30 @@ func (c *Chip) Step() {
 		if acct != nil {
 			t0 = stats.Now()
 		}
-		for _, t := range c.tiles {
-			if c.faults != nil && c.faults.TileFrozen(t.id) {
-				continue
+		if fe != nil {
+			fp := c.faults
+			for i, t := range c.tiles {
+				if fp != nil && fp.TileFrozen(t.id) {
+					continue
+				}
+				if fe.asleep[i] {
+					// The whole reference step of a quiescent tile is
+					// one idle-state count (see tileQuiescent).
+					t.exec.counts[StateIdle]++
+					continue
+				}
+				fe.stepTile(t)
+				if fe.tileQuiescent(t) {
+					fe.asleep[i] = true
+				}
 			}
-			t.step()
+		} else {
+			for _, t := range c.tiles {
+				if c.faults != nil && c.faults.TileFrozen(t.id) {
+					continue
+				}
+				t.step()
+			}
 		}
 		if acct != nil {
 			t0 = acct.Add(0, stats.PhaseCompute, t0)
@@ -282,6 +343,9 @@ func (c *Chip) Step() {
 		inj := b.dev.Tick(c.cycle, arrived)
 		for _, w := range inj {
 			b.in.Push(w)
+		}
+		if len(inj) > 0 {
+			c.wakeTile(b.tile)
 		}
 	}
 	if c.cycleHook != nil {
@@ -333,6 +397,9 @@ func (c *Chip) SetWorkers(n int) {
 	if n > 1 {
 		c.pool = newWorkerPool(c, n)
 	}
+	// The skip list is sequential-only (wakes would be cross-worker
+	// writes), so a worker change rebuilds the fast engine's state.
+	c.invalidateFast()
 }
 
 // Workers returns the current worker count (1 = sequential engine).
@@ -355,8 +422,21 @@ func (c *Chip) EnableWorkerStats() {
 // EnableWorkerStats was never called.
 func (c *Chip) WorkerStats() *stats.PhaseAccount { return c.acct }
 
-// Run simulates n cycles.
+// Run simulates n cycles. Under the fast engine, eligible steady-state
+// streaming windows advance many cycles per dispatch (see macro.go);
+// RunUntil never macro-steps, since its predicate observes every cycle.
 func (c *Chip) Run(n int64) {
+	if c.engine == EngineFast {
+		for done := int64(0); done < n; {
+			if k := c.tryMacroStep(n - done); k > 0 {
+				done += k
+				continue
+			}
+			c.Step()
+			done++
+		}
+		return
+	}
 	for i := int64(0); i < n; i++ {
 		c.Step()
 	}

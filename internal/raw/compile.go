@@ -1,0 +1,68 @@
+package raw
+
+// CompiledProgram is a static-switch program flattened for the fast
+// engine: struct-of-arrays indexed by pc, with every instruction's routes
+// packed into one flat pair of direction arrays addressed by
+// [base[pc], base[pc]+count[pc]). The steady-state dispatch touches only
+// these dense arrays — no []Route iteration, no per-cycle allocation.
+// The original instruction slice is retained as the authoritative form
+// for the reference interpreter and for disassembly.
+//
+// A CompiledProgram is immutable after CompileProgram returns and
+// tile-independent, so the router's codegen compiles each program once
+// and reinstalls the same compiled object on every degrade/restore
+// reconfiguration.
+type CompiledProgram struct {
+	instrs []SwInstr
+
+	op    []SwOp
+	arg   []Word
+	base  []uint32
+	count []uint8
+	src   []uint8 // packed per-route source direction
+	dst   []uint8 // packed per-route destination direction
+}
+
+// CompileProgram validates prog (same rules as ValidateProgram) and
+// returns its flattened form.
+func CompileProgram(prog []SwInstr) (*CompiledProgram, error) {
+	if err := ValidateProgram(prog); err != nil {
+		return nil, err
+	}
+	cp := &CompiledProgram{
+		instrs: prog,
+		op:     make([]SwOp, len(prog)),
+		arg:    make([]Word, len(prog)),
+		base:   make([]uint32, len(prog)),
+		count:  make([]uint8, len(prog)),
+	}
+	for pc, in := range prog {
+		cp.op[pc] = in.Op
+		cp.arg[pc] = in.Arg
+		cp.base[pc] = uint32(len(cp.src))
+		// Destination uniqueness (ValidateProgram) bounds routes per
+		// instruction at numDirs, so the count fits a byte.
+		cp.count[pc] = uint8(len(in.Routes))
+		for _, r := range in.Routes {
+			cp.src = append(cp.src, uint8(r.Src))
+			cp.dst = append(cp.dst, uint8(r.Dst))
+		}
+	}
+	return cp, nil
+}
+
+// MustCompileProgram is CompileProgram for programs known valid by
+// construction (generated code); it panics on error.
+func MustCompileProgram(prog []SwInstr) *CompiledProgram {
+	cp, err := CompileProgram(prog)
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+// Instrs returns the program in its instruction-slice form.
+func (cp *CompiledProgram) Instrs() []SwInstr { return cp.instrs }
+
+// Len returns the number of switch instructions.
+func (cp *CompiledProgram) Len() int { return len(cp.op) }

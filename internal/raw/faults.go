@@ -37,7 +37,10 @@ type FaultPlane interface {
 
 // InstallFaults attaches a fault schedule to the chip. Passing nil removes
 // it. Must be called between cycles.
-func (c *Chip) InstallFaults(fp FaultPlane) { c.faults = fp }
+func (c *Chip) InstallFaults(fp FaultPlane) {
+	c.faults = fp
+	c.invalidateFast()
+}
 
 // Faults returns the installed fault plane, or nil.
 func (c *Chip) Faults() FaultPlane { return c.faults }

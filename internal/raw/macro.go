@@ -1,0 +1,326 @@
+package raw
+
+// Steady-state macro-stepping.
+//
+// The paper's streaming workloads spend most cycles in one-instruction
+// SwJump self-loops moving one word per cycle per link. In that regime
+// the per-cycle transition function is affine: every active switch fires
+// every cycle, every other engine does nothing, and queue occupancies
+// change by a constant per cycle. tryMacroStep detects the regime,
+// computes the largest window K over which it provably persists, and
+// advances K cycles with one tight loop — then restores the exact state
+// single-cycle stepping would have produced.
+//
+// Eligibility (any failure falls back to Chip.Step, which is always
+// correct):
+//
+//   - No fault plane, no cycle hook, no tracer, no attached dynamic
+//     devices — all of those observe or perturb individual cycles. The
+//     router always arms a cycle hook (its per-quantum tick), so macro
+//     stepping never engages there; it serves rawsim-style streaming
+//     programs.
+//   - Every processor is quiescent (no queued micro-ops, firmware nil or
+//     a Quiescer that has permanently finished) and every dynamic router
+//     has no active worm and empty inputs.
+//   - Every non-halted switch sits at a one-instruction SwJump self-loop
+//     (jump target == pc) with at least one route, touching no processor
+//     port (DirP would involve csti/csto state the processor shares),
+//     and all its routes are firable *this* cycle: a stalled streamer
+//     must accrue stalls cycle by cycle, so it disqualifies the window.
+//
+// The window bound: assume all active switches fire every cycle. Then
+// each queue's occupancy changes by δ ∈ {-1, 0, +1} per cycle (reader
+// only / reader+writer / writer only). δ=0 queues never limit. A drained
+// queue (δ=-1, occupancy L) supports K ≤ L; a filled queue (δ=+1)
+// supports K ≤ cap−L; edge input backlogs support K ≤ backlog; boundary
+// sinks are unbounded. By induction, within K = min(bounds) cycles no
+// source empties and no destination fills, so every switch indeed fires
+// every cycle, and per-cycle two-phase staging is unnecessary: a popped
+// queue keeps occupancy ≥ 1, so a same-cycle push can never be observed
+// by the pop regardless of intra-cycle order.
+//
+// State restored after the window: pc unchanged (self-loop), moves +=
+// K·routes, movedNow/stalledNow as a firing cycle leaves them, every
+// processor accrues K idle-state counts, edge sinks receive words with
+// exact cycle stamps, unbounded pops advance the taken counter per word,
+// touched queues re-arm their start-of-cycle snapshots, and the chip
+// cycle advances by K. Checkpoint digests cover all of this, so the
+// equivalence suite verifies macro windows bit for bit.
+
+const (
+	// macroMinCycles is the smallest window worth the scan; below it,
+	// single stepping is cheaper.
+	macroMinCycles = 8
+	// macroMaxCycles caps a window so edge-sink growth and the caller's
+	// view of progress stay bounded even with enormous backlogs.
+	macroMaxCycles = 1 << 16
+)
+
+// tryMacroStep attempts one macro window of at most budget cycles and
+// returns the number of cycles advanced (0: not eligible, caller must
+// single-step).
+func (c *Chip) tryMacroStep(budget int64) int64 {
+	if budget < macroMinCycles || c.faults != nil || c.cycleHook != nil ||
+		c.cfg.Tracer != nil || len(c.bindings) != 0 {
+		return 0
+	}
+	return c.ensureFast().macroStep(budget)
+}
+
+func (fe *fastEngine) macroStep(budget int64) int64 {
+	c := fe.c
+	plan := fe.plan[:0]
+	abort := func() int64 {
+		for _, idx := range plan {
+			fe.macroOn[idx] = false
+		}
+		fe.plan = plan[:0]
+		return 0
+	}
+
+	// Pass 1: prove chip-wide quiescence outside the streaming loops and
+	// collect the active switches with their route masks.
+	for _, t := range c.tiles {
+		if !fe.execQuiescent(t) {
+			return abort()
+		}
+		for net := 0; net < numDynNets; net++ {
+			r := t.dyn[net]
+			b := &fe.dy[t.id*numDynNets+net]
+			for d := DirN; d < numDirs; d++ {
+				if r.lock[d].active {
+					return abort()
+				}
+				if b.inF[d] != nil {
+					if b.inF[d].Len() != 0 {
+						return abort()
+					}
+				} else if b.inU[d].Len() != 0 {
+					return abort()
+				}
+			}
+		}
+		for net := 0; net < NumStaticNets; net++ {
+			s := &t.st[net].sw
+			if s.halted {
+				continue
+			}
+			if s.pc >= len(s.prog) {
+				return abort() // next step must latch halted
+			}
+			cp, pc := s.comp, s.pc
+			if cp.op[pc] != SwJump || int(cp.arg[pc]) != pc || cp.count[pc] == 0 {
+				return abort()
+			}
+			idx := int32(t.id*NumStaticNets + net)
+			b := &fe.sw[idx]
+			lo := cp.base[pc]
+			hi := lo + uint32(cp.count[pc])
+			var srcM, dstM uint8
+			for i := lo; i < hi; i++ {
+				sd, dd := Dir(cp.src[i]), Dir(cp.dst[i])
+				if sd == DirP || dd == DirP {
+					return abort()
+				}
+				if !b.srcReady(nil, sd) || !b.dstReady(nil, dd) {
+					return abort()
+				}
+				srcM |= 1 << sd
+				dstM |= 1 << dd
+			}
+			fe.macroOn[idx] = true
+			fe.macroSrcM[idx] = srcM
+			fe.macroDstM[idx] = dstM
+			plan = append(plan, idx)
+		}
+	}
+	if len(plan) == 0 {
+		return abort()
+	}
+
+	// Pass 2: the window bound from per-queue flow analysis.
+	k := budget
+	if k > macroMaxCycles {
+		k = macroMaxCycles
+	}
+	for _, idx := range plan {
+		b := &fe.sw[idx]
+		cp, pc := b.sw.comp, b.sw.pc
+		lo := cp.base[pc]
+		hi := lo + uint32(cp.count[pc])
+		var seen uint8
+		for i := lo; i < hi; i++ {
+			sd := Dir(cp.src[i])
+			if seen&(1<<sd) == 0 { // distinct sources pop once per cycle
+				seen |= 1 << sd
+				if u := b.srcU[sd]; u != nil {
+					// Edge backlog: external writers only act between
+					// Run calls, so δ = -1.
+					if l := int64(u.Len()); l < k {
+						k = l
+					}
+				} else if !fe.macroWriterActive(b, sd) {
+					if l := int64(b.srcF[sd].Len()); l < k {
+						k = l
+					}
+				}
+			}
+			dd := Dir(cp.dst[i])
+			if b.dstSink[dd] == nil && !fe.macroReaderActive(b, dd) {
+				f := b.dstF[dd]
+				if room := int64(f.cap - f.Len()); room < k {
+					k = room
+				}
+			}
+		}
+	}
+	if k < macroMinCycles {
+		return abort()
+	}
+
+	// Execute the window.
+	cyc := c.cycle
+	for i := int64(0); i < k; i++ {
+		for _, idx := range plan {
+			b := &fe.sw[idx]
+			cp, pc := b.sw.comp, b.sw.pc
+			lo := cp.base[pc]
+			hi := lo + uint32(cp.count[pc])
+			var val [numDirs]Word
+			var have uint8
+			for j := lo; j < hi; j++ {
+				sd := cp.src[j]
+				if have&(1<<sd) == 0 {
+					have |= 1 << sd
+					val[sd] = b.macroPop(Dir(sd))
+				}
+			}
+			for j := lo; j < hi; j++ {
+				dd := Dir(cp.dst[j])
+				w := val[cp.src[j]]
+				if sink := b.dstSink[dd]; sink != nil {
+					sink.push(cyc+i, w)
+				} else {
+					macroPush(b.dstF[dd], w)
+				}
+			}
+		}
+	}
+
+	// Restore per-cycle bookkeeping to what K firing cycles leave behind.
+	for _, idx := range plan {
+		b := &fe.sw[idx]
+		s := b.sw
+		cp, pc := s.comp, s.pc
+		s.moves += k * int64(cp.count[pc])
+		s.movedNow = true
+		s.stalledNow = false
+		lo := cp.base[pc]
+		hi := lo + uint32(cp.count[pc])
+		for i := lo; i < hi; i++ {
+			sd, dd := Dir(cp.src[i]), Dir(cp.dst[i])
+			if u := b.srcU[sd]; u != nil {
+				u.startLen = len(u.buf) - u.head
+			} else {
+				f := b.srcF[sd]
+				f.startLen = len(f.buf) - f.head
+			}
+			if f := b.dstF[dd]; f != nil {
+				f.startLen = len(f.buf) - f.head
+			}
+		}
+		fe.macroOn[idx] = false
+	}
+	for _, t := range c.tiles {
+		// Each skipped cycle is one reference-engine idle step per tile:
+		// setState(StateIdle) with the state already Idle.
+		t.exec.counts[StateIdle] += k
+	}
+	fe.plan = plan[:0]
+	c.cycle += k
+	c.macroWindows++
+	c.macroCycles += k
+	if c.acct != nil {
+		c.acct.AddCycles(k)
+	}
+	return k
+}
+
+// MacroStats reports how often the fast engine's macro-step engaged:
+// the number of multi-cycle windows executed and the total cycles they
+// covered. Always zero under the reference engine. Benchmarks and the
+// engagement regression test use it; it is not part of the equivalence
+// surface (digests and snapshots ignore it).
+func (c *Chip) MacroStats() (windows, cycles int64) {
+	return c.macroWindows, c.macroCycles
+}
+
+// execQuiescent reports that the processor will provably do nothing but
+// count an idle cycle, this cycle and every following one, until
+// reconfigured: no queued micro-ops, state already Idle (set by a prior
+// idle step; a never-stepped zero-value Exec satisfies it too), and
+// firmware absent or permanently finished.
+func (fe *fastEngine) execQuiescent(t *Tile) bool {
+	e := t.exec
+	if len(e.ops) != 0 || e.head != 0 || e.state != StateIdle {
+		return false
+	}
+	if e.fw == nil {
+		return true
+	}
+	q := fe.fwq[t.id]
+	return q != nil && q.Quiesced()
+}
+
+// macroWriterActive reports whether the internal queue feeding b's
+// source direction d is written every window cycle — i.e. its writer,
+// the neighbor's same-network switch, is an active streamer routing
+// toward this queue. Then δ = 0 and the queue never limits the window.
+func (fe *fastEngine) macroWriterActive(b *swBind, d Dir) bool {
+	nb := b.tile.neighbor(d)
+	widx := nb.id*NumStaticNets + int(b.net)
+	return fe.macroOn[widx] && fe.macroDstM[widx]&(1<<d.Opposite()) != 0
+}
+
+// macroReaderActive is the dual for b's destination queue across d: its
+// reader is the neighbor's switch sourcing from the opposite direction.
+func (fe *fastEngine) macroReaderActive(b *swBind, d Dir) bool {
+	nb := b.tile.neighbor(d)
+	ridx := nb.id*NumStaticNets + int(b.net)
+	return fe.macroOn[ridx] && fe.macroSrcM[ridx]&(1<<d.Opposite()) != 0
+}
+
+// macroPop pops one committed word, replicating what one cycle's staged
+// pop plus commit would do to the ring (fifo: lazy head advance with
+// reset-on-drain; edge queue: head advance, taken count, amortized
+// compaction). Occupancy ≥ 1 is guaranteed by the window bound.
+func (b *swBind) macroPop(d Dir) Word {
+	if f := b.srcF[d]; f != nil {
+		w := f.buf[f.head]
+		f.head++
+		if f.head == len(f.buf) {
+			f.buf = f.buf[:0]
+			f.head = 0
+		}
+		return w
+	}
+	u := b.srcU[d]
+	w := u.buf[u.head]
+	u.head++
+	u.taken++
+	if u.head >= 64 && u.head*2 >= len(u.buf) {
+		u.buf = u.buf[:copy(u.buf, u.buf[u.head:])]
+		u.head = 0
+	}
+	return w
+}
+
+// macroPush appends one word, replicating a staged push plus commit
+// (compact the consumed prefix when the backing array is full).
+func macroPush(f *fifo, w Word) {
+	if len(f.buf)+1 > cap(f.buf) {
+		f.buf = f.buf[:copy(f.buf, f.buf[f.head:])]
+		f.head = 0
+	}
+	f.buf = append(f.buf, w)
+}

@@ -79,7 +79,10 @@ type Exec struct {
 }
 
 // SetFirmware installs the tile's firmware.
-func (e *Exec) SetFirmware(fw Firmware) { e.fw = fw }
+func (e *Exec) SetFirmware(fw Firmware) {
+	e.fw = fw
+	e.tile.chip.invalidateFast()
+}
 
 // Reset discards all queued and in-flight micro-ops. The next step refills
 // from the firmware as if freshly started. Used by the router's
@@ -87,6 +90,7 @@ func (e *Exec) SetFirmware(fw Firmware) { e.fw = fw }
 func (e *Exec) Reset() {
 	e.ops = e.ops[:0]
 	e.head = 0
+	e.tile.chip.invalidateFast()
 }
 
 // State returns the state the processor was in during the last cycle.
@@ -110,7 +114,16 @@ func (e *Exec) Utilization() float64 {
 	return float64(e.counts[StateRun]) / float64(tot)
 }
 
-func (e *Exec) push(op microOp) { e.ops = append(e.ops, op) }
+func (e *Exec) push(op microOp) {
+	if len(e.ops) == 0 && e.head == 0 {
+		// First op after running dry: if the fast engine put this tile on
+		// its skip list (testbench enqueues between cycles), wake it.
+		// wakeTile writes only in sequential mode; mid-cycle firmware
+		// refills reach here too, but then the tile is awake already.
+		e.tile.chip.wakeTile(e.tile.id)
+	}
+	e.ops = append(e.ops, op)
+}
 
 // Compute enqueues n cycles of pure computation.
 func (e *Exec) Compute(n int) {

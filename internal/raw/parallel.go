@@ -121,11 +121,22 @@ func (p *workerPool) work(w int) {
 	if acct != nil {
 		t0 = stats.Now()
 	}
-	for _, t := range c.tiles[p.tileLo[w]:p.tileLo[w+1]] {
-		if c.faults != nil && c.faults.TileFrozen(t.id) {
-			continue
+	if fe := c.fe; c.engine == EngineFast && fe != nil {
+		// Compiled per-tile stepping; the skip list stays off under the
+		// pool (fe.sleepOn false), so no cross-worker wake writes occur.
+		for _, t := range c.tiles[p.tileLo[w]:p.tileLo[w+1]] {
+			if c.faults != nil && c.faults.TileFrozen(t.id) {
+				continue
+			}
+			fe.stepTile(t)
 		}
-		t.step()
+	} else {
+		for _, t := range c.tiles[p.tileLo[w]:p.tileLo[w+1]] {
+			if c.faults != nil && c.faults.TileFrozen(t.id) {
+				continue
+			}
+			t.step()
+		}
 	}
 	if acct != nil {
 		t0 = acct.Add(w, stats.PhaseCompute, t0)

@@ -140,6 +140,9 @@ type swState struct {
 	tile *Tile
 	net  int
 	prog []SwInstr
+	// comp is the fast engine's flattened form of prog, kept in lockstep
+	// by SetProgram/setCompiled. The reference interpreter never reads it.
+	comp *CompiledProgram
 	pc   int
 
 	// remaining counts the outstanding iterations of an in-progress
@@ -162,15 +165,29 @@ type swState struct {
 }
 
 // SetProgram installs (and validates) a switch program and resets the pc.
+// The program is compiled for the fast engine as a side effect; the cost
+// is one pass over the instructions at install time.
 func (s *swState) SetProgram(prog []SwInstr) error {
-	if err := ValidateProgram(prog); err != nil {
+	cp, err := CompileProgram(prog)
+	if err != nil {
 		return err
 	}
-	s.prog = prog
+	s.setCompiled(cp)
+	return nil
+}
+
+// setCompiled installs an already-compiled program, resetting the pc.
+// Loop state and halt are cleared; the stall/move counters survive, as
+// they do across SetProgram (reprogramming is not a statistics reset).
+func (s *swState) setCompiled(cp *CompiledProgram) {
+	s.prog = cp.instrs
+	s.comp = cp
 	s.pc = 0
 	s.loaded = false
 	s.halted = false
-	return nil
+	if s.tile != nil {
+		s.tile.chip.invalidateFast()
+	}
 }
 
 // step executes at most one switch instruction. All queue decisions use

@@ -197,6 +197,7 @@ func (t *Tile) ResetStatic(net int) {
 			f.reset()
 		}
 	}
+	t.chip.invalidateFast()
 }
 
 // SetSwitchProgram installs a static switch program on network 0.
@@ -211,6 +212,19 @@ func (t *Tile) SetSwitchProgramOn(net int, prog []SwInstr) error {
 		return fmt.Errorf("tile %d net %d: %w", t.id, net, err)
 	}
 	return nil
+}
+
+// SetCompiledSwitchProgram installs a pre-compiled program on network 0.
+func (t *Tile) SetCompiledSwitchProgram(cp *CompiledProgram) {
+	t.SetCompiledSwitchProgramOn(0, cp)
+}
+
+// SetCompiledSwitchProgramOn installs a pre-compiled switch program,
+// skipping revalidation and recompilation. The router's codegen compiles
+// each program once and reinstalls the same object on every
+// degrade/restore reconfiguration.
+func (t *Tile) SetCompiledSwitchProgramOn(net int, cp *CompiledProgram) {
+	t.st[net].sw.setCompiled(cp)
 }
 
 // Switch exposes network 0's static switch for statistics.

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/raw"
 	"repro/internal/rotor"
@@ -20,6 +21,11 @@ import (
 // metadata.
 type XbarProgram struct {
 	Prog []raw.SwInstr
+	// Compiled is the flattened route-table form the generator produces
+	// alongside Prog. Install it with SetCompiledSwitchProgram: the
+	// program is compiled once here and reinstalled as-is on every
+	// degrade/restore reconfiguration.
+	Compiled *raw.CompiledProgram
 	// RoutineAddr[i] is the switch pc of configuration i's routine.
 	RoutineAddr []raw.Word
 	// NeedsCount[i] reports whether routine i reads the count register
@@ -217,16 +223,19 @@ func genXbarWithPreamble(preamble []raw.SwInstr, ci *rotor.ConfigIndex, d XbarDi
 			raw.SwInstr{Op: raw.SwJump, Arg: 0})
 	}
 
-	if err := raw.ValidateProgram(xp.Prog); err != nil {
+	cp, err := raw.CompileProgram(xp.Prog)
+	if err != nil {
 		return nil, fmt.Errorf("router: generated %s program invalid: %w", what, err)
 	}
+	xp.Compiled = cp
 	return xp, nil
 }
 
 // Ingress switch routine addresses (see GenIngressProgram).
 type IngressProgram struct {
-	Prog    []raw.SwInstr
-	Acquire raw.Word // read 5 IP header words, consult lookup
+	Prog     []raw.SwInstr
+	Compiled *raw.CompiledProgram
+	Acquire  raw.Word // read 5 IP header words, consult lookup
 	Drop    raw.Word // drain a packet's payload to the processor (drop, or multicast buffering)
 	Quantum raw.Word // header out, grant in
 	Stream1 raw.Word // first fragment: 5 header words from P, payload cut-through, padding from P
@@ -289,16 +298,19 @@ func GenIngressProgram(p int) (*IngressProgram, error) {
 	)
 
 	ip.Prog = prog
-	if err := raw.ValidateProgram(prog); err != nil {
+	cp, err := raw.CompileProgram(prog)
+	if err != nil {
 		return nil, fmt.Errorf("router: generated ingress program invalid: %w", err)
 	}
+	ip.Compiled = cp
 	return ip, nil
 }
 
 // EgressProgram addresses (see GenEgressProgram).
 type EgressProgram struct {
-	Prog    []raw.SwInstr
-	Hdr     raw.Word // one egress header word to P
+	Prog     []raw.SwInstr
+	Compiled *raw.CompiledProgram
+	Hdr      raw.Word // one egress header word to P
 	Cut     raw.Word // complete packet cut-through to the pin + padding to P
 	Asm     raw.Word // whole stream to P (reassembly path)
 	Out     raw.Word // reassembled packet from P to the pin
@@ -348,9 +360,11 @@ func GenEgressProgram(p int) (*EgressProgram, error) {
 	)
 
 	ep.Prog = prog
-	if err := raw.ValidateProgram(prog); err != nil {
+	cp, err := raw.CompileProgram(prog)
+	if err != nil {
 		return nil, fmt.Errorf("router: generated egress program invalid: %w", err)
 	}
+	ep.Compiled = cp
 	return ep, nil
 }
 
@@ -363,3 +377,24 @@ func GenLookupProgram(p int) []raw.SwInstr {
 		{Op: raw.SwJump, Arg: 0, Routes: []raw.Route{{Dst: ing, Src: raw.DirP}}},
 	}
 }
+
+// Lookup and park programs are tiny and immutable, so they are compiled
+// once per process and shared: install/degrade/restore reinstall the same
+// objects instead of regenerating and revalidating them each time.
+var compiledLookup = sync.OnceValue(func() [4]*raw.CompiledProgram {
+	var cps [4]*raw.CompiledProgram
+	for p := 0; p < 4; p++ {
+		cps[p] = raw.MustCompileProgram(GenLookupProgram(p))
+	}
+	return cps
+})
+
+// CompiledLookupProgram returns port p's lookup program in compiled form.
+func CompiledLookupProgram(p int) *raw.CompiledProgram { return compiledLookup()[p] }
+
+var compiledPark = sync.OnceValue(func() *raw.CompiledProgram {
+	return raw.MustCompileProgram(ParkProgram())
+})
+
+// CompiledParkProgram returns the park program in compiled form.
+func CompiledParkProgram() *raw.CompiledProgram { return compiledPark() }

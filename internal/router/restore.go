@@ -239,10 +239,7 @@ func (r *Router) completeRestore(cycle int64) {
 		xt := r.Chip.Tile(pt.Crossbar)
 		xt.Exec().Reset()
 		xt.ResetStatic(0)
-		if err := xt.SetSwitchProgram(r.xprogs[p].Prog); err != nil {
-			r.failStop(cycle, p, err)
-			return
-		}
+		xt.SetCompiledSwitchProgram(r.xprogs[p].Compiled)
 		if p == dead {
 			xt.Exec().SetFirmware(r.xbars[p])
 		}
@@ -251,10 +248,7 @@ func (r *Router) completeRestore(cycle int64) {
 		it := r.Chip.Tile(pt.Ingress)
 		it.Exec().Reset()
 		it.ResetStatic(0)
-		if err := it.SetSwitchProgram(r.ings[p].prog.Prog); err != nil {
-			r.failStop(cycle, p, err)
-			return
-		}
+		it.SetCompiledSwitchProgram(r.ings[p].prog.Compiled)
 		if p == dead {
 			it.Exec().SetFirmware(r.ings[p])
 		}
@@ -263,10 +257,7 @@ func (r *Router) completeRestore(cycle int64) {
 		et := r.Chip.Tile(pt.Egress)
 		et.Exec().Reset()
 		et.ResetStatic(0)
-		if err := et.SetSwitchProgram(r.egrs[p].prog.Prog); err != nil {
-			r.failStop(cycle, p, err)
-			return
-		}
+		et.SetCompiledSwitchProgram(r.egrs[p].prog.Compiled)
 		if p == dead {
 			et.Exec().SetFirmware(r.egrs[p])
 		}
@@ -275,10 +266,7 @@ func (r *Router) completeRestore(cycle int64) {
 		lt := r.Chip.Tile(pt.Lookup)
 		lt.Exec().Reset()
 		lt.ResetStatic(0)
-		if err := lt.SetSwitchProgram(GenLookupProgram(p)); err != nil {
-			r.failStop(cycle, p, err)
-			return
-		}
+		lt.SetCompiledSwitchProgram(CompiledLookupProgram(p))
 		if p == dead {
 			lt.Exec().SetFirmware(r.lookups[p])
 		}

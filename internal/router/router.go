@@ -124,6 +124,13 @@ type Config struct {
 	// and counters at any worker count — so this is purely a host
 	// performance knob.
 	Workers int
+	// Engine selects the chip's cycle engine: raw.EngineRef (the
+	// reference interpreter, the zero value) or raw.EngineFast (compiled
+	// route tables and idle-tile skipping). The fast engine is
+	// bit-for-bit identical to the reference — same words, cycle counts,
+	// telemetry, and checkpoints — so, like Workers, this is purely a
+	// host performance knob.
+	Engine raw.Engine
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -268,6 +275,7 @@ func New(cfg Config) (*Router, error) {
 	chipCfg := raw.DefaultConfig()
 	chipCfg.ClockHz = cfg.ClockHz
 	chipCfg.Tracer = cfg.Tracer
+	chipCfg.Engine = cfg.Engine
 	r := &Router{
 		Chip:          raw.NewChip(chipCfg),
 		cfg:           cfg,
@@ -310,9 +318,7 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.Chip.Tile(pt.Crossbar).SetSwitchProgram(xprog.Prog); err != nil {
-			return nil, err
-		}
+		r.Chip.Tile(pt.Crossbar).SetCompiledSwitchProgram(xprog.Compiled)
 		r.xprogs[p] = xprog
 		r.xbars[p] = &xbarFW{rt: r, port: p, prog: xprog, dead: -1}
 		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(r.xbars[p])
@@ -321,9 +327,7 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.Chip.Tile(pt.Ingress).SetSwitchProgram(iprog.Prog); err != nil {
-			return nil, err
-		}
+		r.Chip.Tile(pt.Ingress).SetCompiledSwitchProgram(iprog.Compiled)
 		in := r.Chip.StaticIn(pt.Ingress, pt.InSide)
 		r.ings[p] = &ingressFW{
 			rt: r, port: p, prog: iprog, backlog: in.Len, in: in, dead: -1,
@@ -335,15 +339,11 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.Chip.Tile(pt.Egress).SetSwitchProgram(eprog.Prog); err != nil {
-			return nil, err
-		}
+		r.Chip.Tile(pt.Egress).SetCompiledSwitchProgram(eprog.Compiled)
 		r.egrs[p] = &egressFW{rt: r, port: p, prog: eprog}
 		r.Chip.Tile(pt.Egress).Exec().SetFirmware(r.egrs[p])
 
-		if err := r.Chip.Tile(pt.Lookup).SetSwitchProgram(GenLookupProgram(p)); err != nil {
-			return nil, err
-		}
+		r.Chip.Tile(pt.Lookup).SetCompiledSwitchProgram(CompiledLookupProgram(p))
 		r.lookups[p] = &lookupFW{rt: r, port: p}
 		r.Chip.Tile(pt.Lookup).Exec().SetFirmware(r.lookups[p])
 
@@ -390,14 +390,6 @@ func (r *Router) Stats() StatsSnapshot {
 		Stats:  r.stats,
 	}
 }
-
-// StatsRef returns a pointer to the live counter struct.
-//
-// Deprecated: read counters through Stats(), which returns an immutable
-// snapshot. StatsRef exists only to bridge one release of external
-// callers that mutated or aliased the old public Stats field; it will be
-// removed in the next release.
-func (r *Router) StatsRef() *Stats { return &r.stats }
 
 // UpdateTable installs a new forwarding table while the router forwards
 // (§2.2.1: "the network processor builds a forwarding table for each

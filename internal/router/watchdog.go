@@ -212,9 +212,7 @@ func (r *Router) Degrade(dead int) error {
 		t.Exec().Reset()
 		t.Exec().SetFirmware(nil)
 		t.ResetStatic(0)
-		if err := t.SetSwitchProgram(ParkProgram()); err != nil {
-			return err
-		}
+		t.SetCompiledSwitchProgram(CompiledParkProgram())
 	}
 
 	// Reconfigure the survivors.
@@ -231,33 +229,25 @@ func (r *Router) Degrade(dead int) error {
 		xt := r.Chip.Tile(pt.Crossbar)
 		xt.Exec().Reset()
 		xt.ResetStatic(0)
-		if err := xt.SetSwitchProgram(xprog.Prog); err != nil {
-			return err
-		}
+		xt.SetCompiledSwitchProgram(xprog.Compiled)
 		r.xbars[p].enterDegraded(dead, xprog)
 
 		it := r.Chip.Tile(pt.Ingress)
 		it.Exec().Reset()
 		it.ResetStatic(0)
-		if err := it.SetSwitchProgram(r.ings[p].prog.Prog); err != nil {
-			return err
-		}
+		it.SetCompiledSwitchProgram(r.ings[p].prog.Compiled)
 		r.ings[p].resetForDegrade(dead)
 
 		et := r.Chip.Tile(pt.Egress)
 		et.Exec().Reset()
 		et.ResetStatic(0)
-		if err := et.SetSwitchProgram(r.egrs[p].prog.Prog); err != nil {
-			return err
-		}
+		et.SetCompiledSwitchProgram(r.egrs[p].prog.Compiled)
 		r.egrs[p].resetForDegrade()
 
 		lt := r.Chip.Tile(pt.Lookup)
 		lt.Exec().Reset()
 		lt.ResetStatic(0)
-		if err := lt.SetSwitchProgram(GenLookupProgram(p)); err != nil {
-			return err
-		}
+		lt.SetCompiledSwitchProgram(CompiledLookupProgram(p))
 	}
 	if r.wd != nil {
 		r.wd.noteDegrade(dead, r.Chip.Cycle())

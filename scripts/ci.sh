@@ -18,7 +18,8 @@ echo "== tier-2: chaos harness (fixed seed matrix, race detector) =="
 # Seeds are pinned inside the tests (fault.Random seeds 1,2,3,5,7 and the
 # crash/corruption schedules), so this matrix is fully reproducible:
 # conservation, no-duplication, and bit-for-bit replay at 1 and NumCPU
-# workers.
+# workers. TestChaosEngineEquivalence re-runs every schedule under the
+# compiled fast engine (-engine fast) and requires identical fingerprints.
 go test -race -run 'TestChaos' ./internal/fault
 go test -race -run 'TestWatchdog|TestManualDegrade|TestDegraded|TestDropConservation' ./internal/router
 
@@ -27,8 +28,11 @@ echo "== soak: degrade->restore matrix with mid-run checkpoint/restore (race det
 # watchdog degrade -> thaw -> auto-restore -> probation arc, and must
 # (a) conserve and deliver every packet intact, and (b) continue
 # bit-for-bit identical after a mid-arc checkpoint is restored into a
-# fresh router at a different worker count. SOAK_SEEDS widens the matrix
-# (make soak runs 20).
+# fresh router at a different worker count — and, since the fast engine
+# landed, under the other cycle engine (the cross-engine checkpoint
+# gate). TestSoakEngineEquivalence additionally requires byte-identical
+# final checkpoints, event logs, and telemetry exports between engines.
+# SOAK_SEEDS widens the matrix (make soak runs 20).
 SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoak' ./internal/fault
 go test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
 
@@ -39,5 +43,12 @@ echo "== telemetry: export determinism + disabled-overhead gate =="
 # scripts/bench_telemetry.sh and BENCH_telemetry.json).
 go test -race -run 'TestTelemetry' ./internal/fault
 sh scripts/bench_telemetry.sh
+
+echo "== engine: compiled fast path speedup gate =="
+# The fast engine must be bit-for-bit identical (enforced above) and at
+# least 2x the reference interpreter on the 1,024-byte-packet
+# steady-state workload (see scripts/bench_engine.sh and
+# BENCH_engine.json).
+sh scripts/bench_engine.sh
 
 echo "CI green."
