@@ -7,7 +7,9 @@
 #            (fixed seed matrix; conservation + bit-for-bit replay)
 #   soak   - the 20-seed degrade->restore chaos matrix under the race
 #            detector, each seed with a mid-run checkpoint/restore that
-#            must continue bit-for-bit identical to the uninterrupted run
+#            must continue bit-for-bit identical to the uninterrupted
+#            run, plus the fabric chip-loss soak (whole-chip kill ->
+#            re-admission with a mid-arc fabric checkpoint)
 #   fuzz   - short runs of the interpreter, allocator, fault-schedule,
 #            and chip-snapshot fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
@@ -40,6 +42,7 @@ chaos:
 
 soak:
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -v -timeout 60m -run 'TestSoak' ./internal/fault
+	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -v -timeout 60m -run 'TestSoakChipLoss' ./internal/cluster
 	$(GO) test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
 
 fuzz:
@@ -47,6 +50,7 @@ fuzz:
 	$(GO) test ./internal/rotor -fuzz FuzzAllocate -fuzztime 30s
 	$(GO) test ./internal/fault -fuzz FuzzFaultSchedule -fuzztime 30s
 	$(GO) test ./internal/raw -fuzz FuzzSnapshotRoundTrip -fuzztime 30s
+	$(GO) test ./internal/cluster -fuzz FuzzTopologySpec -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .

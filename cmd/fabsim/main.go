@@ -6,13 +6,24 @@
 // Usage:
 //
 //	fabsim [-full] [-workers 1] [-reprobe N] [-metrics FORMAT[:FILE]]
-//	       [-exp all|background|ablation|fairness|qos|multicast|scale|degraded|restore|telemetry]
+//	       [-topology ring|mesh|fattree] [-chips N] [-faults SCHED]
+//	       [-exp all|background|ablation|fairness|qos|multicast|scale|scaleout|degraded|restore|telemetry]
 //
 // -exp restore runs the port re-admission experiment (degrade -> restore
 // -> probation vs never-failed); -reprobe arms line-flap retry with the
 // given backoff base (in quanta) for that experiment's routers. -exp
 // telemetry runs the telemetry-plane experiment; adding -metrics also
 // exports its snapshot (jsonl, csv, or prom) to FILE or stdout.
+//
+// -topology switches fabsim from the experiment suite to a single
+// N-chip cycle-level fabric run: -chips sizes it (a 16-chip mesh is the
+// 4x4 grid), -faults may schedule whole-chip kills and re-admissions
+// (killchip@CYCLE:cK / restorechip@CYCLE:cK), and -metrics exports the
+// fabric-plane telemetry snapshot (per-trunk conservation counters,
+// bisection utilization, lifecycle events). Example:
+//
+//	fabsim -topology mesh -chips 16 -engine fast -workers 4 \
+//	       -faults 'killchip@20000:c5;restorechip@60000:c5' -metrics prom
 package main
 
 import (
@@ -21,17 +32,26 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/router"
+	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
-	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, degraded, restore, telemetry")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, scaleout, degraded, restore, telemetry")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the restore experiment (0 = latched LineDown)")
 	var common cli.Common
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterMetrics(flag.CommandLine)
 	common.RegisterProfile(flag.CommandLine)
+	common.RegisterFabric(flag.CommandLine)
+	common.RegisterFaults(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
@@ -51,6 +71,14 @@ func main() {
 	q := exp.Quick
 	if *full {
 		q = exp.Full
+	}
+
+	if spec, ok, _ := common.FabricSpec(); ok { // err caught by Validate
+		if err := runFabric(spec, &common, engine, q); err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	show := func(name string) bool { return *which == "all" || *which == name }
@@ -80,6 +108,9 @@ func main() {
 	if show("scale") {
 		fmt.Println(exp.Scale8(q))
 	}
+	if show("scaleout") {
+		fmt.Println(exp.ScaleOut(q))
+	}
 	if show("lookup") {
 		fmt.Println(exp.LookupCost(5000))
 	}
@@ -106,4 +137,73 @@ func main() {
 			}
 		}
 	}
+}
+
+// runFabric drives one N-chip fabric under balanced antipodal traffic
+// (external e -> external (e + E/2) mod E, always cross-chip), applying
+// any killchip@/restorechip@ controls from -faults, and prints the
+// fabric summary. -metrics exports the fabric-plane telemetry snapshot.
+func runFabric(spec cluster.Spec, common *cli.Common, engine raw.Engine, q exp.Quality) error {
+	cfg := cluster.Config{Topology: spec, Router: router.DefaultConfig()}
+	cfg.Router.Engine = engine
+	cfg.Router.Workers = common.Workers
+	f, err := cluster.NewFabric(cfg)
+	if err != nil {
+		return err
+	}
+	if common.Faults != "" {
+		sched, err := fault.Parse(common.Faults)
+		if err != nil {
+			return err
+		}
+		f.ApplySchedule(sched)
+	}
+	rounds := 150
+	if q == exp.Full {
+		rounds = 600
+	}
+	ext := spec.Externals()
+	id := uint16(0)
+	for i := 0; i < rounds; i++ {
+		for e := 0; e < ext; e++ {
+			for f.InputBacklogWords(e) < 4096 {
+				id++
+				dst := (e + ext/2) % ext
+				pkt := ip.NewPacket(traffic.PortAddr(e, uint32(id)),
+					traffic.PortAddr(dst, uint32(id)), 64, 1024, id)
+				f.OfferPacket(e, &pkt)
+			}
+		}
+		f.Run(200)
+		for e := 0; e < ext; e++ {
+			if _, err := f.DrainOutput(e); err != nil {
+				return err
+			}
+		}
+	}
+	if err := f.ConservationError(); err != nil {
+		return err
+	}
+	snap := f.TelemetrySnapshot()
+	tb := &stats.Table{
+		Caption: fmt.Sprintf("%s fabric: %d chips, %d externals, %d trunks, cycle %d",
+			spec, spec.NumChips(), ext, len(snap.Trunks), f.Cycle()),
+		Headers: []string{"metric", "value"},
+	}
+	tb.AddRow("external Gbps", stats.Gbps(f.ExternalWordsOut()*4, f.Cycle(), cfg.Router.ClockHz))
+	tb.AddRow("packets delivered", f.ExternalPktsOut())
+	tb.AddRow("bisection utilization", snap.BisectionUtilization)
+	tb.AddRow("dead chips", len(snap.DeadChips))
+	tb.AddRow("lifecycle events", len(snap.Events))
+	fmt.Println(tb)
+	sink, _ := common.MetricsSink()
+	if sink != nil {
+		if err := sink.ExportFabric(snap); err != nil {
+			return err
+		}
+		if sink.Path != "" {
+			fmt.Printf("telemetry: %s fabric snapshot -> %s\n", sink.Format, sink.Path)
+		}
+	}
+	return nil
 }

@@ -124,6 +124,10 @@ func main() {
 	fmt.Println(exp.ClusterScaling(q))
 	done()
 
+	done = section("§8.5 scale-out fabrics (cycle level)")
+	fmt.Println(exp.ScaleOut(q))
+	done()
+
 	done = section("§8.6 multicast at cycle level")
 	_, tb = exp.McastCycle(q)
 	fmt.Println(tb)

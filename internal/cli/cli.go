@@ -13,6 +13,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/raw"
 	"repro/internal/router"
@@ -44,6 +45,11 @@ type Common struct {
 	// Metrics (-metrics) selects a telemetry export: "FORMAT[:FILE]"
 	// with FORMAT jsonl, csv, or prom; no FILE writes to stdout.
 	Metrics string
+	// Topology / Chips (-topology, -chips) select an N-chip fabric
+	// instead of a single router: "" runs no fabric, otherwise
+	// ring|mesh|fattree at -chips chips. Parse with FabricSpec.
+	Topology string
+	Chips    int
 }
 
 // RegisterSim installs -workers and -engine.
@@ -139,13 +145,39 @@ func (c *Common) RegisterCheckpoint(fs *flag.FlagSet) {
 		"replay a checkpoint blob from FILE before running (needs the writer's fault flags)")
 }
 
+// RegisterFabric installs -topology and -chips.
+func (c *Common) RegisterFabric(fs *flag.FlagSet) {
+	fs.StringVar(&c.Topology, "topology", "",
+		"run an N-chip fabric: ring, mesh, or fattree (empty = no fabric run)")
+	fs.IntVar(&c.Chips, "chips", 4,
+		"fabric chip count for -topology (mesh counts are factored into the squarest grid)")
+}
+
+// FabricSpec parses -topology/-chips into a validated topology spec.
+// Returns ok=false with no error when -topology was not given.
+func (c *Common) FabricSpec() (spec cluster.Spec, ok bool, err error) {
+	if c.Topology == "" {
+		return cluster.Spec{}, false, nil
+	}
+	kind, err := cluster.ParseTopoKind(c.Topology)
+	if err != nil {
+		return cluster.Spec{}, false, fmt.Errorf("-topology: %w", err)
+	}
+	spec, err = cluster.SpecFor(kind, c.Chips)
+	if err != nil {
+		return cluster.Spec{}, false, fmt.Errorf("-chips: %w", err)
+	}
+	return spec, true, nil
+}
+
 // RegisterMetrics installs -metrics.
 func (c *Common) RegisterMetrics(fs *flag.FlagSet) {
 	fs.StringVar(&c.Metrics, "metrics", "",
 		"export a telemetry snapshot after the run: FORMAT[:FILE], FORMAT one of jsonl, csv, prom (no FILE = stdout)")
 }
 
-// Validate checks cross-flag invariants after parsing. Worker counts are
+// Validate checks cross-flag invariants after parsing. The fabric
+// flags are checked too when registered. Worker counts are
 // not validated here: the engine clamps -workers to [1, tiles], so 0,
 // negative, and huge values all run (the documented surface behavior).
 func (c *Common) Validate() error {
@@ -153,6 +185,9 @@ func (c *Common) Validate() error {
 		return err
 	}
 	if _, err := c.EngineChoice(); err != nil {
+		return err
+	}
+	if _, _, err := c.FabricSpec(); err != nil {
 		return err
 	}
 	return nil
@@ -259,8 +294,21 @@ func (s *MetricsSink) Export(snap telemetry.Snapshot) error {
 	if err != nil {
 		return err
 	}
+	return s.write(out)
+}
+
+// ExportFabric renders a fabric-plane snapshot the same way.
+func (s *MetricsSink) ExportFabric(snap telemetry.FabricSnapshot) error {
+	out, err := snap.Encode(s.Format)
+	if err != nil {
+		return err
+	}
+	return s.write(out)
+}
+
+func (s *MetricsSink) write(out []byte) error {
 	if s.Path == "" {
-		_, err = os.Stdout.Write(out)
+		_, err := os.Stdout.Write(out)
 		return err
 	}
 	return os.WriteFile(s.Path, out, 0o644)

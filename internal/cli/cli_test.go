@@ -18,6 +18,7 @@ func parseWith(t *testing.T, args ...string) *Common {
 	c.RegisterTrace(fs)
 	c.RegisterCheckpoint(fs)
 	c.RegisterMetrics(fs)
+	c.RegisterFabric(fs)
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("parse %v: %v", args, err)
 	}
@@ -131,4 +132,36 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("unset LoadCheckpoint = %v, %v", ok, err)
 	}
 	_ = os.Remove(path)
+}
+
+func TestFabricSpecParsing(t *testing.T) {
+	// Unset -topology: no fabric run, no error.
+	if _, ok, err := parseWith(t).FabricSpec(); ok || err != nil {
+		t.Fatalf("unset FabricSpec = %v, %v", ok, err)
+	}
+	// A 16-chip mesh resolves to the squarest grid.
+	spec, ok, err := parseWith(t, "-topology", "mesh", "-chips", "16").FabricSpec()
+	if err != nil || !ok || spec.String() != "mesh-4x4" {
+		t.Fatalf("mesh 16 = %v (%v, %v)", spec, ok, err)
+	}
+	if spec, _, err := parseWith(t, "-topology", "ring", "-chips", "8").FabricSpec(); err != nil || spec.NumChips() != 8 {
+		t.Fatalf("ring 8 = %v, %v", spec, err)
+	}
+	if spec, _, err := parseWith(t, "-topology", "fattree", "-chips", "6").FabricSpec(); err != nil || spec.Externals() != 8 {
+		t.Fatalf("fattree 6 = %v, %v", spec, err)
+	}
+	// Bad kind and impossible sizes surface through Validate too.
+	for _, args := range [][]string{
+		{"-topology", "torus"},
+		{"-topology", "mesh", "-chips", "11"},
+		{"-topology", "ring", "-chips", "1"},
+	} {
+		c := parseWith(t, args...)
+		if _, _, err := c.FabricSpec(); err == nil {
+			t.Fatalf("%v: want error", args)
+		}
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%v: Validate missed the bad fabric flags", args)
+		}
+	}
 }

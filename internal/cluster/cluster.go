@@ -17,7 +17,6 @@ import (
 	"repro/internal/ip"
 	"repro/internal/lookup"
 	"repro/internal/router"
-	"repro/internal/traffic"
 )
 
 // Port identifies an external port of the cluster: 0..3, where 0,1 are
@@ -57,21 +56,15 @@ func external(p int) (chip int, local int) {
 // sends ports 2,3's prefixes to its trunk ports; chip B symmetrically.
 func NewTwoChip(cfg router.Config) (*TwoChip, error) {
 	mkTable := func(chip int) *lookup.Patricia {
-		var t lookup.Patricia
-		for p := 0; p < ExternalPorts; p++ {
-			prefix, plen := traffic.PortPrefix(p)
+		return router.BindPorts(ExternalPorts, func(p int) lookup.NextHop {
 			c, local := external(p)
-			nh := lookup.NextHop(local)
 			if c != chip {
 				// Remote port: send over the trunk, spread across both
 				// trunk links by parity for bisection balance.
-				nh = lookup.NextHop(trunkLo + p%2)
+				return lookup.NextHop(trunkLo + p%2)
 			}
-			if err := t.Insert(prefix, plen, nh); err != nil {
-				panic(err)
-			}
-		}
-		return &t
+			return lookup.NextHop(local)
+		})
 	}
 
 	cfgA := cfg

@@ -1,0 +1,113 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ip"
+	"repro/internal/traffic"
+)
+
+// offerPkt converts a traffic.Pkt descriptor into an on-wire packet and
+// offers it at external e.
+func offerPkt(f *cluster.Fabric, e int, p traffic.Pkt, id uint16) {
+	pkt := ip.NewPacket(p.SrcIP, p.DstIP, 64, p.SizeBytes, id)
+	f.OfferPacket(e, &pkt)
+}
+
+// TestCollectiveRingAllReduce drives the ring all-reduce schedule on
+// every topology: each external rank streams to its successor. The
+// per-trunk conservation identity must hold on every topology, packets
+// must arrive at the successor only, and on multi-chip rings the
+// pattern must actually cross trunks (it is the bisection probe).
+func TestCollectiveRingAllReduce(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		f := mustFabric(t, spec, nil)
+		ext := spec.Externals()
+		srcs := make([]*traffic.RingAllReduce, ext)
+		for e := 0; e < ext; e++ {
+			srcs[e] = traffic.NewRingAllReduce(ext, 256, e)
+		}
+		id := uint16(0)
+		for round := 0; round < 40; round++ {
+			for e := 0; e < ext; e++ {
+				if f.InputBacklogWords(e) < 2048 {
+					id++
+					offerPkt(f, e, srcs[e].Next(), id)
+				}
+			}
+			f.Run(200)
+		}
+		f.Run(4000)
+		delivered := 0
+		for e := 0; e < ext; e++ {
+			out, err := f.DrainOutput(e)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			pred := (e - 1 + ext) % ext
+			for _, p := range out {
+				if got := int(uint32(p.Header.Src)>>24) - 10; got != pred {
+					t.Fatalf("%s: ext %d received from rank %d, want predecessor %d", spec, e, got, pred)
+				}
+			}
+			delivered += len(out)
+		}
+		if delivered == 0 {
+			t.Fatalf("%s: all-reduce delivered nothing", spec)
+		}
+		if err := f.ConservationError(); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if spec.Kind == cluster.TopoRing && spec.NumChips() > 1 {
+			snap := f.TelemetrySnapshot()
+			if snap.BisectionWords == 0 {
+				t.Fatalf("%s: ring all-reduce never crossed the bisection", spec)
+			}
+		}
+	}
+}
+
+// TestCollectiveBroadcast drives the root-to-leaves broadcast on every
+// topology: every non-root external receives the same stream, and the
+// trunk conservation identity holds.
+func TestCollectiveBroadcast(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		f := mustFabric(t, spec, nil)
+		ext := spec.Externals()
+		root := 0
+		b := traffic.NewBroadcast(ext, 128, root)
+		id := uint16(0)
+		for round := 0; round < 60; round++ {
+			if f.InputBacklogWords(root) < 2048 {
+				id++
+				offerPkt(f, root, b.Next(), id)
+			}
+			f.Run(200)
+		}
+		f.Run(4000)
+		for e := 0; e < ext; e++ {
+			out, err := f.DrainOutput(e)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			if e == root {
+				if len(out) != 0 {
+					t.Fatalf("%s: root received %d of its own broadcast packets", spec, len(out))
+				}
+				continue
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s: leaf %d never received the broadcast", spec, e)
+			}
+			for _, p := range out {
+				if got := int(uint32(p.Header.Src)>>24) - 10; got != root {
+					t.Fatalf("%s: leaf %d received from %d, want root", spec, e, got)
+				}
+			}
+		}
+		if err := f.ConservationError(); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}

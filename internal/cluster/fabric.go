@@ -1,0 +1,613 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/fault"
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Config configures an N-chip fabric.
+type Config struct {
+	// Topology declares the chip count and wiring; see Spec.
+	Topology Spec
+	// Router is the per-chip configuration template. The fabric owns the
+	// fields that cannot be shared across chips: Table is compiled per
+	// chip from the topology (must be nil), and Events/Metrics templates
+	// must be nil too — set Config.Metrics to arm per-chip collectors and
+	// read chip planes through ChipEvents/ChipTelemetry. Multicast and
+	// Crypto are rejected: both would rewrite the inter-chip word streams
+	// (group fanout, payload ciphering) that trunk neighbors parse as
+	// plain IP packets.
+	Router router.Config
+	// Metrics arms a telemetry collector on every chip.
+	Metrics bool
+	// Faults holds optional per-chip fault schedules, applied to chip k's
+	// original incarnation (a replacement chip built by RestoreChip starts
+	// fault-free — the schedule's cycle origin died with the old chip).
+	// Chip-level controls (killchip@/restorechip@) are fabric-wide; feed
+	// them through ApplySchedule instead.
+	Faults map[int]*fault.Schedule
+}
+
+// chipSlot is one chip position: the live router instance plus the
+// fabric-level lifecycle state that survives chip replacement.
+type chipSlot struct {
+	r      *router.Router
+	events *trace.EventLog
+	dead   bool
+	// epoch counts instances in this slot (0 = original); bornAt is the
+	// fabric cycle the current instance was constructed at.
+	epoch  int
+	bornAt int64
+}
+
+// trunkDir is one direction of one trunk: the packet framer between the
+// source chip's egress pins and the destination chip's ingress pins,
+// plus the direction's conservation counters. The framer models the
+// store-and-forward SERDES framing of a real chip-to-chip link: it holds
+// words until a whole IP packet is buffered and delivers packets
+// atomically, so a chip killed mid-stream leaves its neighbor at a clean
+// packet boundary (the partial packet is dropped and counted) instead of
+// desynchronizing its ingress parser.
+type trunkDir struct {
+	buf []uint32
+	// drained counts words taken off the source pins; delivered words
+	// pushed onto the destination pins; dropped words discarded (dead
+	// endpoint, or a frame that failed to parse). The direction conserves
+	// words: drained == delivered + dropped + len(buf), checked by
+	// ConservationError.
+	drained, delivered, dropped int64
+}
+
+// trunkState is one trunk's two directions: dir[0] carries A->B,
+// dir[1] B->A.
+type trunkState struct {
+	Trunk
+	dir [2]trunkDir
+}
+
+// sliceCycles is the lockstep granularity: every chip advances this many
+// cycles, then the fabric bridges all trunk pins — the small elastic
+// buffer a real inter-chip link has. Scheduled chip controls fire
+// exactly at their cycle (Run caps a slice short when a control is due),
+// so a run is deterministic for any Run call pattern.
+const sliceCycles = 64
+
+// Fabric is an N-chip switch: Topology-many 4-port routers wired by
+// trunks, stepped in lockstep slices, presenting Externals()-many
+// external ports with fabric-wide addressing (external port e owns
+// (10+e).0.0.0/8). It carries the single-router operability surface
+// across the chip boundary: whole-chip kill and re-admission (scheduled
+// through the fault grammar), per-trunk accounting, and one checkpoint
+// blob for all N chips.
+type Fabric struct {
+	spec   Spec
+	cfg    Config
+	chips  []chipSlot
+	trunks []trunkState
+	cycle  int64
+
+	// Scheduled chip controls, sorted by start cycle; nextCtl is the
+	// firing cursor (controls fire in order, so one index serializes the
+	// fired-set in checkpoints).
+	controls []fault.Event
+	nextCtl  int
+
+	// events is the fabric-level log: chip kills and re-admissions, with
+	// the chip index in the Port field.
+	events trace.EventLog
+
+	// extDropped counts words offered at an external port while its chip
+	// was dead — the fabric-level analog of a dead port's line drops.
+	extDropped []int64
+}
+
+// NewFabric validates the spec and builds the N chips, each with its
+// topology-compiled route table.
+func NewFabric(cfg Config) (*Fabric, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	rc := cfg.Router
+	if rc.ClockHz == 0 {
+		// Same convention as router.New: an unset template selects the
+		// paper's configuration wholesale.
+		rc = router.DefaultConfig()
+		cfg.Router = rc
+	}
+	switch {
+	case rc.Table != nil:
+		return nil, fmt.Errorf("cluster: fabric compiles per-chip tables; Config.Router.Table must be nil")
+	case rc.Events != nil:
+		return nil, fmt.Errorf("cluster: an event log cannot be shared across chips; leave Config.Router.Events nil and use ChipEvents")
+	case rc.Metrics != nil:
+		return nil, fmt.Errorf("cluster: a collector cannot be shared across chips; leave Config.Router.Metrics nil and set Config.Metrics")
+	case rc.Multicast:
+		return nil, fmt.Errorf("cluster: fabric does not support Multicast (group fanout would corrupt trunk streams)")
+	case rc.Crypto:
+		return nil, fmt.Errorf("cluster: fabric does not support Crypto (ciphered payloads would corrupt trunk streams)")
+	}
+	f := &Fabric{
+		spec:       cfg.Topology,
+		cfg:        cfg,
+		chips:      make([]chipSlot, cfg.Topology.NumChips()),
+		extDropped: make([]int64, cfg.Topology.Externals()),
+	}
+	for _, t := range cfg.Topology.Trunks() {
+		f.trunks = append(f.trunks, trunkState{Trunk: t})
+	}
+	for k := range f.chips {
+		if err := f.buildChip(k, 0); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// buildChip constructs the chip for slot k (epoch 0 = original, else a
+// replacement). Construction is a pure function of the fabric config, so
+// a checkpoint restore rebuilds replacements identically.
+func (f *Fabric) buildChip(k, epoch int) error {
+	rc := f.cfg.Router
+	rc.Table = f.spec.chipTable(k)
+	ev := &trace.EventLog{}
+	rc.Events = ev
+	if f.cfg.Metrics {
+		rc.Metrics = telemetry.New(telemetry.Config{})
+	}
+	r, err := router.New(rc)
+	if err != nil {
+		return fmt.Errorf("cluster: chip %d: %w", k, err)
+	}
+	if sched := f.cfg.Faults[k]; sched != nil && epoch == 0 {
+		r.Chip.InstallFaults(fault.NewInjector(sched, r.Chip.NumTiles()))
+		for _, ctl := range sched.Controls() {
+			switch ctl.Kind {
+			case fault.KindRestore:
+				r.ScheduleRestore(ctl.Start, ctl.Tile)
+			case fault.KindReprobe:
+				r.ScheduleReprobe(ctl.Start, ctl.Tile)
+			}
+		}
+	}
+	f.chips[k] = chipSlot{r: r, events: ev, epoch: epoch, bornAt: f.cycle}
+	return nil
+}
+
+// Spec returns the fabric's topology.
+func (f *Fabric) Spec() Spec { return f.spec }
+
+// Cycle returns the fabric cycle count (every live chip has stepped this
+// many cycles since its bornAt).
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// Chip returns slot k's current router instance (tests and telemetry;
+// the instance changes when RestoreChip replaces a killed chip).
+func (f *Fabric) Chip(k int) *router.Router { return f.chips[k].r }
+
+// ChipDead reports whether slot k is currently killed.
+func (f *Fabric) ChipDead(k int) bool { return f.chips[k].dead }
+
+// ChipEpoch returns slot k's instance count (0 = original chip).
+func (f *Fabric) ChipEpoch(k int) int { return f.chips[k].epoch }
+
+// Events returns the fabric-level event log (chip kills and restores;
+// the Port field carries the chip index).
+func (f *Fabric) Events() *trace.EventLog { return &f.events }
+
+// ChipEvents returns chip k's recovery event log (current instance).
+func (f *Fabric) ChipEvents(k int) *trace.EventLog { return f.chips[k].events }
+
+// ApplySchedule registers the schedule's fabric-level chip controls
+// (killchip@/restorechip@). Call once, before Run; the controls fire
+// exactly at their start cycles.
+func (f *Fabric) ApplySchedule(s *fault.Schedule) {
+	f.controls = append(f.controls, s.ChipControls()...)
+}
+
+// OfferPacket enqueues a packet at fabric external port e. Packets
+// offered while e's chip is dead are dropped and counted (ExtDropped),
+// exactly as a dead single-chip port drops line words.
+func (f *Fabric) OfferPacket(e int, pkt *ip.Packet) {
+	chip, local := f.spec.ExtPort(e)
+	if f.chips[chip].dead {
+		f.extDropped[e] += int64(ip.HeaderWords + len(pkt.Payload))
+		return
+	}
+	f.chips[chip].r.OfferPacket(local, pkt)
+}
+
+// InputBacklogWords reports external port e's line buffer depth.
+func (f *Fabric) InputBacklogWords(e int) int {
+	chip, local := f.spec.ExtPort(e)
+	return f.chips[chip].r.InputBacklogWords(local)
+}
+
+// DrainOutput parses packets delivered at fabric external port e.
+func (f *Fabric) DrainOutput(e int) ([]ip.Packet, error) {
+	chip, local := f.spec.ExtPort(e)
+	return f.chips[chip].r.DrainOutput(local)
+}
+
+// OutputWords returns the words ever emitted at external port e by the
+// chip's current instance.
+func (f *Fabric) OutputWords(e int) int64 {
+	chip, local := f.spec.ExtPort(e)
+	return f.chips[chip].r.OutputWords(local)
+}
+
+// ExtDropped returns the words dropped at external port e while its chip
+// was dead.
+func (f *Fabric) ExtDropped(e int) int64 { return f.extDropped[e] }
+
+// Run advances the fabric n cycles: all live chips step in lockstep
+// slices, trunk pins are bridged at every slice boundary, and scheduled
+// chip controls fire exactly at their start cycle (a slice is cut short
+// when a control is due, so the trace is independent of how Run calls
+// partition the cycles).
+func (f *Fabric) Run(n int64) {
+	end := f.cycle + n
+	for f.cycle < end {
+		f.fireControls()
+		step := int64(sliceCycles)
+		if end-f.cycle < step {
+			step = end - f.cycle
+		}
+		if next := f.nextControlCycle(); next >= 0 && next-f.cycle < step {
+			step = next - f.cycle
+			if step == 0 {
+				// A control at the current cycle already fired above.
+				continue
+			}
+		}
+		for k := range f.chips {
+			if !f.chips[k].dead {
+				f.chips[k].r.Run(step)
+			}
+		}
+		f.cycle += step
+		f.bridge()
+	}
+	f.fireControls()
+}
+
+// nextControlCycle returns the next unfired control's start cycle, or -1.
+func (f *Fabric) nextControlCycle() int64 {
+	if f.nextCtl >= len(f.controls) {
+		return -1
+	}
+	return f.controls[f.nextCtl].Start
+}
+
+// fireControls applies every scheduled control due at or before the
+// current cycle. Rejected controls (killing a dead chip, restoring a
+// live one) are skipped silently so a fuzzed schedule cannot wedge a run.
+func (f *Fabric) fireControls() {
+	for f.nextCtl < len(f.controls) && f.controls[f.nextCtl].Start <= f.cycle {
+		ctl := f.controls[f.nextCtl]
+		f.nextCtl++
+		if ctl.Tile >= len(f.chips) {
+			continue
+		}
+		switch ctl.Kind {
+		case fault.KindKillChip:
+			if !f.chips[ctl.Tile].dead {
+				f.KillChip(ctl.Tile)
+			}
+		case fault.KindRestoreChip:
+			if f.chips[ctl.Tile].dead {
+				if err := f.RestoreChip(ctl.Tile); err != nil {
+					panic(err) // construction from a validated config cannot fail
+				}
+			}
+		}
+	}
+}
+
+// KillChip removes chip k from the fabric: it stops stepping, its trunk
+// links go silent (words already drained toward it and partial frames
+// from it are dropped and counted), and its external ports drop offered
+// traffic until RestoreChip. Direct calls between Run calls are honored
+// but are not replayed by checkpoints — schedule killchip@ controls in
+// runs that will be checkpointed.
+func (f *Fabric) KillChip(k int) error {
+	if k < 0 || k >= len(f.chips) {
+		return fmt.Errorf("cluster: no chip %d", k)
+	}
+	if f.chips[k].dead {
+		return fmt.Errorf("cluster: chip %d already dead", k)
+	}
+	f.chips[k].dead = true
+	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		for d := 0; d < 2; d++ {
+			src, srcPort, dst, _ := t.endpoints(d)
+			if src != k && dst != k {
+				continue
+			}
+			// The source side's undelivered egress words and the framer's
+			// partial frame die with the link.
+			td := &t.dir[d]
+			if src == k {
+				words, _ := f.chips[k].r.OutputSink(srcPort).Drain()
+				td.drained += int64(len(words))
+				td.dropped += int64(len(words))
+			}
+			td.dropped += int64(len(td.buf))
+			td.buf = td.buf[:0]
+		}
+	}
+	f.events.Add(f.cycle, k, trace.EvChipKill)
+	return nil
+}
+
+// RestoreChip re-admits a killed chip with a freshly constructed
+// replacement (same table, same config, epoch+1). The replacement's
+// counters, caches, and recovery state start cold, exactly like a field
+// card swap; in-flight state of the old instance is already accounted as
+// dropped.
+func (f *Fabric) RestoreChip(k int) error {
+	if k < 0 || k >= len(f.chips) {
+		return fmt.Errorf("cluster: no chip %d", k)
+	}
+	if !f.chips[k].dead {
+		return fmt.Errorf("cluster: chip %d is not dead", k)
+	}
+	if err := f.buildChip(k, f.chips[k].epoch+1); err != nil {
+		return err
+	}
+	f.events.Add(f.cycle, k, trace.EvChipRestore)
+	return nil
+}
+
+// endpoints resolves direction d of a trunk: d=0 flows A->B, d=1 B->A.
+func (t *trunkState) endpoints(d int) (src, srcPort, dst, dstPort int) {
+	if d == 0 {
+		return t.A, t.APort, t.B, t.BPort
+	}
+	return t.B, t.BPort, t.A, t.APort
+}
+
+// bridge moves trunk words after a slice: each direction drains the
+// source chip's egress pins into the framer and pushes every completed
+// packet into the destination chip's ingress pins.
+func (f *Fabric) bridge() {
+	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		for d := 0; d < 2; d++ {
+			f.bridgeDir(t, d)
+		}
+	}
+}
+
+func (f *Fabric) bridgeDir(t *trunkState, d int) {
+	src, srcPort, dst, dstPort := t.endpoints(d)
+	td := &t.dir[d]
+	if f.chips[src].dead {
+		return // silenced at KillChip; nothing accumulates
+	}
+	words, _ := f.chips[src].r.OutputSink(srcPort).Drain()
+	td.drained += int64(len(words))
+	if f.chips[dst].dead {
+		// Words fall on the floor at the dead chip's pins.
+		td.dropped += int64(len(td.buf)) + int64(len(words))
+		td.buf = td.buf[:0]
+		return
+	}
+	for _, w := range words {
+		td.buf = append(td.buf, uint32(w))
+	}
+	in := f.chips[dst].r.InputPins(dstPort)
+	for {
+		if len(td.buf) < ip.HeaderWords {
+			return
+		}
+		h, err := ip.Unmarshal(td.buf)
+		if err != nil {
+			// A frame that does not parse cannot happen on a healthy
+			// trunk; resynchronize by sliding one word, as a real framer
+			// hunting for a start-of-packet would.
+			td.buf = td.buf[1:]
+			td.dropped++
+			continue
+		}
+		n := (int(h.TotalLen) + 3) / 4
+		if n < ip.HeaderWords {
+			n = ip.HeaderWords
+		}
+		if len(td.buf) < n {
+			return
+		}
+		for _, w := range td.buf[:n] {
+			in.Push(raw.Word(w))
+		}
+		td.delivered += int64(n)
+		td.buf = append(td.buf[:0], td.buf[n:]...)
+	}
+}
+
+// TrunkCounters returns trunk ti's (drained, delivered, dropped, held)
+// word counts for direction d (0 = A->B, 1 = B->A).
+func (f *Fabric) TrunkCounters(ti, d int) (drained, delivered, dropped, held int64) {
+	td := &f.trunks[ti].dir[d]
+	return td.drained, td.delivered, td.dropped, int64(len(td.buf))
+}
+
+// ConservationError checks every trunk direction's word-conservation
+// identity (drained == delivered + dropped + held) and returns the first
+// violation, or nil. The identity holds at any instant, faults included.
+func (f *Fabric) ConservationError() error {
+	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		for d := 0; d < 2; d++ {
+			td := &t.dir[d]
+			if td.drained != td.delivered+td.dropped+int64(len(td.buf)) {
+				return fmt.Errorf("cluster: trunk %s dir %d leaks words: drained %d != delivered %d + dropped %d + held %d",
+					t.Trunk, d, td.drained, td.delivered, td.dropped, len(td.buf))
+			}
+		}
+	}
+	return nil
+}
+
+// ExternalPktsOut sums packets delivered on all external ports (current
+// chip instances).
+func (f *Fabric) ExternalPktsOut() int64 {
+	var n int64
+	for e := 0; e < f.spec.Externals(); e++ {
+		chip, local := f.spec.ExtPort(e)
+		n += f.chips[chip].r.Stats().PktsOut[local]
+	}
+	return n
+}
+
+// ExternalWordsOut sums words delivered on all external ports.
+func (f *Fabric) ExternalWordsOut() int64 {
+	var n int64
+	for e := 0; e < f.spec.Externals(); e++ {
+		n += f.OutputWords(e)
+	}
+	return n
+}
+
+// SetWorkers reshards every chip's stepping across n host goroutines
+// (applies to live chips and future replacements). Cycle-exact at any
+// count, like the single-chip knob.
+func (f *Fabric) SetWorkers(n int) {
+	f.cfg.Router.Workers = n
+	for k := range f.chips {
+		f.chips[k].r.Chip.SetWorkers(n)
+	}
+}
+
+// Fingerprint digests the fabric's replay-derived state: fabric cycle,
+// every chip's counters and lifecycle state, every trunk direction's
+// counters and held frame bytes, and the external drop counts. Two runs
+// of the same workload agree on every Fingerprint regardless of worker
+// count or engine; the conformance suite additionally compares the
+// delivered output words, which the fingerprint's counters only size.
+func (f *Fabric) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w64 := func(v int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(v) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w64(f.cycle)
+	w64(int64(f.nextCtl))
+	for k := range f.chips {
+		s := &f.chips[k]
+		flags := int64(s.epoch) << 1
+		if s.dead {
+			flags |= 1
+		}
+		w64(flags)
+		w64(s.bornAt)
+		w64(s.r.Chip.Cycle())
+		st := s.r.Stats()
+		for p := 0; p < 4; p++ {
+			w64(st.Accepted[p])
+			w64(st.Dropped[p])
+			w64(st.PktsIn[p])
+			w64(st.PktsOut[p])
+			w64(st.FragsSent[p])
+			w64(st.Lookups[p])
+			w64(st.AbortDropped[p])
+			w64(st.Underruns[p])
+			w64(s.r.OutputWords(p))
+		}
+		w64(st.FabricLost)
+		w64(int64(s.r.DeadPort()))
+	}
+	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		for d := 0; d < 2; d++ {
+			td := &t.dir[d]
+			w64(td.drained)
+			w64(td.delivered)
+			w64(td.dropped)
+			w64(int64(len(td.buf)))
+			for _, w := range td.buf {
+				w64(int64(w))
+			}
+		}
+	}
+	for _, v := range f.extDropped {
+		w64(v)
+	}
+	return h.Sum64()
+}
+
+// TelemetrySnapshot assembles the fabric-plane export: per-trunk
+// per-direction accounting with utilization gauges, the bisection
+// aggregate, dead chips, and the fabric event log. Chip-level planes are
+// exported separately via ChipTelemetry.
+func (f *Fabric) TelemetrySnapshot() telemetry.FabricSnapshot {
+	s := telemetry.FabricSnapshot{
+		Schema:    telemetry.SchemaVersion,
+		Cycle:     f.cycle,
+		Topology:  f.spec.String(),
+		Chips:     len(f.chips),
+		Externals: f.spec.Externals(),
+	}
+	for k := range f.chips {
+		if f.chips[k].dead {
+			s.DeadChips = append(s.DeadChips, k)
+		}
+	}
+	elapsed := f.cycle
+	util := func(words int64) float64 {
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(words) / float64(elapsed)
+	}
+	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		ts := telemetry.TrunkSample{
+			Trunk: ti,
+			A:     t.A, APort: t.APort,
+			B: t.B, BPort: t.BPort,
+		}
+		for d := 0; d < 2; d++ {
+			td := &t.dir[d]
+			ts.Dir[d] = telemetry.TrunkDirSample{
+				Drained:     td.drained,
+				Delivered:   td.delivered,
+				Dropped:     td.dropped,
+				Held:        int64(len(td.buf)),
+				Utilization: util(td.delivered),
+			}
+		}
+		s.Trunks = append(s.Trunks, ts)
+	}
+	for _, ti := range f.spec.BisectionTrunks() {
+		for d := 0; d < 2; d++ {
+			s.BisectionWords += f.trunks[ti].dir[d].delivered
+		}
+	}
+	// The cut's capacity is one word per cycle per direction per link.
+	if nb := len(f.spec.BisectionTrunks()); nb > 0 && elapsed > 0 {
+		s.BisectionUtilization = float64(s.BisectionWords) / float64(2*nb) / float64(elapsed)
+	}
+	for _, e := range f.events.Events {
+		s.Events = append(s.Events, telemetry.EventRecord{
+			Cycle: e.Cycle, Port: e.Port, Kind: e.Kind.String(), Detail: e.Detail,
+		})
+	}
+	return s
+}
+
+// ChipTelemetry exports chip k's telemetry snapshot (counters-only
+// unless Config.Metrics armed the plane).
+func (f *Fabric) ChipTelemetry(k int) telemetry.Snapshot {
+	return f.chips[k].r.TelemetrySnapshot()
+}

@@ -1,0 +1,84 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ip"
+	"repro/internal/traffic"
+)
+
+// FuzzTopologySpec is the topology-plane contract fuzzer: any (kind,
+// chips, w, h) tuple must either be rejected by Validate with a precise
+// error, or build a fabric that routes traffic for 64 quanta with the
+// per-trunk conservation identity intact. There is no third outcome —
+// no panics, no silently-mangled shapes.
+func FuzzTopologySpec(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(0), uint8(0)) // ring-4
+	f.Add(uint8(1), uint8(0), uint8(2), uint8(2)) // mesh-2x2
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(0)) // fattree (2 leaves)
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(0)) // ring too small
+	f.Add(uint8(1), uint8(0), uint8(9), uint8(1)) // mesh side too big
+	f.Add(uint8(1), uint8(3), uint8(2), uint8(2)) // stray chip count
+	f.Add(uint8(7), uint8(4), uint8(0), uint8(0)) // unknown kind
+	f.Fuzz(func(t *testing.T, kind, chips, w, h uint8) {
+		spec := cluster.Spec{
+			Kind:  cluster.TopoKind(kind),
+			Chips: int(chips),
+			W:     int(w),
+			H:     int(h),
+		}
+		err := spec.Validate()
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("%+v: empty validation error", spec)
+			}
+			if _, buildErr := cluster.NewFabric(cluster.Config{Topology: spec}); buildErr == nil {
+				t.Fatalf("%+v: Validate rejects but NewFabric accepts", spec)
+			}
+			return
+		}
+		// Valid: the derived shape must be self-consistent even when we
+		// skip the (expensive) simulation below.
+		if spec.NumChips() < 1 || spec.Externals() < 1 {
+			t.Fatalf("%s: degenerate valid spec", spec)
+		}
+		for e := 0; e < spec.Externals(); e++ {
+			c, l := spec.ExtPort(e)
+			if got, ok := spec.ExternalOf(c, l); !ok || got != e {
+				t.Fatalf("%s: ExtPort/ExternalOf mismatch at %d", spec, e)
+			}
+		}
+		if spec.NumChips() > 6 {
+			return // shape checks only; simulation budget is for small fabrics
+		}
+		fab, err := cluster.NewFabric(cluster.Config{Topology: spec})
+		if err != nil {
+			t.Fatalf("%s: valid spec rejected by NewFabric: %v", spec, err)
+		}
+		ext := spec.Externals()
+		id := uint16(0)
+		for q := 0; q < 64; q++ {
+			src := q % ext
+			if fab.InputBacklogWords(src) < 2048 {
+				id++
+				dst := (src + 1 + q%(ext)) % ext
+				if dst == src {
+					dst = (dst + 1) % ext
+				}
+				pkt := ip.NewPacket(traffic.PortAddr(src, uint32(id)),
+					traffic.PortAddr(dst, uint32(id)), 64, 128, id)
+				fab.OfferPacket(src, &pkt)
+			}
+			fab.Run(64)
+			if _, err := fab.DrainOutput(dst64(q, ext)); err != nil {
+				t.Fatalf("%s: drain: %v", spec, err)
+			}
+		}
+		if err := fab.ConservationError(); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	})
+}
+
+func dst64(q, ext int) int { return q % ext }

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Deterministic whole-fabric checkpoints. One FABCKPT1 blob captures all
+// N chips as a single artifact: each chip's RTRCKPT1 record-replay blob
+// plus the fabric-level state that lives outside any chip — the trunk
+// framers and their conservation counters, the chip lifecycle (dead
+// flags, epochs, birth cycles), the scheduled-control cursor, the
+// external drop counts, and the fabric event log. Restoring onto a
+// freshly built fabric with the same Config and the same ApplySchedule
+// calls replays every chip and adopts the fabric state; the combined run
+// is bit-for-bit identical to an uninterrupted one, provided all kills
+// and re-admissions were scheduled (killchip@/restorechip@), not manual.
+
+const fabSnapMagic = "FABCKPT1"
+
+// Snapshot serializes the whole fabric at the current cycle. Requires
+// Config.Router.Checkpoint (every chip records its inputs). Call between
+// Run calls only.
+func (f *Fabric) Snapshot() ([]byte, error) {
+	if !f.cfg.Router.Checkpoint {
+		return nil, fmt.Errorf("cluster: fabric snapshot requires Config.Router.Checkpoint")
+	}
+	b := []byte(fabSnapMagic)
+	b = fabLE64(b, uint64(f.spec.Kind))
+	b = fabLE64(b, uint64(f.spec.Chips))
+	b = fabLE64(b, uint64(f.spec.W))
+	b = fabLE64(b, uint64(f.spec.H))
+	b = fabLE64(b, uint64(f.cycle))
+	b = fabLE64(b, uint64(len(f.controls)))
+	b = fabLE64(b, uint64(f.nextCtl))
+	for k := range f.chips {
+		s := &f.chips[k]
+		flags := uint64(0)
+		if s.dead {
+			flags = 1
+		}
+		b = fabLE64(b, flags)
+		b = fabLE64(b, uint64(s.epoch))
+		b = fabLE64(b, uint64(s.bornAt))
+		chip, err := s.r.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: chip %d: %w", k, err)
+		}
+		b = fabLE64(b, uint64(len(chip)))
+		b = append(b, chip...)
+	}
+	for ti := range f.trunks {
+		for d := 0; d < 2; d++ {
+			td := &f.trunks[ti].dir[d]
+			b = fabLE64(b, uint64(td.drained))
+			b = fabLE64(b, uint64(td.delivered))
+			b = fabLE64(b, uint64(td.dropped))
+			b = fabLE64(b, uint64(len(td.buf)))
+			for _, w := range td.buf {
+				b = fabLE32(b, w)
+			}
+		}
+	}
+	for _, v := range f.extDropped {
+		b = fabLE64(b, uint64(v))
+	}
+	b = fabLE64(b, uint64(len(f.events.Events)))
+	for _, e := range f.events.Events {
+		b = fabLE64(b, uint64(e.Cycle))
+		b = fabLE64(b, uint64(e.Port))
+		b = fabLE64(b, uint64(e.Kind))
+		b = fabLE64(b, uint64(len(e.Detail)))
+		b = append(b, e.Detail...)
+	}
+	return b, nil
+}
+
+// RestoreSnapshot rebuilds the checkpointed fabric on a freshly
+// constructed one. The receiver must have been built with the same
+// Config (Checkpoint included, same per-chip fault schedules) and the
+// same ApplySchedule calls as the run that produced the blob; chips are
+// replayed individually (replacement chips are rebuilt at their
+// checkpointed epoch first) and each replay fails with a divergence
+// error if it does not converge to the checkpointed counters.
+func (f *Fabric) RestoreSnapshot(blob []byte) error {
+	if !f.cfg.Router.Checkpoint {
+		return fmt.Errorf("cluster: fabric restore requires Config.Router.Checkpoint")
+	}
+	rd := fabReader{buf: blob}
+	magic := rd.bytes(len(fabSnapMagic))
+	if rd.err != nil || string(magic) != fabSnapMagic {
+		return fmt.Errorf("cluster: not a fabric snapshot")
+	}
+	spec := Spec{
+		Kind:  TopoKind(rd.u64()),
+		Chips: int(rd.u64()),
+		W:     int(rd.u64()),
+		H:     int(rd.u64()),
+	}
+	if rd.err == nil && spec != f.spec {
+		return fmt.Errorf("cluster: snapshot is for %s, this fabric is %s", spec, f.spec)
+	}
+	cycle := int64(rd.u64())
+	nctls := int(rd.u64())
+	nextCtl := int(rd.u64())
+	if rd.err == nil && nctls != len(f.controls) {
+		return fmt.Errorf("cluster: snapshot scheduled %d chip controls, this fabric %d — apply the same schedule before restoring",
+			nctls, len(f.controls))
+	}
+	f.cycle = cycle
+	f.nextCtl = nextCtl
+	for k := range f.chips {
+		dead := rd.u64() != 0
+		epoch := int(rd.u64())
+		bornAt := int64(rd.u64())
+		chip := rd.bytes(int(rd.u64()))
+		if rd.err != nil {
+			return fmt.Errorf("cluster: truncated fabric snapshot (chip %d)", k)
+		}
+		if epoch != f.chips[k].epoch {
+			if err := f.buildChip(k, epoch); err != nil {
+				return err
+			}
+		}
+		if err := f.chips[k].r.RestoreSnapshot(chip); err != nil {
+			return fmt.Errorf("cluster: chip %d: %w", k, err)
+		}
+		f.chips[k].dead = dead
+		f.chips[k].bornAt = bornAt
+	}
+	for ti := range f.trunks {
+		for d := 0; d < 2; d++ {
+			td := &f.trunks[ti].dir[d]
+			td.drained = int64(rd.u64())
+			td.delivered = int64(rd.u64())
+			td.dropped = int64(rd.u64())
+			td.buf = td.buf[:0]
+			n := rd.u64()
+			if n > uint64(len(blob)) {
+				return fmt.Errorf("cluster: corrupt fabric snapshot (framer length)")
+			}
+			for ; n > 0 && rd.err == nil; n-- {
+				td.buf = append(td.buf, rd.u32())
+			}
+		}
+	}
+	for e := range f.extDropped {
+		f.extDropped[e] = int64(rd.u64())
+	}
+	f.events.Events = f.events.Events[:0]
+	nev := rd.u64()
+	if nev > uint64(len(blob)) {
+		return fmt.Errorf("cluster: corrupt fabric snapshot (event count)")
+	}
+	for n := nev; n > 0 && rd.err == nil; n-- {
+		cyc := int64(rd.u64())
+		port := int(rd.u64())
+		kind := trace.EventKind(rd.u64())
+		detail := string(rd.bytes(int(rd.u64())))
+		f.events.AddDetail(cyc, port, kind, detail)
+	}
+	if rd.err != nil {
+		return fmt.Errorf("cluster: truncated fabric snapshot")
+	}
+	if rd.off != len(blob) {
+		return fmt.Errorf("cluster: %d trailing bytes in fabric snapshot", len(blob)-rd.off)
+	}
+	return nil
+}
+
+func fabLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func fabLE64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// fabReader is a bounds-checked little-endian cursor; err latches.
+type fabReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *fabReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("short read")
+		}
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *fabReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *fabReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,145 @@
+package cluster_test
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/ip"
+	"repro/internal/raw"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Fabric chip-loss soak: a seeded kill -> dead-interval -> re-admission
+// arc on a live fabric, with a checkpoint taken mid-arc (while the chip
+// is down) and restored into a fresh fabric that must finish the run
+// byte-for-byte identically. This is the cluster-scale analog of the
+// single-chip degrade->restore soak in internal/fault; `make soak` runs
+// both. SOAK_SEEDS widens the matrix.
+
+func fabricSoakSeeds(t *testing.T) int {
+	t.Helper()
+	seeds := 2
+	if v := os.Getenv("SOAK_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SOAK_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	return seeds
+}
+
+// soakFeed offers seeded all-pairs traffic for rounds 200-cycle rounds.
+// The offer decisions depend only on the seed and the fabric's (fully
+// deterministic) backlog state, so a restored fabric re-fed with the
+// same phase sequence sees the identical offered stream.
+func soakFeed(f *cluster.Fabric, spec cluster.Spec, rng *traffic.RNG, rounds int) {
+	ext := spec.Externals()
+	for r := 0; r < rounds; r++ {
+		for src := 0; src < ext; src++ {
+			if f.InputBacklogWords(src) < 2048 {
+				id := uint16(rng.Uint64())
+				dst := int(rng.Uint64() % uint64(ext))
+				if dst == src {
+					dst = (dst + 1) % ext
+				}
+				pkt := ip.NewPacket(traffic.PortAddr(src, uint32(id)),
+					traffic.PortAddr(dst, uint32(id)), 64, 256, id)
+				f.OfferPacket(src, &pkt)
+			}
+		}
+		f.Run(200)
+	}
+}
+
+func TestSoakChipLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabric soak skipped in -short")
+	}
+	spec := cluster.Ring(3)
+	seeds := fabricSoakSeeds(t)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		seed := seed
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			rng := traffic.NewRNG(seed)
+			victim := int(rng.Uint64() % uint64(spec.NumChips()))
+			kill := int64(1500 + rng.Uint64()%1500) // fires during feed phase 1
+			restore := kill + 4000 + int64(rng.Uint64()%2000)
+			p1 := rng.Uint64() // feed-phase seeds, shared by both runs
+			p2 := rng.Uint64()
+			sched := fault.MustParse(
+				"killchip@" + strconv.FormatInt(kill, 10) + ":c" + strconv.Itoa(victim) +
+					";restorechip@" + strconv.FormatInt(restore, 10) + ":c" + strconv.Itoa(victim))
+
+			build := func() *cluster.Fabric {
+				f := mustFabric(t, spec, func(c *cluster.Config) {
+					c.Router.Engine = raw.EngineFast
+					c.Router.Checkpoint = true
+				})
+				f.ApplySchedule(sched)
+				return f
+			}
+
+			// Uninterrupted reference: feed through the kill, checkpoint
+			// mid-arc (chip down), feed through the re-admission, drain dry.
+			ref := build()
+			soakFeed(ref, spec, traffic.NewRNG(p1), 20) // 4000 cycles: kill has fired
+			if !ref.ChipDead(victim) {
+				t.Fatalf("seed %d: victim %d not dead at cycle %d (kill@%d)",
+					seed, victim, ref.Cycle(), kill)
+			}
+			blob, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			soakFeed(ref, spec, traffic.NewRNG(p2), 30) // through the re-admission
+			ref.Run(6000)                               // drain dry
+			refFinal, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The arc must actually have happened.
+			ev := ref.Events().Events
+			if len(ev) != 2 || ev[0].Kind != trace.EvChipKill || ev[0].Cycle != kill ||
+				ev[1].Kind != trace.EvChipRestore || ev[1].Cycle != restore {
+				t.Fatalf("seed %d: lifecycle log %v, want kill@%d restore@%d", seed, ev, kill, restore)
+			}
+			if ref.ChipDead(victim) || ref.ChipEpoch(victim) != 1 {
+				t.Fatalf("seed %d: victim dead=%v epoch=%d after re-admission",
+					seed, ref.ChipDead(victim), ref.ChipEpoch(victim))
+			}
+			if err := ref.ConservationError(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+
+			// Restore the mid-arc checkpoint into a fresh fabric and finish
+			// the run identically: final checkpoints must be byte-equal.
+			res := build()
+			if err := res.RestoreSnapshot(blob); err != nil {
+				t.Fatalf("seed %d: restore: %v", seed, err)
+			}
+			if !res.ChipDead(victim) {
+				t.Fatalf("seed %d: restored fabric lost the dead flag", seed)
+			}
+			soakFeed(res, spec, traffic.NewRNG(p2), 30)
+			res.Run(6000)
+			resFinal, err := res.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refFinal, resFinal) {
+				t.Fatalf("seed %d: restored run diverged from uninterrupted run (%d vs %d bytes)",
+					seed, len(refFinal), len(resFinal))
+			}
+			if ref.Fingerprint() != res.Fingerprint() {
+				t.Fatalf("seed %d: fingerprints diverged", seed)
+			}
+		})
+	}
+}

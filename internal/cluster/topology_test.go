@@ -1,0 +1,164 @@
+package cluster
+
+import "testing"
+
+// testSpecs are the topology instances the suites sweep: every kind at a
+// small size plus the acceptance-criteria 16-chip mesh.
+func testSpecs() []Spec {
+	return []Spec{
+		Ring(2), Ring(3), Ring(4),
+		Mesh(2, 1), Mesh(2, 2), Mesh(4, 4),
+		FatTree(2), FatTree(3), FatTree(4),
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, s := range testSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{},                // ring-0
+		Ring(1), Ring(33), // out of bounds
+		Mesh(0, 4), Mesh(9, 1), // bad side
+		Mesh(1, 1),             // no trunks
+		FatTree(1), FatTree(5), // leaf bounds
+		{Kind: TopoRing, Chips: 4, W: 2},       // stray mesh dims
+		{Kind: TopoMesh, Chips: 4, W: 2, H: 2}, // stray chip count
+		{Kind: TopoFatTree, Chips: 4, H: 1},    // stray mesh dims
+		{Kind: TopoKind(9), Chips: 4},          // unknown kind
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v: want validation error", s)
+		}
+	}
+}
+
+// TestSpecFor pins the flag-surface mapping from (kind, chip count) to
+// an instance — notably the squarest-grid mesh factoring.
+func TestSpecFor(t *testing.T) {
+	good := []struct {
+		kind  TopoKind
+		chips int
+		want  string
+	}{
+		{TopoRing, 2, "ring-2"}, {TopoRing, 16, "ring-16"},
+		{TopoMesh, 16, "mesh-4x4"}, {TopoMesh, 8, "mesh-4x2"},
+		{TopoMesh, 2, "mesh-2x1"}, {TopoMesh, 6, "mesh-3x2"},
+		{TopoFatTree, 4, "fattree-4"}, {TopoFatTree, 6, "fattree-6"},
+	}
+	for _, c := range good {
+		s, err := SpecFor(c.kind, c.chips)
+		if err != nil || s.String() != c.want {
+			t.Errorf("SpecFor(%v, %d) = %v, %v, want %s", c.kind, c.chips, s, err, c.want)
+		}
+	}
+	bad := []struct {
+		kind  TopoKind
+		chips int
+	}{
+		{TopoRing, 1}, {TopoRing, 33},
+		{TopoMesh, 11}, // prime > maxMeshSide: no grid
+		{TopoMesh, 1},  // no trunks
+		{TopoFatTree, 3},
+		{TopoKind(9), 4},
+	}
+	for _, c := range bad {
+		if _, err := SpecFor(c.kind, c.chips); err == nil {
+			t.Errorf("SpecFor(%v, %d): want error", c.kind, c.chips)
+		}
+	}
+}
+
+// TestTopologyShape pins the derived shape of each instance: chip and
+// external counts, trunk port consistency, and the documented 16-chip
+// mesh accounting (64 chip ports = 48 trunk + 16 external).
+func TestTopologyShape(t *testing.T) {
+	for _, s := range testSpecs() {
+		trunkSides := map[[2]int]bool{}
+		for _, tr := range s.Trunks() {
+			for _, side := range [][2]int{{tr.A, tr.APort}, {tr.B, tr.BPort}} {
+				if trunkSides[side] {
+					t.Fatalf("%s: chip %d port %d on two trunks", s, side[0], side[1])
+				}
+				trunkSides[side] = true
+				if side[0] < 0 || side[0] >= s.NumChips() || side[1] < 0 || side[1] > 3 {
+					t.Fatalf("%s: trunk endpoint out of range: %v", s, side)
+				}
+			}
+		}
+		for e := 0; e < s.Externals(); e++ {
+			chip, local := s.ExtPort(e)
+			if trunkSides[[2]int{chip, local}] {
+				t.Fatalf("%s: external %d collides with a trunk at chip %d port %d", s, e, chip, local)
+			}
+			if got, ok := s.ExternalOf(chip, local); !ok || got != e {
+				t.Fatalf("%s: ExternalOf(%d,%d) = %d,%v, want %d", s, chip, local, got, ok, e)
+			}
+		}
+	}
+	m := Mesh(4, 4)
+	if m.NumChips() != 16 || m.Externals() != 16 || len(m.Trunks()) != 24 {
+		t.Fatalf("mesh-4x4: chips %d externals %d trunks %d, want 16/16/24",
+			m.NumChips(), m.Externals(), len(m.Trunks()))
+	}
+	if got := 2*len(m.Trunks()) + m.Externals(); got != 64 {
+		t.Fatalf("mesh-4x4: %d chip ports accounted, want 64", got)
+	}
+}
+
+// TestNextHopReaches walks every (source chip, destination external)
+// pair hop by hop and asserts the route terminates at the destination
+// within the fabric diameter — the routing disciplines are loop-free and
+// complete on all three topologies.
+func TestNextHopReaches(t *testing.T) {
+	for _, s := range testSpecs() {
+		// trunk peer lookup: (chip, port) -> (chip', port')
+		peer := map[[2]int][2]int{}
+		for _, tr := range s.Trunks() {
+			peer[[2]int{tr.A, tr.APort}] = [2]int{tr.B, tr.BPort}
+			peer[[2]int{tr.B, tr.BPort}] = [2]int{tr.A, tr.APort}
+		}
+		diameter := s.NumChips() + 2
+		for e := 0; e < s.Externals(); e++ {
+			dc, dl := s.ExtPort(e)
+			for c := 0; c < s.NumChips(); c++ {
+				cur, hops := c, 0
+				for cur != dc {
+					p := s.NextHopPort(cur, e)
+					next, ok := peer[[2]int{cur, p}]
+					if !ok {
+						t.Fatalf("%s: chip %d routes ext %d to non-trunk port %d", s, cur, e, p)
+					}
+					cur = next[0]
+					if hops++; hops > diameter {
+						t.Fatalf("%s: route chip %d -> ext %d exceeds diameter", s, c, e)
+					}
+				}
+				if p := s.NextHopPort(cur, e); p != dl {
+					t.Fatalf("%s: ext %d terminates at chip %d port %d, want %d", s, e, cur, p, dl)
+				}
+			}
+		}
+	}
+}
+
+// TestBisectionTrunks pins the cut sizes: a ring is cut by 2 links, a
+// W-wide mesh by H links, and a fat-tree by half its leaves' uplinks.
+func TestBisectionTrunks(t *testing.T) {
+	cases := []struct {
+		s    Spec
+		want int
+	}{
+		{Ring(4), 2}, {Ring(2), 2},
+		{Mesh(4, 4), 4}, {Mesh(2, 2), 2}, {Mesh(2, 1), 1},
+		{FatTree(4), 4}, {FatTree(2), 2},
+	}
+	for _, c := range cases {
+		if got := len(c.s.BisectionTrunks()); got != c.want {
+			t.Errorf("%s: %d bisection trunks, want %d", c.s, got, c.want)
+		}
+	}
+}

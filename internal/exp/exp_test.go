@@ -189,6 +189,13 @@ func TestClusterScaling(t *testing.T) {
 	}
 }
 
+func TestScaleOut(t *testing.T) {
+	tb := exp.ScaleOut(exp.Quick)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+}
+
 func TestFullUtilization(t *testing.T) {
 	fifo, voq, _ := exp.FullUtilization(exp.Quick)
 	if fifo < 0.55 || fifo > 0.8 {

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ip"
+	"repro/internal/router"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// ScaleOut extends the §8.5 composition study from the two-chip trunk
+// to the N-chip fabric: each topology kind at two sizes, all external
+// ports offering balanced cross-fabric traffic (every packet leaves its
+// source chip), reporting sustained external bandwidth and bisection
+// occupancy. The table is the scaling story the paper's single trunk
+// gestures at: a ring's bisection saturates while a mesh and fat-tree
+// spread the same offered load over wider cuts.
+func ScaleOut(q Quality) *stats.Table {
+	rounds := int(cyclesFor(q, 60, 400))
+	specs := []cluster.Spec{
+		cluster.Ring(2), cluster.Ring(4),
+		cluster.Mesh(2, 2), cluster.Mesh(4, 4),
+		cluster.FatTree(2), cluster.FatTree(4),
+	}
+	tb := &stats.Table{
+		Caption: "§8.5 scale-out fabrics (cycle level): balanced cross-chip traffic",
+		Headers: []string{"topology", "chips", "externals", "Gbps", "bisection util"},
+	}
+	for _, spec := range specs {
+		gbps, bisect := scaleOutRun(spec, rounds)
+		tb.AddRow(spec.String(), spec.NumChips(), spec.Externals(), gbps, bisect)
+	}
+	return tb
+}
+
+// scaleOutRun drives one fabric instance and returns (Gbps, bisection
+// utilization). Traffic is the antipodal pairing: external e sends to
+// external (e + E/2) mod E, which always crosses chips and loads the
+// bisection cut of every topology.
+func scaleOutRun(spec cluster.Spec, rounds int) (float64, float64) {
+	cfg := cluster.Config{Topology: spec, Router: router.DefaultConfig()}
+	cfg.Router.Workers = workers
+	cfg.Router.Engine = chipEngine
+	f, err := cluster.NewFabric(cfg)
+	if err != nil {
+		panic(err)
+	}
+	ext := spec.Externals()
+	id := uint16(0)
+	for i := 0; i < rounds; i++ {
+		for e := 0; e < ext; e++ {
+			for f.InputBacklogWords(e) < 4096 {
+				id++
+				dst := (e + ext/2) % ext
+				pkt := ip.NewPacket(traffic.PortAddr(e, uint32(id)),
+					traffic.PortAddr(dst, uint32(id)), 64, 1024, id)
+				f.OfferPacket(e, &pkt)
+			}
+		}
+		f.Run(200)
+	}
+	snap := f.TelemetrySnapshot()
+	return stats.Gbps(f.ExternalWordsOut()*4, f.Cycle(), cfg.Router.ClockHz),
+		snap.BisectionUtilization
+}

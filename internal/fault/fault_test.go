@@ -28,6 +28,8 @@ func TestRoundTrip(t *testing.T) {
 		{Kind: KindCorrupt, Tile: 4, Dir: raw.DirW, WordIdx: 17, Bit: 31},
 		{Kind: KindDrop, Tile: 8, Dir: raw.DirW, WordIdx: 3, Count: 2},
 		{Kind: KindDRAM, Start: 50, Dur: 25, Extra: 300},
+		{Kind: KindKillChip, Start: 400, Tile: 3},
+		{Kind: KindRestoreChip, Start: 900, Tile: 3},
 	}}
 	text := s.String()
 	re, err := Parse(text)
@@ -62,10 +64,41 @@ func TestParseRejects(t *testing.T) {
 		"link@1+1:t0.p",                    // processor port is not a link
 		"link@1+1:t0.w.n9",                 // bad net
 		"link@99999999999999999999+1:t0.w", // overflow
+		"killchip:c1",                      // missing cycle
+		"killchip@5:t1",                    // tile target, not chip
+		"killchip@5:c1024",                 // chip out of range
+		"restorechip@5+10:c1",              // controls take no duration
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
 		}
+	}
+}
+
+// TestChipControls: killchip@/restorechip@ ride the schedule as
+// fabric-level controls — sorted out by ChipControls, skipped by the
+// per-chip injector (Controls likewise excludes them).
+func TestChipControls(t *testing.T) {
+	s := MustParse("restorechip@900:c2;killchip@100:c2;freeze@5+10:t0;restore@50:p1")
+	ctls := s.ChipControls()
+	if len(ctls) != 2 || ctls[0].Kind != KindKillChip || ctls[0].Start != 100 ||
+		ctls[1].Kind != KindRestoreChip || ctls[1].Tile != 2 {
+		t.Fatalf("ChipControls = %+v", ctls)
+	}
+	for _, c := range s.Controls() {
+		if c.Kind == KindKillChip || c.Kind == KindRestoreChip {
+			t.Fatalf("chip control leaked into router controls: %+v", c)
+		}
+	}
+	chip := streamChip(t)
+	chip.InstallFaults(NewInjector(s, chip.NumTiles())) // must not panic or inject
+	in := chip.StaticIn(0, raw.DirW)
+	for w := 0; w < 4; w++ {
+		in.Push(raw.Word(w))
+	}
+	chip.Run(30)
+	if words, _ := chip.StaticOut(0, raw.DirN).Drain(); len(words) != 4 {
+		t.Fatalf("chip controls perturbed the chip: %d words", len(words))
 	}
 }
 

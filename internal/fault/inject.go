@@ -65,9 +65,10 @@ func NewInjector(s *Schedule, numTiles int) *Injector {
 			continue
 		}
 		switch e.Kind {
-		case KindRestore, KindReprobe:
-			// Recovery controls target the router, not the chip; the
-			// harness routes them via Schedule.Controls().
+		case KindRestore, KindReprobe, KindKillChip, KindRestoreChip:
+			// Recovery and fabric controls target the router or cluster,
+			// not the chip; harnesses route them via Schedule.Controls()
+			// and Schedule.ChipControls().
 			continue
 		case KindCorrupt:
 			k := linkKey{e.Tile, e.Dir, e.Net}

@@ -50,6 +50,15 @@ const (
 	// port's ingress to probe its down line at Start, regardless of the
 	// backoff schedule.
 	KindReprobe
+	// KindKillChip is a fabric-level control: it removes whole chip K from
+	// an N-chip cluster at Start (the chip stops stepping, its trunks go
+	// silent, and its external ports drop offered traffic). Like the other
+	// controls the injector ignores it; cluster harnesses consume it via
+	// Schedule.ChipControls(). Tile carries the chip index.
+	KindKillChip
+	// KindRestoreChip is the companion control: the fabric re-admits chip
+	// K at Start with a freshly constructed replacement chip.
+	KindRestoreChip
 )
 
 // Encoding bounds. The parser rejects values beyond these so that a
@@ -57,6 +66,7 @@ const (
 // unboundedly.
 const (
 	maxTile   = 1024
+	maxChip   = 1023
 	maxStart  = int64(1) << 40
 	maxDur    = int64(1) << 30
 	maxRepeat = 1 << 20
@@ -143,6 +153,10 @@ func (s *Schedule) String() string {
 			fmt.Fprintf(&b, "restore@%d:p%d", e.Start, e.Tile)
 		case KindReprobe:
 			fmt.Fprintf(&b, "reprobe@%d:p%d", e.Start, e.Tile)
+		case KindKillChip:
+			fmt.Fprintf(&b, "killchip@%d:c%d", e.Start, e.Tile)
+		case KindRestoreChip:
+			fmt.Fprintf(&b, "restorechip@%d:c%d", e.Start, e.Tile)
 		}
 	}
 	return b.String()
@@ -159,6 +173,8 @@ func (s *Schedule) String() string {
 //	dram@START+DUR:+X              add X cycles of DRAM latency
 //	restore@START:pP               control: restore port P at START
 //	reprobe@START:pP               control: force port P's line probe
+//	killchip@START:cK              control: remove fabric chip K at START
+//	restorechip@START:cK           control: re-admit fabric chip K at START
 //
 // where D is one of n/e/s/w. Empty segments are ignored, so a trailing
 // ';' is harmless.
@@ -323,6 +339,29 @@ func parseEvent(seg string) (Event, error) {
 		}
 		e.Tile = int(n)
 		return e, nil
+
+	case "killchip", "restorechip":
+		e.Kind = KindKillChip
+		if kind == "restorechip" {
+			e.Kind = KindRestoreChip
+		}
+		if !timed {
+			return e, fmt.Errorf("%s needs @start", kind)
+		}
+		var err error
+		if e.Start, err = parseInt(when, 0, maxStart); err != nil {
+			return e, fmt.Errorf("start: %w", err)
+		}
+		chipS, ok := strings.CutPrefix(rest, "c")
+		if !ok {
+			return e, fmt.Errorf("%s needs :cCHIP", kind)
+		}
+		n, err := parseInt(chipS, 0, maxChip)
+		if err != nil {
+			return e, fmt.Errorf("chip: %w", err)
+		}
+		e.Tile = int(n)
+		return e, nil
 	}
 	return e, fmt.Errorf("unknown fault kind %q", kind)
 }
@@ -426,6 +465,21 @@ func (s *Schedule) Controls() []Event {
 	var out []Event
 	for _, e := range s.Events {
 		if e.Kind == KindRestore || e.Kind == KindReprobe {
+			out = append(out, e)
+		}
+	}
+	return sortEvents(out)
+}
+
+// ChipControls returns the schedule's fabric-level chip controls
+// (KindKillChip, KindRestoreChip) in start order. Like Controls they are
+// not chip faults — the injector skips them — so an N-chip cluster
+// harness consumes them (cluster.Fabric.ApplySchedule) to replay a
+// chip-loss run's kill and re-admission deterministically.
+func (s *Schedule) ChipControls() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == KindKillChip || e.Kind == KindRestoreChip {
 			out = append(out, e)
 		}
 	}

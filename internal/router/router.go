@@ -368,13 +368,7 @@ func New(cfg Config) (*Router, error) {
 // CanonicalTable returns the experiments' route table: port p owns
 // (10+p).0.0.0/8, plus a default route to port 0.
 func CanonicalTable() *lookup.Patricia {
-	var t lookup.Patricia
-	for p := 0; p < 4; p++ {
-		if err := t.Insert(uint32(10+p)<<24, 8, lookup.NextHop(p)); err != nil {
-			panic(err)
-		}
-	}
-	return &t
+	return BindPorts(4, func(e int) lookup.NextHop { return lookup.NextHop(e) })
 }
 
 // Config returns the router configuration.

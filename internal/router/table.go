@@ -1,0 +1,20 @@
+package router
+
+import "repro/internal/lookup"
+
+// BindPorts builds a forwarding table covering n edge-port prefixes in
+// the experiments' canonical addressing (edge port e owns (10+e).0.0.0/8,
+// see traffic.PortPrefix): each prefix is bound to the chip-local next
+// hop the caller's hop function returns. It is the single edge-port
+// binding helper shared by the single-chip canonical table and the
+// multi-chip cluster compositions, where hop points remote prefixes at a
+// trunk port.
+func BindPorts(n int, hop func(ext int) lookup.NextHop) *lookup.Patricia {
+	var t lookup.Patricia
+	for e := 0; e < n; e++ {
+		if err := t.Insert(uint32(10+e)<<24, 8, hop(e)); err != nil {
+			panic(err)
+		}
+	}
+	return &t
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fabric-plane telemetry: the N-chip cluster's inter-chip accounting.
+// Chip-level planes stay per-chip Snapshots; the fabric contributes what
+// no single chip can see — per-trunk per-direction word conservation,
+// bisection-bandwidth utilization, and the chip-lifecycle event log.
+// Like Snapshot, a FabricSnapshot is immutable and its exports are
+// byte-identical at any worker count and under either cycle engine.
+
+// TrunkDirSample is one direction of one trunk: conservation counters
+// (Drained == Delivered + Dropped + Held at any instant) plus the
+// delivered-words-per-cycle utilization gauge (1.0 = the pin limit).
+type TrunkDirSample struct {
+	Drained     int64   `json:"drained"`
+	Delivered   int64   `json:"delivered"`
+	Dropped     int64   `json:"dropped"`
+	Held        int64   `json:"held"`
+	Utilization float64 `json:"utilization"`
+}
+
+// TrunkSample is one inter-chip link's accounting: endpoints and both
+// directions (Dir[0] = A->B, Dir[1] = B->A).
+type TrunkSample struct {
+	Trunk int `json:"trunk"`
+	A     int `json:"a"`
+	APort int `json:"a_port"`
+	B     int `json:"b"`
+	BPort int `json:"b_port"`
+
+	Dir [2]TrunkDirSample `json:"dir"`
+}
+
+// FabricSnapshot is the immutable fabric-plane view.
+type FabricSnapshot struct {
+	Schema    int    `json:"schema"`
+	Cycle     int64  `json:"cycle"`
+	Topology  string `json:"topology"`
+	Chips     int    `json:"chips"`
+	Externals int    `json:"externals"`
+	// DeadChips lists currently-killed chip slots, ascending.
+	DeadChips []int `json:"dead_chips,omitempty"`
+
+	Trunks []TrunkSample `json:"trunks"`
+
+	// BisectionWords sums delivered words (both directions) over the
+	// trunks crossing the canonical bisection cut; BisectionUtilization
+	// normalizes by the cut's word-per-cycle capacity.
+	BisectionWords       int64   `json:"bisection_words"`
+	BisectionUtilization float64 `json:"bisection_utilization"`
+
+	// Events is the fabric lifecycle log (chip-kill, chip-restore; Port
+	// carries the chip index), oldest first.
+	Events []EventRecord `json:"events"`
+}
+
+// Encode renders the snapshot in the named format ("jsonl", "csv",
+// "prom") — the same format set as chip-level Snapshot.Encode.
+func (s *FabricSnapshot) Encode(format string) ([]byte, error) {
+	switch format {
+	case "jsonl":
+		return s.JSONL(), nil
+	case "csv":
+		return s.CSV(), nil
+	case "prom":
+		return s.Prometheus(), nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown export format %q (have %s)",
+		format, strings.Join(Formats(), ", "))
+}
+
+type jsonlFabricMeta struct {
+	Record               string  `json:"record"`
+	Schema               int     `json:"schema"`
+	Cycle                int64   `json:"cycle"`
+	Topology             string  `json:"topology"`
+	Chips                int     `json:"chips"`
+	Externals            int     `json:"externals"`
+	DeadChips            []int   `json:"dead_chips,omitempty"`
+	BisectionWords       int64   `json:"bisection_words"`
+	BisectionUtilization float64 `json:"bisection_utilization"`
+}
+
+type jsonlTrunk struct {
+	Record string `json:"record"`
+	TrunkSample
+}
+
+// JSONL renders one JSON object per line: a meta line, one line per
+// trunk, one per lifecycle event.
+func (s *FabricSnapshot) JSONL() []byte {
+	var b strings.Builder
+	line := func(v any) {
+		j, err := json.Marshal(v)
+		if err != nil {
+			panic("telemetry: fabric JSONL marshal: " + err.Error())
+		}
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	line(jsonlFabricMeta{
+		Record: "fabric", Schema: s.Schema, Cycle: s.Cycle, Topology: s.Topology,
+		Chips: s.Chips, Externals: s.Externals, DeadChips: s.DeadChips,
+		BisectionWords: s.BisectionWords, BisectionUtilization: s.BisectionUtilization,
+	})
+	for _, t := range s.Trunks {
+		line(jsonlTrunk{Record: "trunk", TrunkSample: t})
+	}
+	for _, e := range s.Events {
+		line(jsonlEvent{Record: "event", EventRecord: e})
+	}
+	return []byte(b.String())
+}
+
+// CSV renders three headed sections (#fabric, #trunks, #events).
+func (s *FabricSnapshot) CSV() []byte {
+	var b strings.Builder
+	b.WriteString("#fabric\nschema,cycle,topology,chips,externals,dead_chips,bisection_words,bisection_utilization\n")
+	dead := make([]string, len(s.DeadChips))
+	for i, c := range s.DeadChips {
+		dead[i] = strconv.Itoa(c)
+	}
+	fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%s,%d,%s\n", s.Schema, s.Cycle, s.Topology,
+		s.Chips, s.Externals, strings.Join(dead, ";"), s.BisectionWords,
+		csvF(s.BisectionUtilization))
+
+	b.WriteString("#trunks\ntrunk,a,a_port,b,b_port," +
+		"ab_drained,ab_delivered,ab_dropped,ab_held,ab_utilization," +
+		"ba_drained,ba_delivered,ba_dropped,ba_held,ba_utilization\n")
+	for _, t := range s.Trunks {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%s\n",
+			t.Trunk, t.A, t.APort, t.B, t.BPort,
+			t.Dir[0].Drained, t.Dir[0].Delivered, t.Dir[0].Dropped, t.Dir[0].Held,
+			csvF(t.Dir[0].Utilization),
+			t.Dir[1].Drained, t.Dir[1].Delivered, t.Dir[1].Dropped, t.Dir[1].Held,
+			csvF(t.Dir[1].Utilization))
+	}
+
+	b.WriteString("#events\ncycle,chip,kind,detail\n")
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "%d,%d,%s,%s\n", e.Cycle, e.Port, e.Kind,
+			strings.ReplaceAll(e.Detail, ",", ";"))
+	}
+	return []byte(b.String())
+}
+
+// Prometheus renders the fabric plane in the text exposition format.
+func (s *FabricSnapshot) Prometheus() []byte {
+	var b strings.Builder
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge("raw_fabric_schema", "Fabric telemetry snapshot schema version.")
+	fmt.Fprintf(&b, "raw_fabric_schema %d\n", s.Schema)
+	gauge("raw_fabric_cycle", "Simulated fabric cycle at snapshot.")
+	fmt.Fprintf(&b, "raw_fabric_cycle %d\n", s.Cycle)
+	gauge("raw_fabric_chips", "Chip slots in the fabric.")
+	fmt.Fprintf(&b, "raw_fabric_chips{topology=%q} %d\n", s.Topology, s.Chips)
+	gauge("raw_fabric_dead_chips", "Currently-killed chip slots.")
+	fmt.Fprintf(&b, "raw_fabric_dead_chips %d\n", len(s.DeadChips))
+	counter("raw_fabric_bisection_words_total", "Delivered words crossing the bisection cut.")
+	fmt.Fprintf(&b, "raw_fabric_bisection_words_total %d\n", s.BisectionWords)
+	gauge("raw_fabric_bisection_utilization", "Bisection occupancy (delivered words per cycle per cut capacity).")
+	fmt.Fprintf(&b, "raw_fabric_bisection_utilization %s\n", promF(s.BisectionUtilization))
+
+	perDir := func(name, help string, val func(d *TrunkDirSample) string, kind string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for ti := range s.Trunks {
+			t := &s.Trunks[ti]
+			for d := 0; d < 2; d++ {
+				dir := "ab"
+				if d == 1 {
+					dir = "ba"
+				}
+				fmt.Fprintf(&b, "%s{trunk=\"%d\",dir=\"%s\"} %s\n", name, t.Trunk, dir, val(&t.Dir[d]))
+			}
+		}
+	}
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	perDir("raw_fabric_trunk_drained_words_total", "Words taken off the source chip's trunk pins.",
+		func(d *TrunkDirSample) string { return i(d.Drained) }, "counter")
+	perDir("raw_fabric_trunk_delivered_words_total", "Words delivered onto the destination chip's trunk pins.",
+		func(d *TrunkDirSample) string { return i(d.Delivered) }, "counter")
+	perDir("raw_fabric_trunk_dropped_words_total", "Words dropped on the trunk (dead endpoint or bad frame).",
+		func(d *TrunkDirSample) string { return i(d.Dropped) }, "counter")
+	perDir("raw_fabric_trunk_held_words", "Words held in the trunk framer awaiting a whole packet.",
+		func(d *TrunkDirSample) string { return i(d.Held) }, "gauge")
+	perDir("raw_fabric_trunk_utilization", "Trunk occupancy (delivered words per cycle).",
+		func(d *TrunkDirSample) string { return promF(d.Utilization) }, "gauge")
+
+	counter("raw_fabric_chip_events_total", "Fabric lifecycle events by kind.")
+	counts := map[string]int64{}
+	for _, e := range s.Events {
+		counts[e.Kind]++
+	}
+	for _, k := range []string{"chip-kill", "chip-restore"} {
+		if n, ok := counts[k]; ok {
+			fmt.Fprintf(&b, "raw_fabric_chip_events_total{kind=%q} %d\n", k, n)
+		}
+	}
+	return []byte(b.String())
+}

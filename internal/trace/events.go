@@ -37,6 +37,13 @@ const (
 	// EvFailStop: an unrecoverable condition parked the router for good.
 	// The event's Detail carries the reason.
 	EvFailStop
+	// EvChipKill: a fabric-level control removed a whole chip from the
+	// cluster; its trunks went silent and its external ports drop offered
+	// traffic. The event's Port field carries the chip index.
+	EvChipKill
+	// EvChipRestore: the fabric re-admitted a killed chip with a freshly
+	// constructed replacement. Port carries the chip index.
+	EvChipRestore
 
 	numEventKinds
 )
@@ -54,6 +61,8 @@ var wireNames = [numEventKinds]string{
 	EvReadmit:         "readmit",
 	EvLive:            "live",
 	EvFailStop:        "fail-stop",
+	EvChipKill:        "chip-kill",
+	EvChipRestore:     "chip-restore",
 }
 
 // String returns the kind's stable wire name.

@@ -1,0 +1,84 @@
+package traffic
+
+// Topology-aware collective patterns for the N-chip fabric experiments.
+// Both model the communication phase of a data-parallel job mapped onto
+// the fabric's external ports: RingAllReduce is the bandwidth-optimal
+// all-reduce schedule (each rank streams chunks to its ring successor
+// for 2(N-1) steps), Broadcast the root-to-leaves fanout. They are
+// Sources like the paper's patterns, so any harness that drives Uniform
+// can drive a collective.
+
+// RingAllReduce models rank src of an N-rank ring all-reduce: every
+// packet goes to the successor rank (src+1) mod N, carrying chunk
+// Step/N of the reduce-scatter (steps 0..N-2) or allgather (steps
+// N-1..2N-3) phase in its address salt. All ranks transmit every step,
+// so offered load is uniform per port and — on a ring fabric whose
+// externals are placed in ring order — every packet crosses exactly the
+// trunks between adjacent chips, making the pattern a pure
+// bisection-bandwidth probe.
+type RingAllReduce struct {
+	Ports int
+	Size  int
+	Src   int
+	step  uint32
+	n     uint32
+}
+
+// NewRingAllReduce builds rank src's schedule.
+func NewRingAllReduce(ports, size, src int) *RingAllReduce {
+	return &RingAllReduce{Ports: ports, Size: size, Src: src}
+}
+
+// Step returns the collective step the next packet belongs to (wraps at
+// 2(N-1), one full all-reduce).
+func (r *RingAllReduce) Step() int {
+	return int(r.step) % (2 * (r.Ports - 1))
+}
+
+// Next implements Source.
+func (r *RingAllReduce) Next() Pkt {
+	r.n++
+	dst := (r.Src + 1) % r.Ports
+	p := Pkt{
+		Dst:       dst,
+		SizeBytes: r.Size,
+		SrcIP:     PortAddr(r.Src, r.n),
+		DstIP:     PortAddr(dst, uint32(r.Step())<<16|r.n&0xffff),
+	}
+	r.step++
+	return p
+}
+
+// Broadcast models the root port of a root-to-leaves broadcast: packets
+// cycle over every non-root destination in port order, one copy per
+// leaf. Only the root transmits; attach it to the root's external port
+// and leave the leaves silent (or feeding acks).
+type Broadcast struct {
+	Ports int
+	Size  int
+	Root  int
+	i     int
+	n     uint32
+}
+
+// NewBroadcast builds the root's schedule.
+func NewBroadcast(ports, size, root int) *Broadcast {
+	return &Broadcast{Ports: ports, Size: size, Root: root}
+}
+
+// Next implements Source.
+func (b *Broadcast) Next() Pkt {
+	dst := b.i % b.Ports
+	if dst == b.Root {
+		b.i++
+		dst = b.i % b.Ports
+	}
+	b.i++
+	b.n++
+	return Pkt{
+		Dst:       dst,
+		SizeBytes: b.Size,
+		SrcIP:     PortAddr(b.Root, b.n),
+		DstIP:     PortAddr(dst, b.n),
+	}
+}

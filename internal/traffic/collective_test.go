@@ -1,0 +1,52 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestRingAllReduceSchedule(t *testing.T) {
+	const ports = 4
+	for src := 0; src < ports; src++ {
+		s := traffic.NewRingAllReduce(ports, 256, src)
+		want := (src + 1) % ports
+		for i := 0; i < 3*2*(ports-1); i++ {
+			step := s.Step()
+			p := s.Next()
+			if p.Dst != want {
+				t.Fatalf("rank %d pkt %d sent to %d, want successor %d", src, i, p.Dst, want)
+			}
+			if p.SizeBytes != 256 {
+				t.Fatalf("size %d", p.SizeBytes)
+			}
+			if step != i%(2*(ports-1)) {
+				t.Fatalf("rank %d pkt %d at step %d, want %d", src, i, step, i%(2*(ports-1)))
+			}
+		}
+	}
+}
+
+func TestBroadcastLeaves(t *testing.T) {
+	const ports = 5
+	for root := 0; root < ports; root++ {
+		b := traffic.NewBroadcast(ports, 128, root)
+		counts := map[int]int{}
+		const rounds = 6
+		for i := 0; i < rounds*(ports-1); i++ {
+			p := b.Next()
+			if p.Dst == root {
+				t.Fatalf("root %d broadcast to itself", root)
+			}
+			counts[p.Dst]++
+		}
+		for d := 0; d < ports; d++ {
+			if d == root {
+				continue
+			}
+			if counts[d] != rounds {
+				t.Fatalf("root %d: leaf %d got %d copies, want %d", root, d, counts[d], rounds)
+			}
+		}
+	}
+}

@@ -36,6 +36,19 @@ echo "== soak: degrade->restore matrix with mid-run checkpoint/restore (race det
 SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoak' ./internal/fault
 go test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
 
+echo "== fabric: chip-loss soak + cross-engine topology conformance (race detector) =="
+# Every seed schedules a whole-chip kill -> dead interval -> re-admission
+# arc on a live N-chip fabric through the fault grammar
+# (killchip@/restorechip@), checkpoints the whole fabric mid-arc (chip
+# down) as one FABCKPT1 blob, restores it into a fresh fabric, and must
+# finish byte-identical to the uninterrupted run. The conformance matrix
+# fingerprint-diffs every topology kind (ring / mesh / fat-tree,
+# including the 16-chip 64-port mesh) between the reference interpreter
+# and the compiled fast engine at 1 and NumCPU workers, plus a mid-run
+# engine switch through a fabric checkpoint.
+SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoakChipLoss' ./internal/cluster
+go test -race -timeout 60m -run 'TestEngineConformanceMatrix|TestMesh16ChipConformance|TestEngineSwitchMidRun' ./internal/cluster
+
 echo "== telemetry: export determinism + disabled-overhead gate =="
 # Exports must be byte-identical at 1 and NumCPU workers, and the
 # disabled plane (cfg.Metrics == nil) must cost <1% versus the
