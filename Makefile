@@ -10,6 +10,11 @@
 #            must continue bit-for-bit identical to the uninterrupted
 #            run, plus the fabric chip-loss soak (whole-chip kill ->
 #            re-admission with a mid-arc fabric checkpoint)
+#   soak-heal - the seeded fabric healing soak: each seed rides a
+#            killtrunk -> ARQ -> restoretrunk -> killchip -> restorechip
+#            arc on a healed ring, with a mid-heal (trunk dark, ARQ
+#            pending) FABCKPT1 checkpoint that must continue
+#            byte-identical, zero silent word loss at the end
 #   fuzz   - short runs of the interpreter, allocator, fault-schedule,
 #            and chip-snapshot fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
@@ -20,11 +25,14 @@
 #            fast engine is not >=2x the reference interpreter on the
 #            1,024-byte-packet steady-state workload (paired ref/fast
 #            rounds in one binary)
+#   bench-fault - regenerate BENCH_fault.json; fails if arming the
+#            fabric healing plane costs an idle (fault-free) run >1%
+#            versus healing disabled (interleaved paired legs)
 
 GO ?= go
 SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos soak fuzz bench bench-telemetry bench-engine ci
+.PHONY: all tier1 tier2 chaos soak soak-heal fuzz bench bench-telemetry bench-engine bench-fault ci
 
 all: tier1
 
@@ -45,6 +53,9 @@ soak:
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -v -timeout 60m -run 'TestSoakChipLoss' ./internal/cluster
 	$(GO) test -race -run 'TestRestore|TestDegradeRestore|TestAutoRestore|TestRouterSnapshot|TestLineFlap|TestReprobe' ./internal/router
 
+soak-heal:
+	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -v -timeout 60m -run 'TestSoakHeal' ./internal/cluster
+
 fuzz:
 	$(GO) test ./internal/raw/asm -fuzz FuzzInterp -fuzztime 30s
 	$(GO) test ./internal/rotor -fuzz FuzzAllocate -fuzztime 30s
@@ -61,4 +72,7 @@ bench-telemetry:
 bench-engine:
 	sh scripts/bench_engine.sh
 
-ci: tier1 tier2 chaos soak bench-telemetry bench-engine
+bench-fault:
+	sh scripts/bench_fault.sh
+
+ci: tier1 tier2 chaos soak soak-heal bench-telemetry bench-engine bench-fault

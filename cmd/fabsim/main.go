@@ -18,12 +18,18 @@
 // -topology switches fabsim from the experiment suite to a single
 // N-chip cycle-level fabric run: -chips sizes it (a 16-chip mesh is the
 // 4x4 grid), -faults may schedule whole-chip kills and re-admissions
-// (killchip@CYCLE:cK / restorechip@CYCLE:cK), and -metrics exports the
-// fabric-plane telemetry snapshot (per-trunk conservation counters,
-// bisection utilization, lifecycle events). Example:
+// (killchip@CYCLE:cK / restorechip@CYCLE:cK) and trunk loss
+// (killtrunk@CYCLE:cA-cB / restoretrunk@CYCLE:cA-cB), and -metrics
+// exports the fabric-plane telemetry snapshot (per-trunk conservation
+// counters, bisection utilization, lifecycle events). -heal arms the
+// fault-healing plane — adaptive rerouting around dead chips/trunks,
+// trunk-level ARQ retransmission, end-to-end duplicate suppression —
+// with -healwindow/-healretries/-healbackoff/-healseed tuning the ARQ;
+// the run then also audits the end-to-end delivery ledger and prints
+// the healing summary. Example:
 //
-//	fabsim -topology mesh -chips 16 -engine fast -workers 4 \
-//	       -faults 'killchip@20000:c5;restorechip@60000:c5' -metrics prom
+//	fabsim -topology mesh -chips 16 -engine fast -workers 4 -heal \
+//	       -faults 'killchip@20000:c5;killtrunk@30000:c1-c2;restorechip@60000:c5' -metrics prom
 package main
 
 import (
@@ -52,6 +58,7 @@ func main() {
 	common.RegisterProfile(flag.CommandLine)
 	common.RegisterFabric(flag.CommandLine)
 	common.RegisterFaults(flag.CommandLine)
+	common.RegisterHeal(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
@@ -141,12 +148,18 @@ func main() {
 
 // runFabric drives one N-chip fabric under balanced antipodal traffic
 // (external e -> external (e + E/2) mod E, always cross-chip), applying
-// any killchip@/restorechip@ controls from -faults, and prints the
-// fabric summary. -metrics exports the fabric-plane telemetry snapshot.
+// any chip/trunk lifecycle controls from -faults, and prints the fabric
+// summary. -heal arms the healing plane and audits the end-to-end
+// delivery ledger. -metrics exports the fabric-plane telemetry snapshot.
 func runFabric(spec cluster.Spec, common *cli.Common, engine raw.Engine, q exp.Quality) error {
-	cfg := cluster.Config{Topology: spec, Router: router.DefaultConfig()}
+	cfg := cluster.Config{Topology: spec, Router: router.DefaultConfig(), Heal: common.HealConfig()}
 	cfg.Router.Engine = engine
 	cfg.Router.Workers = common.Workers
+	if cfg.Heal.Enabled {
+		if risk := spec.PartitionRisk(); risk != "" {
+			fmt.Fprintf(os.Stderr, "fabsim: warning: %s\n", risk)
+		}
+	}
 	f, err := cluster.NewFabric(cfg)
 	if err != nil {
 		return err
@@ -166,7 +179,10 @@ func runFabric(spec cluster.Spec, common *cli.Common, engine raw.Engine, q exp.Q
 	id := uint16(0)
 	for i := 0; i < rounds; i++ {
 		for e := 0; e < ext; e++ {
-			for f.InputBacklogWords(e) < 4096 {
+			// A refused offer (dead ingress chip, dead or partitioned-away
+			// destination) never grows the backlog, so bound the fill by
+			// attempts too or a faulted run would feed forever.
+			for tries := 0; f.InputBacklogWords(e) < 4096 && tries < 64; tries++ {
 				id++
 				dst := (e + ext/2) % ext
 				pkt := ip.NewPacket(traffic.PortAddr(e, uint32(id)),
@@ -184,6 +200,11 @@ func runFabric(spec cluster.Spec, common *cli.Common, engine raw.Engine, q exp.Q
 	if err := f.ConservationError(); err != nil {
 		return err
 	}
+	if cfg.Heal.Enabled {
+		if err := f.DeliveryError(); err != nil {
+			return err
+		}
+	}
 	snap := f.TelemetrySnapshot()
 	tb := &stats.Table{
 		Caption: fmt.Sprintf("%s fabric: %d chips, %d externals, %d trunks, cycle %d",
@@ -194,7 +215,24 @@ func runFabric(spec cluster.Spec, common *cli.Common, engine raw.Engine, q exp.Q
 	tb.AddRow("packets delivered", f.ExternalPktsOut())
 	tb.AddRow("bisection utilization", snap.BisectionUtilization)
 	tb.AddRow("dead chips", len(snap.DeadChips))
+	tb.AddRow("dead trunks", len(snap.DeadTrunks))
 	tb.AddRow("lifecycle events", len(snap.Events))
+	if h := snap.Heal; h != nil {
+		tb.AddRow("heal epochs", h.Epochs)
+		tb.AddRow("tables rerouted", h.Reroutes)
+		tb.AddRow("frames retransmitted", h.RetransFrames)
+		tb.AddRow("duplicate words suppressed", h.DupWords)
+		var dropped int64
+		for _, d := range h.Dropped {
+			dropped += d.Words
+		}
+		tb.AddRow("words dropped (counted)", dropped)
+		for _, d := range h.Dropped {
+			if d.Words > 0 {
+				tb.AddRow("  dropped: "+d.Cause, d.Words)
+			}
+		}
+	}
 	fmt.Println(tb)
 	sink, _ := common.MetricsSink()
 	if sink != nil {

@@ -50,6 +50,13 @@ type Common struct {
 	// ring|mesh|fattree at -chips chips. Parse with FabricSpec.
 	Topology string
 	Chips    int
+	// Heal (-heal) arms the fabric's fault-healing plane; the companion
+	// knobs tune the trunk ARQ. Assemble with HealConfig.
+	Heal        bool
+	HealWindow  int
+	HealRetries int
+	HealBackoff int64
+	HealSeed    uint64
 }
 
 // RegisterSim installs -workers and -engine.
@@ -151,6 +158,31 @@ func (c *Common) RegisterFabric(fs *flag.FlagSet) {
 		"run an N-chip fabric: ring, mesh, or fattree (empty = no fabric run)")
 	fs.IntVar(&c.Chips, "chips", 4,
 		"fabric chip count for -topology (mesh counts are factored into the squarest grid)")
+}
+
+// RegisterHeal installs the -heal flag group (fabric healing plane).
+func (c *Common) RegisterHeal(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Heal, "heal", false,
+		"heal the fabric through chip/trunk loss: adaptive rerouting, trunk ARQ, duplicate suppression")
+	fs.IntVar(&c.HealWindow, "healwindow", 0,
+		"retransmit window in frames per trunk direction (0 = default 64)")
+	fs.IntVar(&c.HealRetries, "healretries", 0,
+		"retransmit attempts while a destination is unreachable (0 = default 8)")
+	fs.Int64Var(&c.HealBackoff, "healbackoff", 0,
+		"base retransmit backoff in cycles, doubled per attempt (0 = default 256)")
+	fs.Uint64Var(&c.HealSeed, "healseed", 0,
+		"seed for the deterministic retransmit jitter")
+}
+
+// HealConfig assembles the -heal flag group into a cluster.HealConfig.
+func (c *Common) HealConfig() cluster.HealConfig {
+	return cluster.HealConfig{
+		Enabled:       c.Heal,
+		WindowFrames:  c.HealWindow,
+		MaxAttempts:   c.HealRetries,
+		BackoffCycles: c.HealBackoff,
+		Seed:          c.HealSeed,
+	}
 }
 
 // FabricSpec parses -topology/-chips into a validated topology spec.

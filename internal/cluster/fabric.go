@@ -30,9 +30,13 @@ type Config struct {
 	// Faults holds optional per-chip fault schedules, applied to chip k's
 	// original incarnation (a replacement chip built by RestoreChip starts
 	// fault-free — the schedule's cycle origin died with the old chip).
-	// Chip-level controls (killchip@/restorechip@) are fabric-wide; feed
-	// them through ApplySchedule instead.
+	// Chip-level controls (killchip@/restorechip@/killtrunk@/restoretrunk@)
+	// are fabric-wide; feed them through ApplySchedule instead.
 	Faults map[int]*fault.Schedule
+	// Heal arms the fault-healing plane: adaptive rerouting around dead
+	// chips and trunks, trunk-level retransmission, and flow-tagged
+	// duplicate suppression at egress. See HealConfig.
+	Heal HealConfig
 }
 
 // chipSlot is one chip position: the live router instance plus the
@@ -45,6 +49,11 @@ type chipSlot struct {
 	// fabric cycle the current instance was constructed at.
 	epoch  int
 	bornAt int64
+	// wordsIn/wordsOut are the end-to-end ledger's per-instance flow
+	// counts: words pushed into this instance's pins (external offers,
+	// trunk deliveries, ARQ re-drives) and words drained off them toward
+	// trunks. Reset with the instance on RestoreChip.
+	wordsIn, wordsOut int64
 }
 
 // trunkDir is one direction of one trunk: the packet framer between the
@@ -59,17 +68,24 @@ type trunkDir struct {
 	buf []uint32
 	// drained counts words taken off the source pins; delivered words
 	// pushed onto the destination pins; dropped words discarded (dead
-	// endpoint, or a frame that failed to parse). The direction conserves
-	// words: drained == delivered + dropped + len(buf), checked by
+	// endpoint, or a frame that failed to parse); retrans words handed to
+	// the ARQ plane's custody. The direction conserves words:
+	// drained == delivered + dropped + retrans + len(buf), checked by
 	// ConservationError.
-	drained, delivered, dropped int64
+	drained, delivered, dropped, retrans int64
+	// frames counts whole frames that left the framer (delivered or to
+	// ARQ custody); acked counts frames confirmed onto destination pins
+	// (direct delivery, or an ARQ re-drive after a detour).
+	frames, acked int64
 }
 
 // trunkState is one trunk's two directions: dir[0] carries A->B,
-// dir[1] B->A.
+// dir[1] B->A. A dead trunk carries nothing in either direction until
+// RestoreTrunk re-lights it.
 type trunkState struct {
 	Trunk
-	dir [2]trunkDir
+	dead bool
+	dir  [2]trunkDir
 }
 
 // sliceCycles is the lockstep granularity: every chip advances this many
@@ -106,6 +122,38 @@ type Fabric struct {
 	// extDropped counts words offered at an external port while its chip
 	// was dead — the fabric-level analog of a dead port's line drops.
 	extDropped []int64
+
+	// Healing plane (see heal.go). The ledger counters below the config
+	// are maintained whether or not healing is enabled, so DeliveryError
+	// audits plain runs too; rerouting, ARQ, and flow tagging engage only
+	// when heal.Enabled.
+	heal      HealConfig
+	healEpoch int64
+	reroutes  int64
+	// routePorts caches each chip's installed next-hop assignment (the
+	// change detector for table swaps); reach is the live-chip
+	// reachability matrix of the current heal epoch.
+	routePorts [][]int
+	reach      [][]bool
+	partition  *PartitionError
+
+	// ARQ: frames in retransmit custody, the per-(trunk,dir) pending
+	// window, and the monotone frame sequence.
+	arq           []arqFrame
+	arqPend       map[[2]int]int
+	arqSeq        int64
+	retransFrames int64
+	retransWords  int64
+
+	// End-to-end word ledger.
+	injected      int64
+	retiredExtOut int64 // external output words of retired (killed) chip instances
+	dupWords      int64
+	droppedCause  [numDropCauses]int64
+
+	// Flow tagging: per-flow ingress sequence and egress dup windows.
+	flowSeq     map[uint32]uint32
+	egressFlows map[uint32]*egressFlow
 }
 
 // NewFabric validates the spec and builds the N chips, each with its
@@ -134,18 +182,24 @@ func NewFabric(cfg Config) (*Fabric, error) {
 		return nil, fmt.Errorf("cluster: fabric does not support Crypto (ciphered payloads would corrupt trunk streams)")
 	}
 	f := &Fabric{
-		spec:       cfg.Topology,
-		cfg:        cfg,
-		chips:      make([]chipSlot, cfg.Topology.NumChips()),
-		extDropped: make([]int64, cfg.Topology.Externals()),
+		spec:        cfg.Topology,
+		cfg:         cfg,
+		chips:       make([]chipSlot, cfg.Topology.NumChips()),
+		extDropped:  make([]int64, cfg.Topology.Externals()),
+		heal:        cfg.Heal.withDefaults(),
+		arqPend:     make(map[[2]int]int),
+		flowSeq:     make(map[uint32]uint32),
+		egressFlows: make(map[uint32]*egressFlow),
 	}
 	for _, t := range cfg.Topology.Trunks() {
 		f.trunks = append(f.trunks, trunkState{Trunk: t})
 	}
+	f.routePorts = make([][]int, len(f.chips))
 	for k := range f.chips {
 		if err := f.buildChip(k, 0); err != nil {
 			return nil, err
 		}
+		f.routePorts[k] = f.staticPorts(k)
 	}
 	return f, nil
 }
@@ -213,13 +267,39 @@ func (f *Fabric) ApplySchedule(s *fault.Schedule) {
 
 // OfferPacket enqueues a packet at fabric external port e. Packets
 // offered while e's chip is dead are dropped and counted (ExtDropped),
-// exactly as a dead single-chip port drops line words.
+// exactly as a dead single-chip port drops line words. With healing
+// enabled, packets to a dead or partitioned-away destination are
+// refused at ingress with a counted cause, and admitted packets are
+// stamped with their flow's sequence number for egress duplicate
+// suppression (the caller's packet is not mutated).
 func (f *Fabric) OfferPacket(e int, pkt *ip.Packet) {
 	chip, local := f.spec.ExtPort(e)
+	n := int64(pkt.LenWords())
+	f.injected += n
 	if f.chips[chip].dead {
-		f.extDropped[e] += int64(ip.HeaderWords + len(pkt.Payload))
+		f.extDropped[e] += n
+		f.droppedCause[dropDeadPort] += n
 		return
 	}
+	if f.healOn() {
+		if dstExt := f.extOfAddr(uint32(pkt.Header.Dst)); dstExt >= 0 {
+			dc, _ := f.spec.ExtPort(dstExt)
+			switch {
+			case f.chips[dc].dead:
+				f.droppedCause[dropDestDead] += n
+				return
+			case !f.reachable(chip, dc):
+				f.droppedCause[dropUnreachable] += n
+				return
+			}
+			key := flowKey(pkt.Header.Src, dstExt)
+			stamped := *pkt
+			stamped.Header.ID = uint16(f.flowSeq[key])
+			f.flowSeq[key]++
+			pkt = &stamped
+		}
+	}
+	f.chips[chip].wordsIn += n
 	f.chips[chip].r.OfferPacket(local, pkt)
 }
 
@@ -229,10 +309,31 @@ func (f *Fabric) InputBacklogWords(e int) int {
 	return f.chips[chip].r.InputBacklogWords(local)
 }
 
-// DrainOutput parses packets delivered at fabric external port e.
+// DrainOutput parses packets delivered at fabric external port e. With
+// healing enabled, duplicates (a frame delivered directly and again via
+// retransmission) are suppressed through each flow's sliding window and
+// counted, so callers observe each injected packet at most once.
 func (f *Fabric) DrainOutput(e int) ([]ip.Packet, error) {
 	chip, local := f.spec.ExtPort(e)
-	return f.chips[chip].r.DrainOutput(local)
+	pkts, err := f.chips[chip].r.DrainOutput(local)
+	if !f.healOn() || len(pkts) == 0 {
+		return pkts, err
+	}
+	kept := pkts[:0]
+	for _, p := range pkts {
+		key := flowKey(p.Header.Src, e)
+		fl := f.egressFlows[key]
+		if fl == nil {
+			fl = &egressFlow{}
+			f.egressFlows[key] = fl
+		}
+		if fl.dup(p.Header.ID) {
+			f.dupWords += int64(p.LenWords())
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, err
 }
 
 // OutputWords returns the words ever emitted at external port e by the
@@ -273,6 +374,7 @@ func (f *Fabric) Run(n int64) {
 		}
 		f.cycle += step
 		f.bridge()
+		f.processARQ()
 	}
 	f.fireControls()
 }
@@ -306,16 +408,28 @@ func (f *Fabric) fireControls() {
 					panic(err) // construction from a validated config cannot fail
 				}
 			}
+		case fault.KindKillTrunk:
+			if f.findTrunk(ctl.Tile, ctl.Chip2, false) >= 0 {
+				f.KillTrunk(ctl.Tile, ctl.Chip2)
+			}
+		case fault.KindRestoreTrunk:
+			if f.findTrunk(ctl.Tile, ctl.Chip2, true) >= 0 {
+				f.RestoreTrunk(ctl.Tile, ctl.Chip2)
+			}
 		}
 	}
 }
 
 // KillChip removes chip k from the fabric: it stops stepping, its trunk
-// links go silent (words already drained toward it and partial frames
-// from it are dropped and counted), and its external ports drop offered
-// traffic until RestoreChip. Direct calls between Run calls are honored
-// but are not replayed by checkpoints — schedule killchip@ controls in
-// runs that will be checkpointed.
+// links go silent, and its external ports drop offered traffic until
+// RestoreChip. The chip's in-flight words are settled against the
+// ledger, each under a counted cause: complete frames it had already
+// committed to a live trunk still deliver (the link's store-and-forward
+// buffer survives the card pull) or — with healing — move to retransmit
+// custody; everything else (partial frames, words resident inside the
+// chip) is dropped and counted as chip-loss. Direct calls between Run
+// calls are honored but are not replayed by checkpoints — schedule
+// killchip@ controls in runs that will be checkpointed.
 func (f *Fabric) KillChip(k int) error {
 	if k < 0 || k >= len(f.chips) {
 		return fmt.Errorf("cluster: no chip %d", k)
@@ -331,19 +445,51 @@ func (f *Fabric) KillChip(k int) error {
 			if src != k && dst != k {
 				continue
 			}
-			// The source side's undelivered egress words and the framer's
-			// partial frame die with the link.
 			td := &t.dir[d]
 			if src == k {
+				// Words the dead chip had already pushed to its egress
+				// pins join the framer; complete frames still deliver to a
+				// live neighbor over a live trunk, the partial tail dies
+				// with its source.
 				words, _ := f.chips[k].r.OutputSink(srcPort).Drain()
 				td.drained += int64(len(words))
-				td.dropped += int64(len(words))
+				f.chips[k].wordsOut += int64(len(words))
+				for _, w := range words {
+					td.buf = append(td.buf, uint32(w))
+				}
+				if !t.dead && !f.chips[dst].dead {
+					f.pumpDir(t, d)
+				}
+				n := int64(len(td.buf))
+				td.dropped += n
+				f.droppedCause[dropChipLoss] += n
+				td.buf = td.buf[:0]
+			} else {
+				// Frames held in the framer toward the dead chip: with
+				// healing, complete frames move to retransmit custody and
+				// re-deliver over the healed path (the partial tail stays
+				// held until its source completes it); without healing
+				// they drop, counted — not silently zeroed.
+				if f.healOn() {
+					f.framesToARQ(ti, t, d)
+				} else {
+					n := int64(len(td.buf))
+					td.dropped += n
+					f.droppedCause[dropChipLoss] += n
+					td.buf = td.buf[:0]
+				}
 			}
-			td.dropped += int64(len(td.buf))
-			td.buf = td.buf[:0]
 		}
 	}
+	// Retire the instance against the ledger: its external deliveries
+	// stand; words still inside it are lost with the chip.
+	ext := f.chipExtOut(k)
+	f.retiredExtOut += ext
+	if res := f.chips[k].wordsIn - f.chips[k].wordsOut - ext; res > 0 {
+		f.droppedCause[dropChipLoss] += res
+	}
 	f.events.Add(f.cycle, k, trace.EvChipKill)
+	f.reheal()
 	return nil
 }
 
@@ -362,7 +508,12 @@ func (f *Fabric) RestoreChip(k int) error {
 	if err := f.buildChip(k, f.chips[k].epoch+1); err != nil {
 		return err
 	}
+	// The replacement carries the static table; the heal epoch below
+	// re-derives and installs the healed one if the topology still has
+	// other failures.
+	f.routePorts[k] = f.staticPorts(k)
 	f.events.Add(f.cycle, k, trace.EvChipRestore)
+	f.reheal()
 	return nil
 }
 
@@ -381,28 +532,46 @@ func (f *Fabric) bridge() {
 	for ti := range f.trunks {
 		t := &f.trunks[ti]
 		for d := 0; d < 2; d++ {
-			f.bridgeDir(t, d)
+			f.bridgeDir(ti, t, d)
 		}
 	}
 }
 
-func (f *Fabric) bridgeDir(t *trunkState, d int) {
-	src, srcPort, dst, dstPort := t.endpoints(d)
+func (f *Fabric) bridgeDir(ti int, t *trunkState, d int) {
+	src, srcPort, dst, _ := t.endpoints(d)
 	td := &t.dir[d]
 	if f.chips[src].dead {
 		return // silenced at KillChip; nothing accumulates
 	}
 	words, _ := f.chips[src].r.OutputSink(srcPort).Drain()
 	td.drained += int64(len(words))
-	if f.chips[dst].dead {
-		// Words fall on the floor at the dead chip's pins.
-		td.dropped += int64(len(td.buf)) + int64(len(words))
-		td.buf = td.buf[:0]
-		return
-	}
+	f.chips[src].wordsOut += int64(len(words))
 	for _, w := range words {
 		td.buf = append(td.buf, uint32(w))
 	}
+	if t.dead || f.chips[dst].dead {
+		// A dark link or dead far end: with healing, complete frames move
+		// to retransmit custody and the partial tail stays held; without
+		// it, everything stranded drops, counted.
+		if f.healOn() {
+			f.framesToARQ(ti, t, d)
+			return
+		}
+		n := int64(len(td.buf))
+		td.dropped += n
+		f.droppedCause[dropTrunkDead] += n
+		td.buf = td.buf[:0]
+		return
+	}
+	f.pumpDir(t, d)
+}
+
+// pumpDir pushes every completed frame in direction d's framer into the
+// destination chip's ingress pins. Both endpoints and the trunk must be
+// live.
+func (f *Fabric) pumpDir(t *trunkState, d int) {
+	_, _, dst, dstPort := t.endpoints(d)
+	td := &t.dir[d]
 	in := f.chips[dst].r.InputPins(dstPort)
 	for {
 		if len(td.buf) < ip.HeaderWords {
@@ -415,6 +584,7 @@ func (f *Fabric) bridgeDir(t *trunkState, d int) {
 			// hunting for a start-of-packet would.
 			td.buf = td.buf[1:]
 			td.dropped++
+			f.droppedCause[dropFrameResync]++
 			continue
 		}
 		n := (int(h.TotalLen) + 3) / 4
@@ -428,28 +598,32 @@ func (f *Fabric) bridgeDir(t *trunkState, d int) {
 			in.Push(raw.Word(w))
 		}
 		td.delivered += int64(n)
+		td.frames++
+		td.acked++
+		f.chips[dst].wordsIn += int64(n)
 		td.buf = append(td.buf[:0], td.buf[n:]...)
 	}
 }
 
-// TrunkCounters returns trunk ti's (drained, delivered, dropped, held)
-// word counts for direction d (0 = A->B, 1 = B->A).
-func (f *Fabric) TrunkCounters(ti, d int) (drained, delivered, dropped, held int64) {
+// TrunkCounters returns trunk ti's (drained, delivered, dropped,
+// retrans, held) word counts for direction d (0 = A->B, 1 = B->A).
+func (f *Fabric) TrunkCounters(ti, d int) (drained, delivered, dropped, retrans, held int64) {
 	td := &f.trunks[ti].dir[d]
-	return td.drained, td.delivered, td.dropped, int64(len(td.buf))
+	return td.drained, td.delivered, td.dropped, td.retrans, int64(len(td.buf))
 }
 
 // ConservationError checks every trunk direction's word-conservation
-// identity (drained == delivered + dropped + held) and returns the first
-// violation, or nil. The identity holds at any instant, faults included.
+// identity (drained == delivered + dropped + retrans + held) and returns
+// the first violation, or nil. The identity holds at any instant, faults
+// and healing included.
 func (f *Fabric) ConservationError() error {
 	for ti := range f.trunks {
 		t := &f.trunks[ti]
 		for d := 0; d < 2; d++ {
 			td := &t.dir[d]
-			if td.drained != td.delivered+td.dropped+int64(len(td.buf)) {
-				return fmt.Errorf("cluster: trunk %s dir %d leaks words: drained %d != delivered %d + dropped %d + held %d",
-					t.Trunk, d, td.drained, td.delivered, td.dropped, len(td.buf))
+			if td.drained != td.delivered+td.dropped+td.retrans+int64(len(td.buf)) {
+				return fmt.Errorf("cluster: trunk %s dir %d leaks words: drained %d != delivered %d + dropped %d + retrans %d + held %d",
+					t.Trunk, d, td.drained, td.delivered, td.dropped, td.retrans, len(td.buf))
 			}
 		}
 	}
@@ -529,11 +703,19 @@ func (f *Fabric) Fingerprint() uint64 {
 	}
 	for ti := range f.trunks {
 		t := &f.trunks[ti]
+		if t.dead {
+			w64(1)
+		} else {
+			w64(0)
+		}
 		for d := 0; d < 2; d++ {
 			td := &t.dir[d]
 			w64(td.drained)
 			w64(td.delivered)
 			w64(td.dropped)
+			w64(td.retrans)
+			w64(td.frames)
+			w64(td.acked)
 			w64(int64(len(td.buf)))
 			for _, w := range td.buf {
 				w64(int64(w))
@@ -542,6 +724,49 @@ func (f *Fabric) Fingerprint() uint64 {
 	}
 	for _, v := range f.extDropped {
 		w64(v)
+	}
+	// Healing-plane state: ledger counters, ARQ custody, flow windows.
+	w64(f.injected)
+	w64(f.retiredExtOut)
+	w64(f.dupWords)
+	for c := 0; c < numDropCauses; c++ {
+		w64(f.droppedCause[c])
+	}
+	w64(f.healEpoch)
+	w64(f.reroutes)
+	w64(f.retransFrames)
+	w64(f.retransWords)
+	w64(f.arqSeq)
+	w64(int64(len(f.arq)))
+	for _, e := range f.arq {
+		w64(int64(e.trunk))
+		w64(int64(e.dir))
+		w64(int64(e.src))
+		w64(int64(e.port))
+		w64(int64(e.dstExt))
+		w64(e.seq)
+		w64(int64(e.attempts))
+		w64(e.nextTry)
+		w64(int64(len(e.words)))
+		for _, w := range e.words {
+			w64(int64(w))
+		}
+	}
+	for _, k := range sortedFlowKeys(f.flowSeq) {
+		w64(int64(k))
+		w64(int64(f.flowSeq[k]))
+	}
+	for _, k := range sortedFlowKeys(f.egressFlows) {
+		fl := f.egressFlows[k]
+		w64(int64(k))
+		flags := int64(fl.max) << 1
+		if fl.init {
+			flags |= 1
+		}
+		w64(flags)
+		for _, b := range fl.bits {
+			w64(int64(b))
+		}
 	}
 	return h.Sum64()
 }
@@ -561,6 +786,11 @@ func (f *Fabric) TelemetrySnapshot() telemetry.FabricSnapshot {
 	for k := range f.chips {
 		if f.chips[k].dead {
 			s.DeadChips = append(s.DeadChips, k)
+		}
+	}
+	for ti := range f.trunks {
+		if f.trunks[ti].dead {
+			s.DeadTrunks = append(s.DeadTrunks, ti)
 		}
 	}
 	elapsed := f.cycle
@@ -583,6 +813,9 @@ func (f *Fabric) TelemetrySnapshot() telemetry.FabricSnapshot {
 				Drained:     td.drained,
 				Delivered:   td.delivered,
 				Dropped:     td.dropped,
+				Retrans:     td.retrans,
+				Frames:      td.frames,
+				Acked:       td.acked,
 				Held:        int64(len(td.buf)),
 				Utilization: util(td.delivered),
 			}
@@ -602,6 +835,26 @@ func (f *Fabric) TelemetrySnapshot() telemetry.FabricSnapshot {
 		s.Events = append(s.Events, telemetry.EventRecord{
 			Cycle: e.Cycle, Port: e.Port, Kind: e.Kind.String(), Detail: e.Detail,
 		})
+	}
+	if f.healOn() {
+		d := f.Delivery()
+		hs := &telemetry.HealSample{
+			Enabled:       true,
+			Epochs:        d.HealEpochs,
+			Reroutes:      d.Reroutes,
+			RetransFrames: d.RetransFrames,
+			RetransWords:  d.RetransWords,
+			PendingFrames: d.PendingFrames,
+			PendingWords:  d.Pending,
+			Injected:      d.Injected,
+			Delivered:     d.Delivered,
+			DupWords:      d.DupWords,
+			Partitioned:   d.Partitioned,
+		}
+		for _, c := range d.Dropped {
+			hs.Dropped = append(hs.Dropped, telemetry.DropSample{Cause: c.Cause, Words: c.Words})
+		}
+		s.Heal = hs
 	}
 	return s
 }

@@ -1,9 +1,12 @@
 package cluster_test
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/ip"
 	"repro/internal/traffic"
 )
@@ -11,17 +14,23 @@ import (
 // FuzzTopologySpec is the topology-plane contract fuzzer: any (kind,
 // chips, w, h) tuple must either be rejected by Validate with a precise
 // error, or build a fabric that routes traffic for 64 quanta with the
-// per-trunk conservation identity intact. There is no third outcome —
-// no panics, no silently-mangled shapes.
+// per-trunk conservation identity intact — now under a fuzzed chip/trunk
+// loss-and-healing arc, with the end-to-end delivery ledger balanced at
+// the end. The only tolerated failure is the typed PartitionError (a
+// disconnected surviving topology fails loudly, by design). There is no
+// third outcome — no panics, no silently-mangled shapes, no leaked words.
 func FuzzTopologySpec(f *testing.F) {
-	f.Add(uint8(0), uint8(4), uint8(0), uint8(0)) // ring-4
-	f.Add(uint8(1), uint8(0), uint8(2), uint8(2)) // mesh-2x2
-	f.Add(uint8(2), uint8(4), uint8(0), uint8(0)) // fattree (2 leaves)
-	f.Add(uint8(0), uint8(1), uint8(0), uint8(0)) // ring too small
-	f.Add(uint8(1), uint8(0), uint8(9), uint8(1)) // mesh side too big
-	f.Add(uint8(1), uint8(3), uint8(2), uint8(2)) // stray chip count
-	f.Add(uint8(7), uint8(4), uint8(0), uint8(0)) // unknown kind
-	f.Fuzz(func(t *testing.T, kind, chips, w, h uint8) {
+	f.Add(uint8(0), uint8(4), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0)) // ring-4
+	f.Add(uint8(1), uint8(0), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0)) // mesh-2x2
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0)) // fattree (2 leaves)
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0)) // ring too small
+	f.Add(uint8(1), uint8(0), uint8(9), uint8(1), uint8(0), uint8(0), uint8(0)) // mesh side too big
+	f.Add(uint8(1), uint8(3), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0)) // stray chip count
+	f.Add(uint8(7), uint8(4), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0)) // unknown kind
+	f.Add(uint8(0), uint8(4), uint8(0), uint8(0), uint8(1), uint8(2), uint8(3)) // healed ring, chip+trunk arc
+	f.Add(uint8(1), uint8(0), uint8(3), uint8(1), uint8(1), uint8(1), uint8(2)) // healed 1-wide mesh: partitions
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(3), uint8(0), uint8(1)) // healed ring-2 losing a chip
+	f.Fuzz(func(t *testing.T, kind, chips, w, h, heal, vA, vB uint8) {
 		spec := cluster.Spec{
 			Kind:  cluster.TopoKind(kind),
 			Chips: int(chips),
@@ -52,9 +61,25 @@ func FuzzTopologySpec(f *testing.F) {
 		if spec.NumChips() > 6 {
 			return // shape checks only; simulation budget is for small fabrics
 		}
-		fab, err := cluster.NewFabric(cluster.Config{Topology: spec})
+		cfg := cluster.Config{Topology: spec}
+		if heal&1 != 0 {
+			cfg.Heal = cluster.HealConfig{Enabled: true, Seed: uint64(heal)}
+		}
+		fab, err := cluster.NewFabric(cfg)
 		if err != nil {
 			t.Fatalf("%s: valid spec rejected by NewFabric: %v", spec, err)
+		}
+		if heal&2 != 0 {
+			// Fuzzed loss arc: a chip kill/re-admission plus a trunk
+			// kill/restore between the fuzzed pair (killtrunk is skipped by
+			// the control plane when no such trunk exists — that skip is
+			// part of the contract under fuzz).
+			n := spec.NumChips()
+			a, b := int(vA)%n, int(vB)%n
+			sched := fault.MustParse(fmt.Sprintf(
+				"killchip@512:c%d;killtrunk@1024:c%d-c%d;restoretrunk@2048:c%d-c%d;restorechip@3072:c%d",
+				a, a, b, a, b, a))
+			fab.ApplySchedule(sched)
 		}
 		ext := spec.Externals()
 		id := uint16(0)
@@ -77,6 +102,18 @@ func FuzzTopologySpec(f *testing.F) {
 		}
 		if err := fab.ConservationError(); err != nil {
 			t.Fatalf("%s: %v", spec, err)
+		}
+		// The end-to-end ledger must balance at any instant, partitioned
+		// or not; DeliveryError may only be nil or the typed partition.
+		d := fab.Delivery()
+		if want := d.Delivered + d.DupWords + d.DroppedTotal() + d.Resident + d.Held + d.Pending; d.Injected != want {
+			t.Fatalf("%s: ledger leaks words: injected %d != accounted %d (%+v)", spec, d.Injected, want, d)
+		}
+		if err := fab.DeliveryError(); err != nil {
+			var pe *cluster.PartitionError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s: %v", spec, err)
+			}
 		}
 	})
 }

@@ -11,11 +11,17 @@ import (
 // plus the fabric-level state that lives outside any chip — the trunk
 // framers and their conservation counters, the chip lifecycle (dead
 // flags, epochs, birth cycles), the scheduled-control cursor, the
-// external drop counts, and the fabric event log. Restoring onto a
-// freshly built fabric with the same Config and the same ApplySchedule
-// calls replays every chip and adopts the fabric state; the combined run
-// is bit-for-bit identical to an uninterrupted one, provided all kills
-// and re-admissions were scheduled (killchip@/restorechip@), not manual.
+// external drop counts, the fabric event log, and the healing plane
+// (ledger counters, retransmit custody, flow-sequence and egress-window
+// maps). Healed route tables need no fabric-level record: each chip's
+// RTRCKPT1 blob carries its table-update log and the replay re-pokes
+// them, so restore re-derives the routing epoch's tables bit-for-bit and
+// only recomputes the side state (reachability, partition verdict).
+// Restoring onto a freshly built fabric with the same Config and the
+// same ApplySchedule calls replays every chip and adopts the fabric
+// state; the combined run is bit-for-bit identical to an uninterrupted
+// one — mid-heal checkpoints included — provided all kills and
+// re-admissions were scheduled through the fault grammar, not manual.
 
 const fabSnapMagic = "FABCKPT1"
 
@@ -43,6 +49,8 @@ func (f *Fabric) Snapshot() ([]byte, error) {
 		b = fabLE64(b, flags)
 		b = fabLE64(b, uint64(s.epoch))
 		b = fabLE64(b, uint64(s.bornAt))
+		b = fabLE64(b, uint64(s.wordsIn))
+		b = fabLE64(b, uint64(s.wordsOut))
 		chip, err := s.r.Snapshot()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: chip %d: %w", k, err)
@@ -51,11 +59,20 @@ func (f *Fabric) Snapshot() ([]byte, error) {
 		b = append(b, chip...)
 	}
 	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		dead := uint64(0)
+		if t.dead {
+			dead = 1
+		}
+		b = fabLE64(b, dead)
 		for d := 0; d < 2; d++ {
-			td := &f.trunks[ti].dir[d]
+			td := &t.dir[d]
 			b = fabLE64(b, uint64(td.drained))
 			b = fabLE64(b, uint64(td.delivered))
 			b = fabLE64(b, uint64(td.dropped))
+			b = fabLE64(b, uint64(td.retrans))
+			b = fabLE64(b, uint64(td.frames))
+			b = fabLE64(b, uint64(td.acked))
 			b = fabLE64(b, uint64(len(td.buf)))
 			for _, w := range td.buf {
 				b = fabLE32(b, w)
@@ -72,6 +89,53 @@ func (f *Fabric) Snapshot() ([]byte, error) {
 		b = fabLE64(b, uint64(e.Kind))
 		b = fabLE64(b, uint64(len(e.Detail)))
 		b = append(b, e.Detail...)
+	}
+	// Healing plane: the end-to-end ledger (maintained with healing on or
+	// off), retransmit custody, and the flow-tagging maps (sorted by key
+	// so the blob is deterministic).
+	b = fabLE64(b, uint64(f.injected))
+	b = fabLE64(b, uint64(f.retiredExtOut))
+	b = fabLE64(b, uint64(f.dupWords))
+	for c := 0; c < numDropCauses; c++ {
+		b = fabLE64(b, uint64(f.droppedCause[c]))
+	}
+	b = fabLE64(b, uint64(f.healEpoch))
+	b = fabLE64(b, uint64(f.reroutes))
+	b = fabLE64(b, uint64(f.retransFrames))
+	b = fabLE64(b, uint64(f.retransWords))
+	b = fabLE64(b, uint64(f.arqSeq))
+	b = fabLE64(b, uint64(len(f.arq)))
+	for _, e := range f.arq {
+		b = fabLE64(b, uint64(e.trunk))
+		b = fabLE64(b, uint64(e.dir))
+		b = fabLE64(b, uint64(e.src))
+		b = fabLE64(b, uint64(e.port))
+		b = fabLE64(b, uint64(e.dstExt))
+		b = fabLE64(b, uint64(e.seq))
+		b = fabLE64(b, uint64(e.attempts))
+		b = fabLE64(b, uint64(e.nextTry))
+		b = fabLE64(b, uint64(len(e.words)))
+		for _, w := range e.words {
+			b = fabLE32(b, w)
+		}
+	}
+	b = fabLE64(b, uint64(len(f.flowSeq)))
+	for _, k := range sortedFlowKeys(f.flowSeq) {
+		b = fabLE64(b, uint64(k))
+		b = fabLE64(b, uint64(f.flowSeq[k]))
+	}
+	b = fabLE64(b, uint64(len(f.egressFlows)))
+	for _, k := range sortedFlowKeys(f.egressFlows) {
+		fl := f.egressFlows[k]
+		flags := uint64(fl.max) << 1
+		if fl.init {
+			flags |= 1
+		}
+		b = fabLE64(b, uint64(k))
+		b = fabLE64(b, flags)
+		for _, w := range fl.bits {
+			b = fabLE64(b, w)
+		}
 	}
 	return b, nil
 }
@@ -114,6 +178,8 @@ func (f *Fabric) RestoreSnapshot(blob []byte) error {
 		dead := rd.u64() != 0
 		epoch := int(rd.u64())
 		bornAt := int64(rd.u64())
+		wordsIn := int64(rd.u64())
+		wordsOut := int64(rd.u64())
 		chip := rd.bytes(int(rd.u64()))
 		if rd.err != nil {
 			return fmt.Errorf("cluster: truncated fabric snapshot (chip %d)", k)
@@ -128,13 +194,20 @@ func (f *Fabric) RestoreSnapshot(blob []byte) error {
 		}
 		f.chips[k].dead = dead
 		f.chips[k].bornAt = bornAt
+		f.chips[k].wordsIn = wordsIn
+		f.chips[k].wordsOut = wordsOut
 	}
 	for ti := range f.trunks {
+		t := &f.trunks[ti]
+		t.dead = rd.u64() != 0
 		for d := 0; d < 2; d++ {
-			td := &f.trunks[ti].dir[d]
+			td := &t.dir[d]
 			td.drained = int64(rd.u64())
 			td.delivered = int64(rd.u64())
 			td.dropped = int64(rd.u64())
+			td.retrans = int64(rd.u64())
+			td.frames = int64(rd.u64())
+			td.acked = int64(rd.u64())
 			td.buf = td.buf[:0]
 			n := rd.u64()
 			if n > uint64(len(blob)) {
@@ -160,11 +233,90 @@ func (f *Fabric) RestoreSnapshot(blob []byte) error {
 		detail := string(rd.bytes(int(rd.u64())))
 		f.events.AddDetail(cyc, port, kind, detail)
 	}
+	f.injected = int64(rd.u64())
+	f.retiredExtOut = int64(rd.u64())
+	f.dupWords = int64(rd.u64())
+	for c := 0; c < numDropCauses; c++ {
+		f.droppedCause[c] = int64(rd.u64())
+	}
+	f.healEpoch = int64(rd.u64())
+	f.reroutes = int64(rd.u64())
+	f.retransFrames = int64(rd.u64())
+	f.retransWords = int64(rd.u64())
+	f.arqSeq = int64(rd.u64())
+	f.arq = f.arq[:0]
+	f.arqPend = make(map[[2]int]int)
+	narq := rd.u64()
+	if narq > uint64(len(blob)) {
+		return fmt.Errorf("cluster: corrupt fabric snapshot (ARQ count)")
+	}
+	for n := narq; n > 0 && rd.err == nil; n-- {
+		e := arqFrame{
+			trunk:   int(rd.u64()),
+			dir:     int(rd.u64()),
+			src:     int(rd.u64()),
+			port:    int(rd.u64()),
+			dstExt:  int(rd.u64()),
+			seq:     int64(rd.u64()),
+			attempts: int(rd.u64()),
+			nextTry: int64(rd.u64()),
+		}
+		nw := rd.u64()
+		if nw > uint64(len(blob)) {
+			return fmt.Errorf("cluster: corrupt fabric snapshot (ARQ frame length)")
+		}
+		e.words = make([]uint32, 0, nw)
+		for ; nw > 0 && rd.err == nil; nw-- {
+			e.words = append(e.words, rd.u32())
+		}
+		if rd.err == nil {
+			f.arq = append(f.arq, e)
+			f.arqPend[[2]int{e.trunk, e.dir}]++
+		}
+	}
+	f.flowSeq = make(map[uint32]uint32)
+	nfs := rd.u64()
+	if nfs > uint64(len(blob)) {
+		return fmt.Errorf("cluster: corrupt fabric snapshot (flow count)")
+	}
+	for n := nfs; n > 0 && rd.err == nil; n-- {
+		k := uint32(rd.u64())
+		f.flowSeq[k] = uint32(rd.u64())
+	}
+	f.egressFlows = make(map[uint32]*egressFlow)
+	nef := rd.u64()
+	if nef > uint64(len(blob)) {
+		return fmt.Errorf("cluster: corrupt fabric snapshot (egress flow count)")
+	}
+	for n := nef; n > 0 && rd.err == nil; n-- {
+		k := uint32(rd.u64())
+		flags := rd.u64()
+		fl := &egressFlow{init: flags&1 != 0, max: uint16(flags >> 1)}
+		for i := range fl.bits {
+			fl.bits[i] = rd.u64()
+		}
+		if rd.err == nil {
+			f.egressFlows[k] = fl
+		}
+	}
 	if rd.err != nil {
 		return fmt.Errorf("cluster: truncated fabric snapshot")
 	}
 	if rd.off != len(blob) {
 		return fmt.Errorf("cluster: %d trailing bytes in fabric snapshot", len(blob)-rd.off)
+	}
+	// Re-derive the healing side state from the restored dead sets. The
+	// healed tables themselves were re-installed by each chip's replayed
+	// table-update log, so no pokes happen here — only the reachability
+	// matrix, the cached next-hop assignment, and the partition verdict.
+	if f.healOn() {
+		f.applyHealState(false)
+	} else {
+		for k := range f.chips {
+			f.routePorts[k] = f.staticPorts(k)
+		}
+		f.reach = nil
+		f.partition = nil
 	}
 	return nil
 }

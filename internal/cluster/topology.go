@@ -130,8 +130,33 @@ const (
 	maxFatTreeChips = 6 // 4 leaves + 2 spines
 )
 
+// PartitionRisk names the ways a single chip loss can disconnect the
+// surviving topology, or returns "" for specs where any one chip can die
+// without splitting the fabric. Risky specs (a 2-chip ring, a 1-wide
+// mesh) still validate — they are legitimate degenerate fabrics — but a
+// kill on one with healing enabled surfaces a typed PartitionError, and
+// harnesses can warn up front with this string.
+func (s Spec) PartitionRisk() string {
+	switch s.Kind {
+	case TopoRing:
+		if s.Chips == 2 {
+			return "partition risk: a 2-chip ring has a single neighbor per chip — losing either chip isolates the survivor"
+		}
+	case TopoMesh:
+		if (s.W == 1 || s.H == 1) && s.NumChips() > 2 {
+			return fmt.Sprintf("partition risk: a %dx%d mesh is a line — losing any interior chip splits it in two", s.W, s.H)
+		}
+		if s.NumChips() == 2 {
+			return "partition risk: a 2-chip mesh has a single trunk — losing either chip isolates the survivor"
+		}
+	}
+	return ""
+}
+
 // Validate checks the spec against the kind's bounds, with a precise
-// error for every way a spec can be malformed.
+// error for every way a spec can be malformed. Specs whose chip loss can
+// partition the fabric (2-chip ring, 1-wide mesh) are valid — see
+// PartitionRisk for the loud-failure contract under healing.
 func (s Spec) Validate() error {
 	switch s.Kind {
 	case TopoRing:

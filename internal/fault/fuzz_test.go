@@ -17,6 +17,9 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add("link@0+1:t1023.s.n1;;  freeze@0+1:t0 ;")
 	f.Add("drop:t0.n.w0+1;drop:t0.n.w0+1073741824")
 	f.Add("crash@3000:t6;restore@20000:p1;reprobe@100:p0")
+	f.Add("killchip@1000:c2;restorechip@5000:c2")
+	f.Add("killtrunk@100:c0-c1;restoretrunk@200:c1-c0;killchip@300:c3")
+	f.Add("killtrunk@0:c0-c0;killtrunk@1:c1073741824-c0")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := Parse(text)
 		if err != nil {

@@ -65,7 +65,8 @@ func NewInjector(s *Schedule, numTiles int) *Injector {
 			continue
 		}
 		switch e.Kind {
-		case KindRestore, KindReprobe, KindKillChip, KindRestoreChip:
+		case KindRestore, KindReprobe, KindKillChip, KindRestoreChip,
+			KindKillTrunk, KindRestoreTrunk:
 			// Recovery and fabric controls target the router or cluster,
 			// not the chip; harnesses route them via Schedule.Controls()
 			// and Schedule.ChipControls().

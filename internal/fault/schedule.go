@@ -59,6 +59,14 @@ const (
 	// KindRestoreChip is the companion control: the fabric re-admits chip
 	// K at Start with a freshly constructed replacement chip.
 	KindRestoreChip
+	// KindKillTrunk is a fabric-level control for single-link loss: the
+	// trunk between chips A (Tile) and B (Chip2) goes dark at Start. Both
+	// chips keep running; the fabric's healing plane (if armed) reroutes
+	// around the dead link and re-drives held frames.
+	KindKillTrunk
+	// KindRestoreTrunk is the companion control: the trunk between Tile
+	// and Chip2 comes back at Start.
+	KindRestoreTrunk
 )
 
 // Encoding bounds. The parser rejects values beyond these so that a
@@ -89,6 +97,7 @@ type Event struct {
 	Count   int64 // drop: words lost
 	Bit     int   // corrupt: bit flipped (0..31)
 	Extra   int   // dram: added latency cycles
+	Chip2   int   // killtrunk/restoretrunk: the trunk's other chip (Tile is the first)
 }
 
 // Schedule is an ordered list of fault events.
@@ -157,6 +166,10 @@ func (s *Schedule) String() string {
 			fmt.Fprintf(&b, "killchip@%d:c%d", e.Start, e.Tile)
 		case KindRestoreChip:
 			fmt.Fprintf(&b, "restorechip@%d:c%d", e.Start, e.Tile)
+		case KindKillTrunk:
+			fmt.Fprintf(&b, "killtrunk@%d:c%d-c%d", e.Start, e.Tile, e.Chip2)
+		case KindRestoreTrunk:
+			fmt.Fprintf(&b, "restoretrunk@%d:c%d-c%d", e.Start, e.Tile, e.Chip2)
 		}
 	}
 	return b.String()
@@ -175,6 +188,8 @@ func (s *Schedule) String() string {
 //	reprobe@START:pP               control: force port P's line probe
 //	killchip@START:cK              control: remove fabric chip K at START
 //	restorechip@START:cK           control: re-admit fabric chip K at START
+//	killtrunk@START:cA-cB          control: the A<->B trunk goes dark at START
+//	restoretrunk@START:cA-cB       control: the A<->B trunk comes back at START
 //
 // where D is one of n/e/s/w. Empty segments are ignored, so a trailing
 // ';' is harmless.
@@ -362,6 +377,39 @@ func parseEvent(seg string) (Event, error) {
 		}
 		e.Tile = int(n)
 		return e, nil
+
+	case "killtrunk", "restoretrunk":
+		e.Kind = KindKillTrunk
+		if kind == "restoretrunk" {
+			e.Kind = KindRestoreTrunk
+		}
+		if !timed {
+			return e, fmt.Errorf("%s needs @start", kind)
+		}
+		var err error
+		if e.Start, err = parseInt(when, 0, maxStart); err != nil {
+			return e, fmt.Errorf("start: %w", err)
+		}
+		aS, bS, ok := strings.Cut(rest, "-")
+		if !ok {
+			return e, fmt.Errorf("%s needs :cA-cB", kind)
+		}
+		aS, okA := strings.CutPrefix(aS, "c")
+		bS, okB := strings.CutPrefix(bS, "c")
+		if !okA || !okB {
+			return e, fmt.Errorf("%s needs :cA-cB", kind)
+		}
+		a, err := parseInt(aS, 0, maxChip)
+		if err != nil {
+			return e, fmt.Errorf("chip A: %w", err)
+		}
+		b, err := parseInt(bS, 0, maxChip)
+		if err != nil {
+			return e, fmt.Errorf("chip B: %w", err)
+		}
+		e.Tile = int(a)
+		e.Chip2 = int(b)
+		return e, nil
 	}
 	return e, fmt.Errorf("unknown fault kind %q", kind)
 }
@@ -471,15 +519,17 @@ func (s *Schedule) Controls() []Event {
 	return sortEvents(out)
 }
 
-// ChipControls returns the schedule's fabric-level chip controls
-// (KindKillChip, KindRestoreChip) in start order. Like Controls they are
-// not chip faults — the injector skips them — so an N-chip cluster
-// harness consumes them (cluster.Fabric.ApplySchedule) to replay a
-// chip-loss run's kill and re-admission deterministically.
+// ChipControls returns the schedule's fabric-level controls
+// (KindKillChip, KindRestoreChip, KindKillTrunk, KindRestoreTrunk) in
+// start order. Like Controls they are not chip faults — the injector
+// skips them — so an N-chip cluster harness consumes them
+// (cluster.Fabric.ApplySchedule) to replay a chip-loss or trunk-loss
+// run's kill and re-admission deterministically.
 func (s *Schedule) ChipControls() []Event {
 	var out []Event
 	for _, e := range s.Events {
-		if e.Kind == KindKillChip || e.Kind == KindRestoreChip {
+		switch e.Kind {
+		case KindKillChip, KindRestoreChip, KindKillTrunk, KindRestoreTrunk:
 			out = append(out, e)
 		}
 	}

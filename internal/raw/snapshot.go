@@ -88,6 +88,17 @@ func (c *Chip) Snapshot() ([]byte, error) {
 	return buf, nil
 }
 
+// ReplayOp is an externally owned side effect to re-apply during
+// snapshot replay: harness actions outside the input log (a DRAM table
+// poke, for example) that the original run performed between cycles.
+// Apply runs when the replay reaches Cycle, before that cycle's recorded
+// pushes; ops with Cycle at or past the checkpoint run after the replay
+// loop. Callers pass ops sorted by Cycle.
+type ReplayOp struct {
+	Cycle int64
+	Apply func()
+}
+
 // RestoreSnapshot rebuilds the checkpointed state by replaying the
 // blob's input log on this chip, which must be freshly constructed
 // (cycle 0) and configured identically to the chip that took the
@@ -95,6 +106,15 @@ func (c *Chip) Snapshot() ([]byte, error) {
 // digest verified, recording re-enabled, and the log adopted, so a
 // further Snapshot of an identical continuation is byte-identical.
 func (c *Chip) RestoreSnapshot(blob []byte) error {
+	return c.RestoreSnapshotOps(blob, nil)
+}
+
+// RestoreSnapshotOps is RestoreSnapshot with external side effects
+// interleaved: each op's Apply runs when the replay reaches its cycle,
+// so harness state the input log cannot carry (mid-run forwarding-table
+// pokes) is re-established at the same simulation points as the
+// original run.
+func (c *Chip) RestoreSnapshotOps(blob []byte, ops []ReplayOp) error {
 	if c.cycle != 0 {
 		return errors.New("raw: RestoreSnapshot requires a freshly constructed chip")
 	}
@@ -145,14 +165,21 @@ func (c *Chip) RestoreSnapshot(blob []byte) error {
 
 	rec := &recorder{}
 	c.rec = rec
-	i := 0
+	i, oi := 0, 0
 	for c.cycle < snapCycle {
+		for oi < len(ops) && ops[oi].Cycle <= c.cycle {
+			ops[oi].Apply()
+			oi++
+		}
 		for i < len(log) && log[i].cycle == c.cycle {
 			e := log[i]
 			c.staticIn[[3]int{int(e.tile), int(e.dir), int(e.net)}].Push(e.word)
 			i++
 		}
 		c.Step()
+	}
+	for ; oi < len(ops); oi++ {
+		ops[oi].Apply()
 	}
 	for ; i < len(log); i++ {
 		e := log[i]

@@ -253,6 +253,11 @@ type Router struct {
 	// tableEpoch selects which double-buffered DRAM table the lookup
 	// tiles consult (§2.2.1 table management; flipped by UpdateTable).
 	tableEpoch int
+
+	// tableLog records every mid-run UpdateTable when cfg.Checkpoint:
+	// DRAM pokes happen outside the chip's input log, so checkpoint
+	// restore re-applies them at the recorded cycles (raw.ReplayOp).
+	tableLog []tableUpdate
 }
 
 // New builds and programs the router.
@@ -393,7 +398,8 @@ func (r *Router) Stats() StatsSnapshot {
 // invalidation is needed — the first lookups simply miss to DRAM.
 func (r *Router) UpdateTable(t *lookup.Patricia) {
 	next := r.tableEpoch + 1
-	for _, seg := range TableImageAt(t, next) {
+	segs := TableImageAt(t, next)
+	for _, seg := range segs {
 		words := make([]raw.Word, len(seg.Words))
 		for i, w := range seg.Words {
 			words[i] = raw.Word(w)
@@ -401,6 +407,16 @@ func (r *Router) UpdateTable(t *lookup.Patricia) {
 		r.Mem.PokeWords(seg.Addr, words)
 	}
 	r.tableEpoch = next
+	if r.cfg.Checkpoint {
+		r.tableLog = append(r.tableLog, tableUpdate{cycle: r.Chip.Cycle(), segs: segs})
+	}
+}
+
+// tableUpdate is one recorded UpdateTable: the chip cycle it happened at
+// (between Run calls) and the DRAM image it poked.
+type tableUpdate struct {
+	cycle int64
+	segs  []TableSegment
 }
 
 // OnQuantum registers a per-quantum observer (crossbar 0's allocation).

@@ -1,6 +1,10 @@
 package router
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/raw"
+)
 
 // Deterministic router checkpoints (robustness extension). The chip
 // layer checkpoints by record-replay (see internal/raw/snapshot.go): the
@@ -49,6 +53,21 @@ func (r *Router) Snapshot() ([]byte, error) {
 		}
 		b = rle64(b, uint64(r.outs[p].Count()-int64(r.outs[p].Held())))
 	}
+	// Mid-run table updates: DRAM pokes live outside the chip's input
+	// log, so the blob carries them and restore re-applies them at the
+	// recorded cycles.
+	b = rle64(b, uint64(len(r.tableLog)))
+	for _, u := range r.tableLog {
+		b = rle64(b, uint64(u.cycle))
+		b = rle64(b, uint64(len(u.segs)))
+		for _, seg := range u.segs {
+			b = rle64(b, uint64(seg.Addr))
+			b = rle64(b, uint64(len(seg.Words)))
+			for _, w := range seg.Words {
+				b = rle32(b, w)
+			}
+		}
+	}
 	for _, v := range r.stateWords() {
 		b = rle64(b, uint64(v))
 	}
@@ -92,6 +111,31 @@ func (r *Router) RestoreSnapshot(blob []byte) error {
 		}
 		ps.drained = int64(rd.u64())
 	}
+	nupd := rd.u64()
+	if nupd > uint64(len(blob)) {
+		return fmt.Errorf("router: corrupt snapshot (table update count)")
+	}
+	log := make([]tableUpdate, 0, nupd)
+	for n := nupd; n > 0 && rd.err == nil; n-- {
+		u := tableUpdate{cycle: int64(rd.u64())}
+		nsegs := rd.u64()
+		if nsegs > uint64(len(blob)) {
+			return fmt.Errorf("router: corrupt snapshot (table segment count)")
+		}
+		for s := nsegs; s > 0 && rd.err == nil; s-- {
+			seg := TableSegment{Addr: raw.Word(rd.u64())}
+			nw := rd.u64()
+			if nw > uint64(len(blob)) {
+				return fmt.Errorf("router: corrupt snapshot (table word count)")
+			}
+			seg.Words = make([]uint32, 0, nw)
+			for w := nw; w > 0 && rd.err == nil; w-- {
+				seg.Words = append(seg.Words, rd.u32())
+			}
+			u.segs = append(u.segs, seg)
+		}
+		log = append(log, u)
+	}
 	want := make([]int64, len(r.stateWords()))
 	for i := range want {
 		want[i] = int64(rd.u64())
@@ -103,10 +147,32 @@ func (r *Router) RestoreSnapshot(blob []byte) error {
 		return fmt.Errorf("router: %d trailing bytes in snapshot", len(blob)-rd.off)
 	}
 
-	// Replay the simulation; firmware and recovery state re-derive.
-	if err := r.Chip.RestoreSnapshot(chip); err != nil {
+	// Replay the simulation, re-poking each recorded table update at its
+	// cycle; firmware and recovery state re-derive.
+	ops := make([]raw.ReplayOp, len(log))
+	for i := range log {
+		u := log[i]
+		epoch := i + 1
+		ops[i] = raw.ReplayOp{Cycle: u.cycle, Apply: func() {
+			for _, seg := range u.segs {
+				words := make([]raw.Word, len(seg.Words))
+				for j, w := range seg.Words {
+					words[j] = raw.Word(w)
+				}
+				r.Mem.PokeWords(seg.Addr, words)
+			}
+			// The lookup firmware reads tableEpoch live to pick the
+			// double-buffer bases, so the flip must replay at the same
+			// cycle as the pokes or every subsequent lookup probes the
+			// stale epoch's addresses.
+			r.tableEpoch = epoch
+		}}
+	}
+	if err := r.Chip.RestoreSnapshotOps(chip, ops); err != nil {
 		return err
 	}
+	r.tableLog = log
+	r.tableEpoch = len(log)
 	got := r.stateWords()
 	for i := range want {
 		if got[i] != want[i] {
@@ -142,7 +208,8 @@ func (r *Router) stateWords() []int64 {
 			r.stats.McastCopies[p], r.stats.AbortDropped[p], r.stats.Underruns[p],
 			r.stats.Reprobes[p], r.stats.Recovered[p], r.stats.FlapDrops[p])
 	}
-	w = append(w, r.stats.FabricLost, int64(r.deadPort), int64(r.probationPort))
+	w = append(w, r.stats.FabricLost, int64(r.deadPort), int64(r.probationPort),
+		int64(r.tableEpoch))
 	flags := int64(0)
 	if r.failed {
 		flags |= 1

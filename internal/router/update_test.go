@@ -56,6 +56,62 @@ func TestTableUpdateWhileForwarding(t *testing.T) {
 	}
 }
 
+// TestTableUpdateCheckpointReplay pins mid-run table updates into the
+// record-replay checkpoint: the restore must re-poke each recorded DRAM
+// image AND re-flip the double-buffer epoch at the recorded cycle, or
+// the replayed lookup firmware probes the stale epoch's addresses and
+// the digest check trips (regression: the epoch flip was once applied
+// only after the replay finished).
+func TestTableUpdateCheckpointReplay(t *testing.T) {
+	cfg := router.DefaultConfig()
+	cfg.Checkpoint = true
+	r := mustNew(t, cfg)
+	feed := func(rr *router.Router, from, to int) {
+		for i := from; i < to; i++ {
+			pkt := ip.NewPacket(traffic.PortAddr(0, uint32(i)),
+				traffic.PortAddr(1, uint32(i)), 64, 128, uint16(i))
+			rr.OfferPacket(0, &pkt)
+			rr.Run(200)
+		}
+	}
+	feed(r, 0, 20)
+	var nt lookup.Patricia
+	for p := 0; p < 4; p++ {
+		nh := lookup.NextHop(p)
+		if p == 1 {
+			nh = 3
+		}
+		if err := nt.Insert(uint32(10+p)<<24, 8, nh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.UpdateTable(&nt)
+	feed(r, 20, 40)
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustNew(t, cfg)
+	if err := r2.RestoreSnapshot(blob); err != nil {
+		t.Fatalf("restore after mid-run table update: %v", err)
+	}
+	// The restored router must keep forwarding on the updated table and
+	// produce an identical continuation checkpoint.
+	feed(r, 40, 50)
+	feed(r2, 40, 50)
+	b1, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("continuation snapshots diverged after table-update replay")
+	}
+}
+
 // TestNetprocDrivesRouter wires the Chapter 2 control plane to the data
 // plane: a RIP network computes this router's forwarding table, the
 // network processor installs it, and packets follow the computed routes.

@@ -37,7 +37,10 @@ import "repro/internal/trace"
 
 // SchemaVersion is the telemetry snapshot schema. Any change to an
 // exported field name, wire name, or bucket layout bumps it.
-const SchemaVersion = 1
+// v2: fabric healing plane — trunk samples gained retrans/frames/acked,
+// fabric snapshots gained dead_trunks and the heal record, and the
+// event vocabulary gained trunk-kill/trunk-restore/heal-reroute/partition.
+const SchemaVersion = 2
 
 // NumPorts is the paper router's port count; the plane is sized for it.
 const NumPorts = 4

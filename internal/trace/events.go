@@ -44,6 +44,21 @@ const (
 	// EvChipRestore: the fabric re-admitted a killed chip with a freshly
 	// constructed replacement. Port carries the chip index.
 	EvChipRestore
+	// EvTrunkKill: a fabric-level control darkened one inter-chip trunk.
+	// Port carries the trunk index; Detail names the trunk.
+	EvTrunkKill
+	// EvTrunkRestore: the fabric re-lit a darkened trunk. Port carries
+	// the trunk index; Detail names the trunk.
+	EvTrunkRestore
+	// EvHealReroute: the healing plane recomputed per-chip route tables
+	// against the surviving topology. Port carries the heal epoch; Detail
+	// summarizes the dead set.
+	EvHealReroute
+	// EvPartition: the surviving topology is disconnected — some live
+	// chips cannot reach others, and traffic between them fails loudly
+	// (PartitionError) instead of holding frames forever. Port carries
+	// the heal epoch.
+	EvPartition
 
 	numEventKinds
 )
@@ -63,6 +78,10 @@ var wireNames = [numEventKinds]string{
 	EvFailStop:        "fail-stop",
 	EvChipKill:        "chip-kill",
 	EvChipRestore:     "chip-restore",
+	EvTrunkKill:       "trunk-kill",
+	EvTrunkRestore:    "trunk-restore",
+	EvHealReroute:     "heal-reroute",
+	EvPartition:       "partition",
 }
 
 // String returns the kind's stable wire name.

@@ -49,6 +49,19 @@ echo "== fabric: chip-loss soak + cross-engine topology conformance (race detect
 SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoakChipLoss' ./internal/cluster
 go test -race -timeout 60m -run 'TestEngineConformanceMatrix|TestMesh16ChipConformance|TestEngineSwitchMidRun' ./internal/cluster
 
+echo "== healing: seeded heal soak + heal conformance (race detector) =="
+# Every seed rides a full healing arc on a healed ring-4 — killtrunk
+# (ARQ takes custody, routes detour) -> restoretrunk (tables roll back,
+# pending frames re-drive) -> killchip -> restorechip — checkpoints the
+# fabric MID-HEAL (trunk dark, retransmit queue non-empty) as one
+# FABCKPT1 blob, and must continue byte-identical to the uninterrupted
+# run with the end-to-end ledger balanced and zero pending frames at the
+# end. TestHealConformance replays one scheduled arc under the reference
+# interpreter and the fast engine at 1 and NumCPU workers and requires
+# identical fingerprints and state digests.
+SOAK_SEEDS="${SOAK_SEEDS:-20}" go test -race -timeout 60m -run 'TestSoakHeal' ./internal/cluster
+go test -race -run 'TestHealConformance|TestHealReroute|TestTrunkARQ|TestPartitionError|TestKillChipAccountsHeldFrames' ./internal/cluster
+
 echo "== telemetry: export determinism + disabled-overhead gate =="
 # Exports must be byte-identical at 1 and NumCPU workers, and the
 # disabled plane (cfg.Metrics == nil) must cost <1% versus the
@@ -63,5 +76,12 @@ echo "== engine: compiled fast path speedup gate =="
 # steady-state workload (see scripts/bench_engine.sh and
 # BENCH_engine.json).
 sh scripts/bench_engine.sh
+
+echo "== healing: idle-overhead gate =="
+# Arming -heal on a healthy fabric must cost <1% versus the same fabric
+# with healing disabled (interleaved paired legs, min-ratio scoring; see
+# scripts/bench_fault.sh and BENCH_fault.json). Fault tolerance is free
+# until a fault happens.
+sh scripts/bench_fault.sh
 
 echo "CI green."
