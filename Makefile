@@ -28,11 +28,16 @@
 #   bench-fault - regenerate BENCH_fault.json; fails if arming the
 #            fabric healing plane costs an idle (fault-free) run >1%
 #            versus healing disabled (interleaved paired legs)
+#   serve-smoke - the daemon-mode lifecycle smoke: boot rawrouter -serve
+#            as a real process, drive healthz/readyz/metrics over HTTP
+#            through a latched degrade + SLO violation, /drain to a
+#            checkpoint, and restore it twice to byte-identical
+#            continuations; plus the in-process serve suite under -race
 
 GO ?= go
 SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos soak soak-heal fuzz bench bench-telemetry bench-engine bench-fault ci
+.PHONY: all tier1 tier2 chaos soak soak-heal fuzz bench bench-telemetry bench-engine bench-fault serve-smoke ci
 
 all: tier1
 
@@ -75,4 +80,8 @@ bench-engine:
 bench-fault:
 	sh scripts/bench_fault.sh
 
-ci: tier1 tier2 chaos soak soak-heal bench-telemetry bench-engine bench-fault
+serve-smoke:
+	$(GO) test -race ./internal/serve ./internal/cli
+	sh scripts/serve_smoke.sh
+
+ci: tier1 tier2 chaos soak soak-heal bench-telemetry bench-engine bench-fault serve-smoke

@@ -48,7 +48,13 @@ import (
 	"repro/internal/traffic"
 )
 
+// main delegates to run so deferred cleanups (profile flush) execute
+// before the process exits — os.Exit in main would skip them.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
 	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, scaleout, degraded, restore, telemetry")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the restore experiment (0 = latched LineDown)")
@@ -62,12 +68,12 @@ func main() {
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
-		os.Exit(2)
+		return 2
 	}
 	stopProf, err := common.StartProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
-		os.Exit(2)
+		return 2
 	}
 	defer stopProf()
 	engine, _ := common.EngineChoice() // validated above
@@ -83,9 +89,9 @@ func main() {
 	if spec, ok, _ := common.FabricSpec(); ok { // err caught by Validate
 		if err := runFabric(spec, &common, engine, q); err != nil {
 			fmt.Fprintln(os.Stderr, "fabsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	show := func(name string) bool { return *which == "all" || *which == name }
@@ -136,7 +142,7 @@ func main() {
 		if sink != nil {
 			if err := sink.Export(snap); err != nil {
 				fmt.Fprintln(os.Stderr, "fabsim:", err)
-				os.Exit(1)
+				return 1
 			}
 			if sink.Path != "" {
 				fmt.Printf("telemetry: %s snapshot -> %s (quanta %d)\n",
@@ -144,6 +150,7 @@ func main() {
 			}
 		}
 	}
+	return 0
 }
 
 // runFabric drives one N-chip fabric under balanced antipodal traffic

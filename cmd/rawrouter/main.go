@@ -38,10 +38,15 @@ import (
 	"repro/internal/router"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/traffic"
 )
 
+// main delegates to run so deferred cleanups (profile flush) execute
+// before the process exits — os.Exit in main would skip them.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	size := flag.Int("size", 1024, "packet size in bytes (header included)")
 	pattern := flag.String("pattern", "perm", "traffic pattern: perm, uniform, hotspot")
 	cycles := flag.Int64("cycles", 200_000, "measured cycles")
@@ -54,29 +59,42 @@ func main() {
 	autoRestore := flag.Bool("autorestore", false, "let the watchdog re-admit a degraded port when its tile thaws (requires -watchdog)")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta (0 = LineDown latches permanently)")
 	var common cli.Common
+	var sflags cli.ServeFlags
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterFaults(flag.CommandLine)
 	common.RegisterTrace(flag.CommandLine)
 	common.RegisterCheckpoint(flag.CommandLine)
 	common.RegisterMetrics(flag.CommandLine)
 	common.RegisterProfile(flag.CommandLine)
+	sflags.RegisterServe(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(2)
+		return 2
+	}
+	if err := sflags.ValidateServe(&common); err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		return 2
 	}
 
 	if *layout {
 		printLayout()
-		return
+		return 0
 	}
 	stopProf, err := common.StartProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(2)
+		return 2
 	}
 	defer stopProf()
 	engine, _ := common.EngineChoice() // validated above
+
+	if sflags.Serve {
+		return runServe(&common, &sflags, serveParams{
+			size: *size, pattern: *pattern, quantum: *quantum, crypto: *crypto,
+			seed: *seed, watchdog: *watchdog, autoRestore: *autoRestore, reprobe: *reprobe,
+		})
+	}
 
 	var rec *trace.Recorder
 	rcfg := router.DefaultConfig()
@@ -98,7 +116,7 @@ func main() {
 		Workers: common.Workers, ChipEngine: engine, RouterConfig: &rcfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	sched, err := common.Schedule(fault.RandomOptions{
@@ -107,7 +125,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(2)
+		return 2
 	}
 	injecting := len(sched.Events) > 0
 	if injecting {
@@ -118,7 +136,7 @@ func main() {
 
 	if ok, err := common.LoadCheckpoint(r.Cycle().RestoreSnapshot); err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(1)
+		return 1
 	} else if ok {
 		fmt.Printf("restored checkpoint %s at cycle %d\n", common.Restore, r.Cycle().Cycle())
 	}
@@ -130,17 +148,10 @@ func main() {
 	case "uniform":
 		gen = core.UniformTraffic(*size, *seed)
 	case "hotspot":
-		rng := traffic.NewRNG(*seed)
-		gen = func(port int) core.Packet {
-			dst := 0
-			if rng.Float64() >= 0.7 {
-				dst = rng.Intn(4)
-			}
-			return core.Packet{Dst: dst, SizeBytes: *size}
-		}
+		gen = core.HotspotTraffic(*size, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "rawrouter: unknown pattern %q\n", *pattern)
-		os.Exit(2)
+		return 2
 	}
 
 	res := r.RunMeasured(*warmup, *cycles, gen)
@@ -175,7 +186,7 @@ func main() {
 
 	if n, err := common.WriteCheckpoint(r.Cycle().Snapshot); err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
-		os.Exit(1)
+		return 1
 	} else if n > 0 {
 		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", n, common.Checkpoint, r.Cycle().Cycle())
 	}
@@ -183,7 +194,7 @@ func main() {
 	if sink != nil {
 		if err := sink.Export(r.Cycle().TelemetrySnapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "rawrouter:", err)
-			os.Exit(1)
+			return 1
 		}
 		if sink.Path != "" {
 			fmt.Printf("telemetry: %s snapshot -> %s (quanta %d)\n",
@@ -192,16 +203,13 @@ func main() {
 	}
 
 	if rec != nil {
-		order := make([]int, 16)
-		for i := range order {
-			order[i] = i
-		}
 		fmt.Println()
-		fmt.Print(rec.Summary(order, func(tile int) string {
+		fmt.Print(rec.Summary(router.TileOrder(), func(tile int) string {
 			role, p := router.RoleOf(tile)
 			return fmt.Sprintf("%s/%d", role, p)
 		}))
 	}
+	return 0
 }
 
 func printLayout() {

@@ -47,7 +47,13 @@ import (
 	"repro/internal/raw/asm"
 )
 
+// main delegates to run so deferred cleanups (profile flush) execute
+// before the process exits — os.Exit in main would skip them.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	cycles := flag.Int64("cycles", 1000, "cycles to simulate")
 	inputs := flag.String("in", "", "edge inputs: tile:side:w1,w2,... (comma-free words use ; between specs)")
 	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
@@ -59,21 +65,21 @@ func main() {
 	common.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rawsim [flags] prog.rawasm")
-		os.Exit(2)
+		return 2
 	}
 	stopProf, err := common.StartProfile()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer stopProf()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	engine, _ := common.EngineChoice() // validated above
 	cfg := raw.DefaultConfig()
@@ -81,12 +87,12 @@ func main() {
 	chip := raw.NewChip(cfg)
 	if common.Checkpoint != "" || common.Restore != "" {
 		if err := chip.EnableRecording(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	interps, err := loadProgram(chip, string(src))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	sched, err := common.Schedule(fault.RandomOptions{
@@ -95,7 +101,7 @@ func main() {
 		MaxStallCycles: *cycles / 10,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if len(sched.Events) > 0 {
 		fmt.Printf("fault schedule: %s\n", sched)
@@ -103,7 +109,7 @@ func main() {
 	}
 
 	if ok, err := common.LoadCheckpoint(chip.RestoreSnapshot); err != nil {
-		fatal(err)
+		return fail(err)
 	} else if ok {
 		fmt.Printf("restored checkpoint %s at cycle %d\n", common.Restore, chip.Cycle())
 	}
@@ -111,7 +117,7 @@ func main() {
 	if *inputs != "" {
 		for _, spec := range strings.Split(*inputs, ";") {
 			if err := pushInput(chip, spec); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	}
@@ -123,7 +129,7 @@ func main() {
 	chip.Run(*cycles)
 	fmt.Printf("ran %d cycles (%d worker(s))\n", chip.Cycle(), chip.Workers())
 	if n, err := common.WriteCheckpoint(chip.Snapshot); err != nil {
-		fatal(err)
+		return fail(err)
 	} else if n > 0 {
 		fmt.Printf("checkpoint: %d bytes -> %s (cycle %d)\n", n, common.Checkpoint, chip.Cycle())
 	}
@@ -152,7 +158,7 @@ func main() {
 		for _, ts := range strings.Split(*regs, ",") {
 			tile, err := strconv.Atoi(strings.TrimSpace(ts))
 			if err != nil || tile < 0 || tile >= chip.NumTiles() {
-				fatal(fmt.Errorf("bad tile %q", ts))
+				return fail(fmt.Errorf("bad tile %q", ts))
 			}
 			it, ok := interps[tile]
 			if !ok {
@@ -168,6 +174,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+	return 0
 }
 
 // loadProgram parses the sectioned file and installs tile and switch
@@ -255,7 +262,7 @@ func pushInput(chip *raw.Chip, spec string) error {
 	return nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "rawsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -222,6 +222,9 @@ func (c *Common) Validate() error {
 	if _, _, err := c.FabricSpec(); err != nil {
 		return err
 	}
+	if c.Checkpoint != "" && c.Checkpoint == c.Restore {
+		return fmt.Errorf("-checkpoint and -restore name the same file %q: the run would overwrite the blob it is restoring from", c.Checkpoint)
+	}
 	return nil
 }
 

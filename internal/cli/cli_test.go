@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
@@ -102,6 +103,106 @@ func TestValidate(t *testing.T) {
 	}
 	if err := parseWith(t, "-workers", "4", "-metrics", "csv:x.csv").Validate(); err != nil {
 		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error must mention
+	}{
+		{"bad engine", []string{"-engine", "quantum"}, "engine"},
+		{"malformed metrics format", []string{"-metrics", "xml:out.txt"}, "metrics"},
+		{"malformed metrics separator", []string{"-metrics", "jsonl;out"}, "metrics"},
+		{"checkpoint and restore collide", []string{"-checkpoint", "state.bin", "-restore", "state.bin"}, "same file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseWith(t, tc.args...).Validate()
+			if err == nil {
+				t.Fatalf("%v: accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+	// Checkpoint→restore chains with distinct paths stay legal, as do
+	// the flags on their own.
+	for _, args := range [][]string{
+		{"-engine", "fast"},
+		{"-checkpoint", "new.bin", "-restore", "old.bin"},
+		{"-checkpoint", "state.bin"},
+		{"-restore", "state.bin"},
+	} {
+		if err := parseWith(t, args...).Validate(); err != nil {
+			t.Errorf("%v: rejected: %v", args, err)
+		}
+	}
+}
+
+func parseServe(t *testing.T, args ...string) (*ServeFlags, *Common) {
+	t.Helper()
+	var c Common
+	var s ServeFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterSim(fs)
+	c.RegisterTrace(fs)
+	c.RegisterCheckpoint(fs)
+	c.RegisterFabric(fs)
+	s.RegisterServe(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &s, &c
+}
+
+func TestServeFlagsValidate(t *testing.T) {
+	bad := [][]string{
+		{"-soak"},                            // soak without serve
+		{"-serve", "-feed", "tcp:127.0.0.1"}, // unknown feed scheme
+		{"-serve", "-feed", "udp:"},          // udp with no address
+		{"-serve", "-rate", "-5"},            // negative load
+		{"-serve", "-slice", "0"},            // empty slice
+		{"-serve", "-ckptevery", "8"},        // periodic ckpt without -checkpoint
+		{"-serve", "-soak", "-soakwindow", "0"},
+		{"-serve", "-trace"}, // batch-only report
+		{"-serve", "-topology", "ring", "-chips", "4"},
+	}
+	for _, args := range bad {
+		s, c := parseServe(t, args...)
+		if err := s.ValidateServe(c); err == nil {
+			t.Errorf("%v: accepted, want error", args)
+		}
+	}
+	good := [][]string{
+		{},
+		{"-serve"},
+		{"-serve", "-feed", "udp:127.0.0.1:0"},
+		{"-serve", "-soak", "-soakseed", "7"},
+		{"-serve", "-ckptevery", "8", "-checkpoint", "state.bin"},
+	}
+	for _, args := range good {
+		s, c := parseServe(t, args...)
+		if err := s.ValidateServe(c); err != nil {
+			t.Errorf("%v: rejected: %v", args, err)
+		}
+	}
+}
+
+func TestServeFeedSpec(t *testing.T) {
+	s := &ServeFlags{Feed: "synthetic"}
+	if kind, addr, err := s.FeedSpec(); kind != "synthetic" || addr != "" || err != nil {
+		t.Fatalf("synthetic = %q %q %v", kind, addr, err)
+	}
+	s.Feed = "udp:127.0.0.1:9000"
+	if kind, addr, err := s.FeedSpec(); kind != "udp" || addr != "127.0.0.1:9000" || err != nil {
+		t.Fatalf("udp = %q %q %v", kind, addr, err)
+	}
+	s.Feed = "pigeon:coop"
+	if _, _, err := s.FeedSpec(); err == nil {
+		t.Fatal("pigeon transport accepted")
 	}
 }
 

@@ -1,0 +1,61 @@
+package fault
+
+// Rolling chaos windows (serve-mode extension). A long-lived daemon
+// cannot pre-generate one fixed-horizon schedule: it does not know how
+// long it will run. Instead the soak loop asks for window k as the
+// simulation reaches it, each window an independently seeded recoverable
+// schedule confined to [k*window, (k+1)*window) cycles. The window
+// function is pure — (seed, era, k, window, opts) fully determine the
+// events — so a restore can regenerate every window the checkpointed run
+// had installed and replay bit-for-bit, and a supervisor restart can bump
+// `era` so the arc that killed the previous incarnation is not replayed
+// verbatim against the restored state.
+
+// mixWindowSeed derives window k's generator seed from the soak seed and
+// restart era (splitmix64-style finalizer; any change alters every
+// generated soak schedule).
+func mixWindowSeed(seed, era uint64, k int64) uint64 {
+	z := seed ^ (era+1)*0x9e3779b97f4a7c15 ^ (uint64(k)+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Window generates the k-th rolling chaos window: a seeded recoverable
+// schedule (the Random classes: link stalls, flaps, bounded freezes, DRAM
+// spikes) whose events all start within [k*window, (k+1)*window). Event
+// durations are bounded by opts.MaxStallCycles as in Random, so a window
+// may bleed slightly into its successor — that overlap is deterministic
+// and harmless to replay. opts.Horizon is ignored (the window length is
+// the horizon).
+func Window(seed, era uint64, k, window int64, opts RandomOptions) *Schedule {
+	if window <= 0 {
+		window = 100_000
+	}
+	opts.Horizon = window
+	s := Random(mixWindowSeed(seed, era, k), opts)
+	base := k * window
+	for i := range s.Events {
+		s.Events[i].Start += base
+	}
+	return s
+}
+
+// Union concatenates schedules into one (events in argument order; nil
+// schedules are skipped). The injector compiled from the union of all
+// windows installed so far is what a restored run must rebuild before
+// replay: mid-run injector swaps are legal between cycles, but the replay
+// sees only the final injector, so it must cover every window the
+// original run experienced.
+func Union(scheds ...*Schedule) *Schedule {
+	u := &Schedule{}
+	for _, s := range scheds {
+		if s == nil {
+			continue
+		}
+		u.Events = append(u.Events, s.Events...)
+	}
+	return u
+}

@@ -1,0 +1,71 @@
+package fault
+
+import "testing"
+
+func windowOpts() RandomOptions {
+	return RandomOptions{MaxStalls: 6, MaxFlaps: 3, MaxFreezes: 2, MaxDRAM: 2}
+}
+
+// TestWindowPure: Window is a pure function of its arguments — two calls
+// agree event for event.
+func TestWindowPure(t *testing.T) {
+	a := Window(42, 1, 3, 100_000, windowOpts())
+	b := Window(42, 1, 3, 100_000, windowOpts())
+	if len(a.Events) == 0 {
+		t.Fatal("window generated no events")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestWindowConfined: every event of window k starts inside
+// [k*window, (k+1)*window).
+func TestWindowConfined(t *testing.T) {
+	const w = 50_000
+	for k := int64(0); k < 4; k++ {
+		s := Window(7, 0, k, w, windowOpts())
+		for _, e := range s.Events {
+			if e.Start < k*w || e.Start >= (k+1)*w {
+				t.Fatalf("window %d event starts at %d, outside [%d, %d)", k, e.Start, k*w, (k+1)*w)
+			}
+		}
+	}
+}
+
+// TestWindowEraDiverges: bumping the era redraws the window.
+func TestWindowEraDiverges(t *testing.T) {
+	a := Window(42, 0, 2, 100_000, windowOpts())
+	b := Window(42, 1, 2, 100_000, windowOpts())
+	same := len(a.Events) == len(b.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("era bump left the window unchanged")
+	}
+}
+
+// TestUnionMerges: Union concatenates schedules (nils skipped) and keeps
+// every event.
+func TestUnionMerges(t *testing.T) {
+	a := Window(1, 0, 0, 50_000, windowOpts())
+	b := Window(1, 0, 1, 50_000, windowOpts())
+	u := Union(nil, a, nil, b)
+	if len(u.Events) != len(a.Events)+len(b.Events) {
+		t.Fatalf("union has %d events, want %d", len(u.Events), len(a.Events)+len(b.Events))
+	}
+	if len(Union().Events) != 0 {
+		t.Fatal("empty union not empty")
+	}
+}

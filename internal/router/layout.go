@@ -171,6 +171,33 @@ func LookupDirsOf(p int) raw.Dir {
 	panic("router: bad port")
 }
 
+// NumTiles is the chip tile count covered by Layout (the 4x4 mesh of
+// Figure 7-2), derived from the largest tile index in the mapping so
+// callers sizing per-tile structures cannot drift from the layout.
+var NumTiles = func() int {
+	max := 0
+	for _, pt := range Layout {
+		for _, t := range []int{pt.Ingress, pt.Lookup, pt.Crossbar, pt.Egress} {
+			if t > max {
+				max = t
+			}
+		}
+	}
+	return max + 1
+}()
+
+// TileOrder returns every chip tile index in ascending order — the
+// canonical iteration order for per-tile reports (trace summaries, the
+// telemetry tile table). The slice is freshly allocated; callers may
+// reorder it.
+func TileOrder() []int {
+	order := make([]int, NumTiles)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
 // RoleOf returns the role of a tile in the 4x4 layout.
 func RoleOf(tile int) (Role, int) {
 	for p, pt := range Layout {

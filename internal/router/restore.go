@@ -208,6 +208,14 @@ func (r *Router) restoreTick(cycle int64) {
 	r.completeRestore(cycle)
 }
 
+// Quiescent reports whether nothing is in flight inside the fabric: no
+// ingress mid-packet, no partial reassembly, and the conservation
+// identity balanced. It is the same predicate the restore state machine
+// drains against; serve-mode drains poll it (together with empty input
+// backlogs) to decide when a checkpoint captures a clean boundary. Call
+// between Run calls only.
+func (r *Router) Quiescent() bool { return r.drainQuiescent() }
+
 // drainQuiescent reports whether nothing is in flight inside the fabric:
 // no ingress mid-packet, no partial reassembly, and the conservation
 // identity balanced. Line-side state (pending drains, backlogs, down

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// HTTP control plane. Handlers never touch simulator state directly:
+// /healthz and /readyz serve the atomically published Status, while
+// /metrics and /drain post a request onto the control channel the slice
+// loop services between slices (or, once the loop has exited, run
+// inline — the Done close makes the loop's final memory visible).
+
+// callOnLoop runs f on the slice loop between slices and waits for it.
+// If the loop has already exited (or exits before servicing the
+// request), f runs inline on the caller — safe, because after Done no
+// goroutine touches the daemon again.
+func (d *Daemon) callOnLoop(f func()) {
+	ran := make(chan struct{})
+	select {
+	case d.ctl <- func() { f(); close(ran) }:
+		select {
+		case <-ran:
+		case <-d.done:
+			select {
+			case <-ran:
+			default:
+				f()
+			}
+		}
+	case <-d.done:
+		f()
+	}
+}
+
+// Handler returns the control-plane mux: /metrics, /healthz, /readyz,
+// /drain.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/readyz", d.handleReadyz)
+	mux.HandleFunc("/drain", d.handleDrain)
+	return mux
+}
+
+// handleMetrics renders the telemetry snapshot on demand (default
+// Prometheus text; ?format=jsonl|csv|prom), with the serve-plane series
+// appended to the Prometheus form.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	format := req.URL.Query().Get("format")
+	if format == "" {
+		format = "prom"
+	}
+	var body []byte
+	var err error
+	d.callOnLoop(func() {
+		snap := d.r.TelemetrySnapshot()
+		body, err = snap.Encode(format)
+		if err == nil && format == "prom" {
+			body = append(body, d.serveMetrics()...)
+		}
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType(format))
+	w.Write(body)
+}
+
+// serveMetrics renders the daemon-plane Prometheus series (ingest
+// ledger, lifecycle, SLO counters). Runs on the slice loop (or inline
+// after exit), so it reads the last published status.
+func (d *Daemon) serveMetrics() []byte {
+	st := d.Status()
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	gauge("raw_router_serve_state", "Daemon lifecycle (0 serving, 1 draining, 2 drained, 3 failed).", int(st.State))
+	gauge("raw_router_serve_ready", "1 when /readyz would return 200.", b01(st.Ready))
+	gauge("raw_router_serve_slice", "Completed admission slices.", st.Slice)
+	gauge("raw_router_serve_soak_windows", "Rolling chaos windows installed.", st.SoakWindows)
+	gauge("raw_router_serve_window_gbps", "Delivered throughput over the last full SLO window.", st.WindowGbps)
+	fmt.Fprintf(&b, "# HELP raw_router_serve_slo_violations_total SLO violation entering-transitions.\n# TYPE raw_router_serve_slo_violations_total counter\nraw_router_serve_slo_violations_total %d\n", st.Violations)
+	perPort := func(name, help string, v func(l *PortIngest) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for p := range st.Ingest.Ports {
+			fmt.Fprintf(&b, "%s{port=\"%d\"} %d\n", name, p, v(&st.Ingest.Ports[p]))
+		}
+	}
+	perPort("raw_router_serve_offered_words_total", "Words the feeder offered.",
+		func(l *PortIngest) int64 { return l.OfferedWords })
+	perPort("raw_router_serve_admitted_words_total", "Words admitted to the input pins.",
+		func(l *PortIngest) int64 { return l.AdmittedWords })
+	perPort("raw_router_serve_shed_words_total", "Words shed by admission overload.",
+		func(l *PortIngest) int64 { return l.ShedWords })
+	perPort("raw_router_serve_drain_discarded_words_total", "Queued words discarded by a forced drain.",
+		func(l *PortIngest) int64 { return l.DrainDiscardedWords })
+	fmt.Fprintf(&b, "# HELP raw_router_serve_queue_words Words currently queued at admission.\n# TYPE raw_router_serve_queue_words gauge\n")
+	for p := range st.Ingest.Ports {
+		fmt.Fprintf(&b, "raw_router_serve_queue_words{port=\"%d\"} %d\n", p, st.Ingest.Ports[p].QueuedWords)
+	}
+	return []byte(b.String())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleHealthz reports liveness: 200 while the process is serving or
+// winding down cleanly, 503 once the router fail-stopped.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	st := d.Status()
+	code := http.StatusOK
+	if st.RouterFailed || st.State == StateFailed {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// handleReadyz reports readiness: 200 only while serving with a healthy
+// router (no degraded port, restore, or probation) and no active SLO
+// violation.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	st := d.Status()
+	if st.Ready {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "slice": st.Slice, "cycle": st.Cycle})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"ready": false, "reason": st.NotReadyReason, "state": st.StateName,
+		"slice": st.Slice, "cycle": st.Cycle,
+	})
+}
+
+// drainResponse is /drain's JSON body.
+type drainResponse struct {
+	Reason     string `json:"reason"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Bytes      int    `json:"bytes,omitempty"`
+	Forced     bool   `json:"forced,omitempty"`
+	Cycle      int64  `json:"cycle"`
+	Slice      int64  `json:"slice"`
+}
+
+// handleDrain (POST) initiates drain → checkpoint → exit and replies
+// once the checkpoint is on disk — live migration as an HTTP call.
+// Repeated calls coalesce and all receive the same result.
+func (d *Daemon) handleDrain(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost && req.Method != http.MethodGet {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	ch := d.RequestDrain()
+	var res Result
+	select {
+	case res = <-ch:
+	case <-d.done:
+		select {
+		case res = <-ch:
+		default:
+			if p := d.FinalResult(); p != nil {
+				res = *p
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, drainResponse{
+		Reason:     res.Reason.String(),
+		Checkpoint: res.CheckpointPath,
+		Bytes:      res.CheckpointBytes,
+		Forced:     res.Forced,
+		Cycle:      res.Cycle,
+		Slice:      res.Slice,
+	})
+}

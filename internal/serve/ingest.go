@@ -1,0 +1,352 @@
+// Package serve runs the cycle-level router as a long-lived service: an
+// open-loop ingest bridge admitting externally arriving packets onto the
+// edge-port word streams, an HTTP control plane (/metrics, /healthz,
+// /readyz, /drain), an SLO guardrail loop sampling telemetry against
+// declarative gates, and a continuous chaos soak mode with supervised
+// restart-from-checkpoint.
+//
+// The daemon keeps the simulation's determinism discipline: everything
+// that touches simulator state runs on one goroutine (the slice loop);
+// HTTP handlers communicate through a control channel serviced between
+// slices plus an atomically published immutable Status. With the
+// deterministic synthetic feeder, a serve run is a pure function of its
+// configuration — it can be checkpointed mid-flight and restored
+// bit-for-bit, which is what makes /drain a live-migration primitive.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ip"
+	"repro/internal/traffic"
+)
+
+// Feeder produces the packets arriving at the router's four edge ports
+// during one slice of the daemon's time base (Config.SliceCycles cycles).
+// Deterministic feeders must be pure functions of the slice index so a
+// restored daemon resumes the identical arrival stream.
+type Feeder interface {
+	// Slice returns the arrivals for slice s, per edge port.
+	Slice(s int64) [4][]ip.Packet
+	// Close releases any external resources (sockets).
+	Close() error
+}
+
+// mix64 is a splitmix64-style finalizer used to derive independent
+// per-(slice, port) RNG streams from one feeder seed.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// SyntheticConfig parameterizes the deterministic in-process feeder.
+type SyntheticConfig struct {
+	// Seed drives every random draw (destinations, address salts).
+	Seed uint64
+	// SizeBytes is the on-wire packet size (default 1024, the paper's
+	// steady-state size).
+	SizeBytes int
+	// Pattern is "uniform", "permutation", or "hotspot" (§7.2-§7.4).
+	Pattern string
+	// RatePerMille is the offered load per port in words per 1000 cycles
+	// (1000 = one word per cycle, the line rate; default 800).
+	RatePerMille int
+	// SliceCycles is the daemon's slice length; the feeder needs it to
+	// convert the rate into per-slice packet budgets.
+	SliceCycles int64
+}
+
+// SyntheticFeeder is a deterministic open-loop packet source: the
+// arrivals for slice s are a pure function of (config, s) — no state
+// carries across slices — so a daemon restored from a checkpoint taken
+// at a slice boundary sees exactly the arrival stream the uninterrupted
+// run would have seen.
+type SyntheticFeeder struct {
+	cfg      SyntheticConfig
+	wordsPkt int64
+	perm     []int
+}
+
+// NewSyntheticFeeder validates the config and builds the feeder.
+func NewSyntheticFeeder(cfg SyntheticConfig) (*SyntheticFeeder, error) {
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = 1024
+	}
+	if cfg.SizeBytes < ip.HeaderBytes {
+		return nil, fmt.Errorf("serve: packet size %dB below the %dB header", cfg.SizeBytes, ip.HeaderBytes)
+	}
+	if cfg.RatePerMille == 0 {
+		cfg.RatePerMille = 800
+	}
+	if cfg.RatePerMille < 0 {
+		return nil, fmt.Errorf("serve: negative feed rate %d", cfg.RatePerMille)
+	}
+	if cfg.SliceCycles <= 0 {
+		return nil, fmt.Errorf("serve: synthetic feeder needs a positive slice length")
+	}
+	f := &SyntheticFeeder{cfg: cfg}
+	probe := ip.NewPacket(0, 0, 64, cfg.SizeBytes, 0)
+	f.wordsPkt = int64(probe.LenWords())
+	switch cfg.Pattern {
+	case "", "uniform", "hotspot":
+	case "permutation":
+		f.perm = traffic.RotatedPerm(4, 1)
+	default:
+		return nil, fmt.Errorf("serve: unknown feed pattern %q (uniform, permutation, hotspot)", cfg.Pattern)
+	}
+	return f, nil
+}
+
+// pktsThrough returns how many whole packets per port the offered rate
+// has accumulated by the END of slice s (integer fixed-point, so the
+// per-slice count is exact over any horizon with no drift).
+func (f *SyntheticFeeder) pktsThrough(s int64) int64 {
+	words := (s + 1) * f.cfg.SliceCycles * int64(f.cfg.RatePerMille) / 1000
+	return words / f.wordsPkt
+}
+
+// Slice returns the arrivals for slice s.
+func (f *SyntheticFeeder) Slice(s int64) [4][]ip.Packet {
+	var out [4][]ip.Packet
+	base := int64(0)
+	if s > 0 {
+		base = f.pktsThrough(s - 1)
+	}
+	n := f.pktsThrough(s) - base
+	for p := 0; p < 4; p++ {
+		if n == 0 {
+			continue
+		}
+		rng := traffic.NewRNG(mix64(f.cfg.Seed ^ uint64(s)*0x9e3779b97f4a7c15 ^ uint64(p) + 1))
+		pkts := make([]ip.Packet, 0, n)
+		for i := int64(0); i < n; i++ {
+			dst := 0
+			switch f.cfg.Pattern {
+			case "", "uniform":
+				dst = rng.Intn(4)
+			case "permutation":
+				dst = f.perm[p]
+			case "hotspot":
+				if rng.Float64() >= 0.7 {
+					dst = rng.Intn(4)
+				}
+			}
+			salt := uint32(rng.Uint64())
+			id := uint16(base + i)
+			pkts = append(pkts, ip.NewPacket(
+				traffic.PortAddr(p, salt),
+				traffic.PortAddr(dst, salt*2654435761+1),
+				64, f.cfg.SizeBytes, id))
+		}
+		out[p] = pkts
+	}
+	return out
+}
+
+// Close is a no-op for the in-process feeder.
+func (f *SyntheticFeeder) Close() error { return nil }
+
+// UDPFeeder is the live-socket shim: one datagram is one packet. The
+// first payload byte selects the ingress port (low two bits) and the
+// second the destination port (low two bits; missing bytes default to
+// 0); the datagram length, clamped to [header, 1500] bytes, becomes the
+// packet size. A reader goroutine batches datagrams into a pending
+// queue the slice loop drains at slice boundaries, so socket timing
+// never touches simulator state mid-slice. A UDP-fed run is not
+// deterministic (arrival slices depend on wall-clock interleaving) —
+// use the synthetic feeder for runs that must replay.
+type UDPFeeder struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	pending [4][]ip.Packet
+
+	id uint16
+}
+
+// NewUDPFeeder binds addr ("host:port") and starts the reader.
+func NewUDPFeeder(addr string) (*UDPFeeder, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: udp feed: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("serve: udp feed: %w", err)
+	}
+	f := &UDPFeeder{conn: conn}
+	go f.reader()
+	return f, nil
+}
+
+// Addr returns the bound socket address (useful with port 0).
+func (f *UDPFeeder) Addr() net.Addr { return f.conn.LocalAddr() }
+
+func (f *UDPFeeder) reader() {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := f.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		port, dst := 0, 0
+		if n >= 1 {
+			port = int(buf[0] & 3)
+		}
+		if n >= 2 {
+			dst = int(buf[1] & 3)
+		}
+		size := n
+		if size < ip.HeaderBytes {
+			size = ip.HeaderBytes
+		}
+		if size > 1500 {
+			size = 1500
+		}
+		f.mu.Lock()
+		f.id++
+		pkt := ip.NewPacket(
+			traffic.PortAddr(port, uint32(f.id)),
+			traffic.PortAddr(dst, uint32(f.id)*2654435761+1),
+			64, size, f.id)
+		f.pending[port] = append(f.pending[port], pkt)
+		f.mu.Unlock()
+	}
+}
+
+// Slice hands over every datagram that arrived since the previous call.
+func (f *UDPFeeder) Slice(s int64) [4][]ip.Packet {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out [4][]ip.Packet
+	for p := range f.pending {
+		out[p] = f.pending[p]
+		f.pending[p] = nil
+	}
+	return out
+}
+
+// Close shuts the socket down and stops the reader.
+func (f *UDPFeeder) Close() error { return f.conn.Close() }
+
+// PortIngest is the admission ledger of one edge port. Every word the
+// feeder offers is accounted to exactly one of: admitted to the input
+// pins, still queued, shed by overload, or discarded by a drain — the
+// identity Offered == Admitted + Queued + Shed + DrainDiscarded holds at
+// every slice boundary and is asserted by the conservation SLO gate.
+type PortIngest struct {
+	OfferedPkts, OfferedWords   int64
+	AdmittedPkts, AdmittedWords int64
+	ShedPkts, ShedWords         int64
+	DrainDiscardedPkts          int64
+	DrainDiscardedWords         int64
+	QueuedPkts, QueuedWords     int64
+}
+
+// admission is the serve-side bridge between a Feeder and the router's
+// input pins: a bounded per-port packet queue with overload shedding.
+// Arrivals beyond the queue bound are dropped and counted — never
+// blocked — so a misbehaving source cannot stall the cycle loop.
+type admission struct {
+	queues    [4][]ip.Packet
+	capPkts   int
+	highWords int
+	ledger    [4]PortIngest
+}
+
+func newAdmission(queuePkts, highWords int) *admission {
+	return &admission{capPkts: queuePkts, highWords: highWords}
+}
+
+// offer admits one slice of arrivals into the queues. clamped halves the
+// effective queue bound — the graceful-degradation response to a
+// drop-rate SLO violation: shed earlier, keep queues (and therefore
+// admission latency) short while the fabric is struggling.
+func (a *admission) offer(arrivals [4][]ip.Packet, clamped bool) {
+	cap := a.capPkts
+	if clamped {
+		if cap /= 2; cap < 1 {
+			cap = 1
+		}
+	}
+	for p := range arrivals {
+		led := &a.ledger[p]
+		for i := range arrivals[p] {
+			pkt := &arrivals[p][i]
+			w := int64(pkt.LenWords())
+			led.OfferedPkts++
+			led.OfferedWords += w
+			if len(a.queues[p]) >= cap {
+				led.ShedPkts++
+				led.ShedWords += w
+				continue
+			}
+			a.queues[p] = append(a.queues[p], *pkt)
+			led.QueuedPkts++
+			led.QueuedWords += w
+		}
+	}
+}
+
+// pump moves queued packets onto the input pins while the pin backlog is
+// below the high-water mark. offerPkt is the router's OfferPacket bound
+// to a port; backlog its current pin occupancy in words. A dead or
+// wedged port stops consuming its backlog, so the high-water check is
+// also the natural backpressure that stops pumping into a black hole.
+func (a *admission) pump(backlog func(p int) int, offerPkt func(p int, pkt *ip.Packet)) {
+	for p := range a.queues {
+		led := &a.ledger[p]
+		for len(a.queues[p]) > 0 {
+			pkt := &a.queues[p][0]
+			w := pkt.LenWords()
+			if backlog(p)+w > a.highWords {
+				break
+			}
+			offerPkt(p, pkt)
+			led.AdmittedPkts++
+			led.AdmittedWords += int64(w)
+			led.QueuedPkts--
+			led.QueuedWords -= int64(w)
+			a.queues[p] = a.queues[p][1:]
+		}
+	}
+}
+
+// discardQueues empties every queue into the drain-discarded column —
+// the end of a drain whose budget expired with packets still queued.
+func (a *admission) discardQueues() {
+	for p := range a.queues {
+		led := &a.ledger[p]
+		for i := range a.queues[p] {
+			w := int64(a.queues[p][i].LenWords())
+			led.DrainDiscardedPkts++
+			led.DrainDiscardedWords += w
+			led.QueuedPkts--
+			led.QueuedWords -= w
+		}
+		a.queues[p] = nil
+	}
+}
+
+// queuedWords returns the words currently queued on port p.
+func (a *admission) queuedWords(p int) int64 { return a.ledger[p].QueuedWords }
+
+// balanced reports whether the admission ledger identity holds on every
+// port.
+func (a *admission) balanced() bool {
+	for p := range a.ledger {
+		l := &a.ledger[p]
+		if l.OfferedWords != l.AdmittedWords+l.QueuedWords+l.ShedWords+l.DrainDiscardedWords {
+			return false
+		}
+		if l.QueuedWords < 0 || l.QueuedPkts < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SLO guardrails. The daemon samples the telemetry plane at every slice
+// boundary (slices are whole numbers of quanta in practice, and every
+// counter read is a between-cycles snapshot) and folds the samples into
+// a rolling window judged against declarative gates. Violations are
+// typed events — they land in the telemetry event stream under the
+// "slo-violation" kind — and entering violation trips the graceful
+// degradation responses: readiness flips off, and a drop-rate breach
+// clamps the admission queues so the ingest bridge sheds earlier.
+
+// Gates declares the serve-mode service-level objectives. The zero value
+// disables every threshold gate; conservation checking is always on in
+// the daemon (a broken ledger is a bug, not an operating condition).
+type Gates struct {
+	// MinGbps is the minimum delivered throughput (output-pin words)
+	// over the window; 0 disables.
+	MinGbps float64
+	// MaxDropRate is the maximum (shed words / offered words) over the
+	// window; 0 or negative disables.
+	MaxDropRate float64
+	// WindowSlices is the rolling window length in slices (default 8).
+	// Gates are judged only once a full window of samples exists.
+	WindowSlices int
+}
+
+// Gate names (the Violation.Gate vocabulary).
+const (
+	GateThroughput   = "throughput"
+	GateDropRate     = "droprate"
+	GateConservation = "conservation"
+)
+
+// Violation is one typed SLO breach: gate, observed value, limit, and
+// where in the run it was judged.
+type Violation struct {
+	Slice int64   `json:"slice"`
+	Cycle int64   `json:"cycle"`
+	Gate  string  `json:"gate"`
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+// String renders the violation the way the event Detail field carries it.
+func (v Violation) String() string {
+	return fmt.Sprintf("gate=%s value=%g limit=%g", v.Gate, v.Value, v.Limit)
+}
+
+// sloSample is one slice's deltas, the unit the rolling window sums.
+type sloSample struct {
+	cycles       int64
+	outWords     int64
+	offeredWords int64
+	shedWords    int64
+}
+
+// sloLoop is the rolling-window evaluator. It lives on the slice loop
+// goroutine; all methods are called between slices.
+type sloLoop struct {
+	gates   Gates
+	clockHz float64
+
+	ring []sloSample
+	next int
+	full bool
+
+	// active tracks which gates are currently in violation; transitions
+	// in and out are what emit events.
+	active map[string]Violation
+	// wasActive remembers whether any gate was in violation after the
+	// previous observation (the edge detector for slo-clear).
+	wasActive bool
+	// total counts entering transitions over the daemon's life.
+	total int64
+	// lastGbps is the most recent full-window delivered throughput.
+	lastGbps float64
+}
+
+func newSLOLoop(g Gates, clockHz float64) *sloLoop {
+	if g.WindowSlices <= 0 {
+		g.WindowSlices = 8
+	}
+	return &sloLoop{
+		gates:   g,
+		clockHz: clockHz,
+		ring:    make([]sloSample, g.WindowSlices),
+		active:  map[string]Violation{},
+	}
+}
+
+// observe folds one slice's sample in and judges the gates. It returns
+// the violations entered this slice and whether all gates just cleared
+// (for the slo-clear event). conservationOK is the caller's ledger +
+// counter invariant check, judged every slice regardless of window fill.
+func (l *sloLoop) observe(slice, cycle int64, s sloSample, conservationOK bool) (entered []Violation, cleared bool) {
+	l.ring[l.next] = s
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+
+	judge := func(gate string, value, limit float64, bad bool) {
+		if bad {
+			if _, on := l.active[gate]; !on {
+				v := Violation{Slice: slice, Cycle: cycle, Gate: gate, Value: value, Limit: limit}
+				l.active[gate] = v
+				l.total++
+				entered = append(entered, v)
+			}
+		} else {
+			delete(l.active, gate)
+		}
+	}
+
+	judge(GateConservation, 0, 0, !conservationOK)
+
+	if l.full {
+		var sum sloSample
+		for _, r := range l.ring {
+			sum.cycles += r.cycles
+			sum.outWords += r.outWords
+			sum.offeredWords += r.offeredWords
+			sum.shedWords += r.shedWords
+		}
+		l.lastGbps = stats.Gbps(sum.outWords*4, sum.cycles, l.clockHz)
+		if l.gates.MinGbps > 0 {
+			judge(GateThroughput, l.lastGbps, l.gates.MinGbps, l.lastGbps < l.gates.MinGbps)
+		}
+		if l.gates.MaxDropRate > 0 && sum.offeredWords > 0 {
+			rate := float64(sum.shedWords) / float64(sum.offeredWords)
+			judge(GateDropRate, rate, l.gates.MaxDropRate, rate > l.gates.MaxDropRate)
+		}
+	}
+
+	nowActive := len(l.active) > 0
+	if l.wasActive && !nowActive {
+		cleared = true
+	}
+	l.wasActive = nowActive
+	return entered, cleared
+}
+
+// activeViolations returns the current violations sorted by gate name
+// (deterministic for the published Status).
+func (l *sloLoop) activeViolations() []Violation {
+	if len(l.active) == 0 {
+		return nil
+	}
+	out := make([]Violation, 0, len(l.active))
+	for _, gate := range []string{GateConservation, GateDropRate, GateThroughput} {
+		if v, ok := l.active[gate]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dropRateActive reports whether the drop-rate gate is currently in
+// violation — the trigger for the admission clamp.
+func (l *sloLoop) dropRateActive() bool {
+	_, on := l.active[GateDropRate]
+	return on
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// Supervised restart. A soak run is expected to hit fail-stops
+// eventually (that is the point of chaos); the supervisor turns a
+// fail-stop into a restart-from-checkpoint with seeded exponential
+// backoff. Each restart bumps the soak era, so rolling windows generated
+// after the restore draw from a fresh stream — the deterministic fault
+// arc that killed the previous incarnation is not replayed verbatim
+// against the restored state, mirroring how a real fleet's retry storms
+// are decorrelated by jitter.
+
+// SupervisorConfig drives Supervise.
+type SupervisorConfig struct {
+	// Build constructs a fresh daemon incarnation. restorePath is "" for
+	// the first boot (or when no checkpoint exists yet); era is the soak
+	// era the incarnation must generate new windows under. Build owns
+	// constructing the router, feeder, and serve.Config wiring.
+	Build func(restorePath string, era uint64) (*Daemon, error)
+	// MaxRestarts bounds fail-stop restarts (default 3).
+	MaxRestarts int
+	// BackoffBase/BackoffMax shape the exponential restart delay
+	// (defaults 200ms / 10s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the backoff jitter.
+	Seed uint64
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+	// Logf, if non-nil, narrates restarts.
+	Logf func(format string, args ...any)
+}
+
+// Supervise runs daemon incarnations until one exits cleanly (drained or
+// slice budget) or the restart budget is spent. It returns the last
+// incarnation's result.
+func Supervise(cfg SupervisorConfig) (Result, error) {
+	if cfg.Build == nil {
+		return Result{}, fmt.Errorf("serve: SupervisorConfig.Build is required")
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 200 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := traffic.NewRNG(cfg.Seed ^ 0x51e5e1f0_0dd5)
+
+	restore := ""
+	era := uint64(0)
+	for attempt := 0; ; attempt++ {
+		d, err := cfg.Build(restore, era)
+		if err != nil {
+			return Result{}, fmt.Errorf("serve: build incarnation %d: %w", attempt, err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			return res, err
+		}
+		if res.Reason != ReasonFailed {
+			return res, nil
+		}
+		if attempt >= cfg.MaxRestarts {
+			return res, fmt.Errorf("serve: router fail-stopped and restart budget (%d) is spent", cfg.MaxRestarts)
+		}
+		restore = res.LastCheckpoint
+		era++
+		delay := cfg.BackoffBase << attempt
+		if delay > cfg.BackoffMax || delay <= 0 {
+			delay = cfg.BackoffMax
+		}
+		delay += time.Duration(rng.Float64() * 0.5 * float64(delay))
+		from := restore
+		if from == "" {
+			from = "scratch (no checkpoint yet)"
+		}
+		logf("supervisor: incarnation %d fail-stopped at cycle %d; restarting from %s in %v (era %d)",
+			attempt, res.Cycle, from, delay, era)
+		sleep(delay)
+	}
+}

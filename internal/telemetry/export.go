@@ -264,7 +264,8 @@ func (s *Snapshot) Prometheus() []byte {
 		counts[e.Kind]++
 	}
 	for _, k := range []string{"line-down", "line-up", "degrade", "restore-drain",
-		"restore-rejected", "readmit", "live", "fail-stop"} {
+		"restore-rejected", "readmit", "live", "fail-stop",
+		"slo-violation", "slo-clear", "drain-start", "checkpoint"} {
 		if n, ok := counts[k]; ok {
 			fmt.Fprintf(&b, "raw_router_recovery_events_total{kind=\"%s\"} %d\n", k, n)
 		}

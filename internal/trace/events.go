@@ -59,6 +59,21 @@ const (
 	// (PartitionError) instead of holding frames forever. Port carries
 	// the heal epoch.
 	EvPartition
+	// EvSLOViolation: a serve-mode guardrail gate failed its threshold
+	// over the sampling window. Port is -1 (plane-wide); Detail carries
+	// "gate=NAME value=V limit=L".
+	EvSLOViolation
+	// EvSLOClear: every guardrail gate passed again after a violation;
+	// the daemon leaves degraded service. Port is -1.
+	EvSLOClear
+	// EvDrainStart: the daemon stopped admitting ingest and began
+	// draining in-flight words toward a checkpoint (SIGTERM or /drain).
+	// Port is -1.
+	EvDrainStart
+	// EvCheckpoint: the daemon wrote a checkpoint blob. Port is -1;
+	// Detail carries "bytes=N" (and "forced" if the drain budget expired
+	// before quiescence).
+	EvCheckpoint
 
 	numEventKinds
 )
@@ -82,6 +97,10 @@ var wireNames = [numEventKinds]string{
 	EvTrunkRestore:    "trunk-restore",
 	EvHealReroute:     "heal-reroute",
 	EvPartition:       "partition",
+	EvSLOViolation:    "slo-violation",
+	EvSLOClear:        "slo-clear",
+	EvDrainStart:      "drain-start",
+	EvCheckpoint:      "checkpoint",
 }
 
 // String returns the kind's stable wire name.

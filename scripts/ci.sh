@@ -84,4 +84,14 @@ echo "== healing: idle-overhead gate =="
 # until a fault happens.
 sh scripts/bench_fault.sh
 
+echo "== serve: daemon-mode smoke =="
+# Boot rawrouter -serve as a real process and drive the whole lifecycle
+# over HTTP: healthz/readyz, a latched degrade arc that trips the
+# throughput SLO gate, /drain -> checkpoint -> clean exit, then two
+# restores of the drain checkpoint that must produce byte-identical
+# continuations (see scripts/serve_smoke.sh). The same arcs run in-process
+# under -race in internal/serve.
+go test -race ./internal/serve ./internal/cli
+sh scripts/serve_smoke.sh
+
 echo "CI green."
