@@ -16,7 +16,7 @@
 #            pending) FABCKPT1 checkpoint that must continue
 #            byte-identical, zero silent word loss at the end
 #   fuzz   - short runs of the interpreter, allocator, fault-schedule,
-#            and chip-snapshot fuzz targets
+#            chip-snapshot, topology-spec, and workload-spec fuzz targets
 #   bench  - the simulator-speed benchmark at 1 and NumCPU workers
 #   bench-telemetry - regenerate BENCH_telemetry.json; fails if the
 #            disabled telemetry plane costs >1% vs the pre-telemetry
@@ -28,6 +28,11 @@
 #   bench-fault - regenerate BENCH_fault.json; fails if arming the
 #            fabric healing plane costs an idle (fault-free) run >1%
 #            versus healing disabled (interleaved paired legs)
+#   bench-traffic - regenerate BENCH_traffic.json; fails if generating
+#            one slice of open-loop arrivals (heavy-tailed flows) costs
+#            >1% of the reference engine stepping the same cycles, and
+#            byte-diffs the checked-in daymini trace artifact against a
+#            regeneration from its preset spec
 #   serve-smoke - the daemon-mode lifecycle smoke: boot rawrouter -serve
 #            as a real process, drive healthz/readyz/metrics over HTTP
 #            through a latched degrade + SLO violation, /drain to a
@@ -37,7 +42,7 @@
 GO ?= go
 SOAK_SEEDS ?= 20
 
-.PHONY: all tier1 tier2 chaos soak soak-heal fuzz bench bench-telemetry bench-engine bench-fault serve-smoke ci
+.PHONY: all tier1 tier2 chaos soak soak-heal fuzz bench bench-telemetry bench-engine bench-fault bench-traffic serve-smoke ci
 
 all: tier1
 
@@ -67,6 +72,7 @@ fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzFaultSchedule -fuzztime 30s
 	$(GO) test ./internal/raw -fuzz FuzzSnapshotRoundTrip -fuzztime 30s
 	$(GO) test ./internal/cluster -fuzz FuzzTopologySpec -fuzztime 30s
+	$(GO) test ./internal/traffic -fuzz FuzzWorkloadSpec -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorCyclesPerSecond -benchmem .
@@ -80,8 +86,11 @@ bench-engine:
 bench-fault:
 	sh scripts/bench_fault.sh
 
+bench-traffic:
+	sh scripts/bench_traffic.sh
+
 serve-smoke:
 	$(GO) test -race ./internal/serve ./internal/cli
 	sh scripts/serve_smoke.sh
 
-ci: tier1 tier2 chaos soak soak-heal bench-telemetry bench-engine bench-fault serve-smoke
+ci: tier1 tier2 chaos soak soak-heal bench-telemetry bench-engine bench-fault bench-traffic serve-smoke

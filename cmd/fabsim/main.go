@@ -7,13 +7,19 @@
 //
 //	fabsim [-full] [-workers 1] [-reprobe N] [-metrics FORMAT[:FILE]]
 //	       [-topology ring|mesh|fattree] [-chips N] [-faults SCHED]
-//	       [-exp all|background|ablation|fairness|qos|multicast|scale|scaleout|degraded|restore|telemetry]
+//	       [-workload SPEC] [-recordtrace FILE]
+//	       [-exp all|background|ablation|fairness|qos|multicast|scale|scaleout|degraded|restore|telemetry|heavytail]
 //
 // -exp restore runs the port re-admission experiment (degrade -> restore
 // -> probation vs never-failed); -reprobe arms line-flap retry with the
 // given backoff base (in quanta) for that experiment's routers. -exp
 // telemetry runs the telemetry-plane experiment; adding -metrics also
-// exports its snapshot (jsonl, csv, or prom) to FILE or stdout.
+// exports its snapshot (jsonl, csv, or prom) to FILE or stdout. -exp
+// heavytail runs the production-traffic comparison (heavy-tailed flows
+// and IMIX mixes vs the paper's synthetics, plus the cell fabrics under
+// skewed destinations); -workload re-points its fabric table at any
+// workload spec, and -recordtrace freezes the workload's open-loop
+// arrival stream as a TRAF1 trace.
 //
 // -topology switches fabsim from the experiment suite to a single
 // N-chip cycle-level fabric run: -chips sizes it (a 16-chip mesh is the
@@ -56,9 +62,11 @@ func main() {
 
 func run() int {
 	full := flag.Bool("full", false, "run the long (recorded) experiment durations")
-	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, scaleout, degraded, restore, telemetry")
+	which := flag.String("exp", "all", "experiment: all, background, ablation, fairness, qos, multicast, scale, scaleout, degraded, restore, telemetry, heavytail")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the restore experiment (0 = latched LineDown)")
 	var common cli.Common
+	var wflags cli.WorkloadFlags
+	wflags.RegisterWorkload(flag.CommandLine)
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterMetrics(flag.CommandLine)
 	common.RegisterProfile(flag.CommandLine)
@@ -69,6 +77,21 @@ func run() int {
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fabsim:", err)
 		return 2
+	}
+	if err := wflags.CheckConflicts(flag.CommandLine); err != nil {
+		fmt.Fprintln(os.Stderr, "fabsim:", err)
+		return 2
+	}
+	if wl, given, err := wflags.Build(); err != nil {
+		fmt.Fprintln(os.Stderr, "fabsim:", err)
+		return 2
+	} else if given {
+		if n, wrote, err := wflags.MaybeRecord(wl, 4096); err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			return 1
+		} else if wrote {
+			fmt.Printf("workload: recorded %d arrivals -> %s\n", n, wflags.RecordTrace)
+		}
 	}
 	stopProf, err := common.StartProfile()
 	if err != nil {
@@ -126,6 +149,20 @@ func run() int {
 	}
 	if show("lookup") {
 		fmt.Println(exp.LookupCost(5000))
+	}
+	if show("heavytail") {
+		_, tb := exp.HeavyTail(q)
+		fmt.Println(tb)
+		spec := "flows:alpha=1.3,zipf=1.1"
+		if wflags.Given() {
+			spec = wflags.Workload
+		}
+		ftb, err := exp.HeavyTailFabric(q, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			return 1
+		}
+		fmt.Println(ftb)
 	}
 	if show("degraded") {
 		_, _, tb := exp.DegradedCrossbar(q)

@@ -5,9 +5,18 @@
 //
 //	rawrouter [-size 1024] [-pattern perm|uniform|hotspot] [-cycles 200000]
 //	          [-warmup 80000] [-quantum 256] [-crypto] [-layout] [-seed 1]
+//	          [-workload SPEC] [-recordtrace FILE] [-recordslices N]
 //	          [-workers 1] [-faults SCHEDULE] [-faultseed N] [-watchdog]
 //	          [-autorestore] [-reprobe N] [-checkpoint FILE] [-restore FILE]
 //	          [-metrics FORMAT[:FILE]]
+//
+// -workload drives the router from a declarative workload spec
+// (`NAME[:key=val,...]`, `json:FILE`, `trace:FILE`, or a preset — see
+// internal/traffic) instead of the legacy -pattern/-size/-seed/-rate
+// flags; mixing the two is rejected. -recordtrace freezes the
+// workload's open-loop arrival stream as a replayable TRAF1 trace
+// (-recordslices slices long). With -serve, -workload selects the
+// synthetic feeder's workload.
 //
 // With -layout it prints the Figure 7-2 tile mapping and exits. -faults
 // takes the internal/fault text encoding (e.g. "crash@5000:t6"); with
@@ -60,6 +69,8 @@ func run() int {
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta (0 = LineDown latches permanently)")
 	var common cli.Common
 	var sflags cli.ServeFlags
+	var wflags cli.WorkloadFlags
+	wflags.RegisterWorkload(flag.CommandLine)
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterFaults(flag.CommandLine)
 	common.RegisterTrace(flag.CommandLine)
@@ -75,6 +86,31 @@ func run() int {
 	if err := sflags.ValidateServe(&common); err != nil {
 		fmt.Fprintln(os.Stderr, "rawrouter:", err)
 		return 2
+	}
+	if err := wflags.CheckConflicts(flag.CommandLine, "size", "pattern", "seed", "rate"); err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		return 2
+	}
+	workload, workloadGiven, err := wflags.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rawrouter:", err)
+		return 2
+	}
+	if workloadGiven {
+		if kind, _, _ := sflags.FeedSpec(); sflags.Serve && kind == "udp" {
+			fmt.Fprintln(os.Stderr, "rawrouter: -workload describes synthetic traffic; it cannot run with -feed udp")
+			return 2
+		}
+		recCycles := int64(4096)
+		if sflags.Serve {
+			recCycles = sflags.SliceCycles
+		}
+		if n, wrote, err := wflags.MaybeRecord(workload, recCycles); err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			return 1
+		} else if wrote {
+			fmt.Printf("workload: recorded %d arrivals -> %s\n", n, wflags.RecordTrace)
+		}
 	}
 
 	if *layout {
@@ -93,6 +129,7 @@ func run() int {
 		return runServe(&common, &sflags, serveParams{
 			size: *size, pattern: *pattern, quantum: *quantum, crypto: *crypto,
 			seed: *seed, watchdog: *watchdog, autoRestore: *autoRestore, reprobe: *reprobe,
+			workload: workload,
 		})
 	}
 
@@ -142,20 +179,30 @@ func run() int {
 	}
 
 	var gen core.TrafficGen
-	switch *pattern {
-	case "perm":
-		gen = core.PermutationTraffic(*size, 2)
-	case "uniform":
-		gen = core.UniformTraffic(*size, *seed)
-	case "hotspot":
-		gen = core.HotspotTraffic(*size, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "rawrouter: unknown pattern %q\n", *pattern)
-		return 2
+	described := fmt.Sprintf("pattern=%s size=%dB", *pattern, *size)
+	if workloadGiven {
+		gen, err = core.WorkloadTraffic(workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawrouter:", err)
+			return 2
+		}
+		described = "workload=" + workload.Spec.String()
+	} else {
+		switch *pattern {
+		case "perm":
+			gen = core.PermutationTraffic(*size, 2)
+		case "uniform":
+			gen = core.UniformTraffic(*size, *seed)
+		case "hotspot":
+			gen = core.HotspotTraffic(*size, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "rawrouter: unknown pattern %q\n", *pattern)
+			return 2
+		}
 	}
 
 	res := r.RunMeasured(*warmup, *cycles, gen)
-	fmt.Printf("pattern=%s size=%dB quantum=%dw crypto=%v\n", *pattern, *size, *quantum, *crypto)
+	fmt.Printf("%s quantum=%dw crypto=%v\n", described, *quantum, *crypto)
 	fmt.Printf("measured %d cycles at %.0f MHz\n", res.Cycles, res.ClockHz/1e6)
 	fmt.Printf("throughput: %.2f Gbps   rate: %.2f Mpps   packets: %d\n",
 		res.Gbps, res.Mpps, res.Packets)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // serveParams carries the batch flags the serve path shares.
@@ -30,6 +31,9 @@ type serveParams struct {
 	watchdog    bool
 	autoRestore bool
 	reprobe     int
+	// workload is the compiled -workload spec; nil means the legacy
+	// -pattern/-size/-seed/-rate flags describe the synthetic feed.
+	workload *traffic.Workload
 }
 
 // runServe runs the router as a daemon: live ingest, HTTP control plane,
@@ -130,10 +134,14 @@ func runServe(common *cli.Common, sf *cli.ServeFlags, p serveParams) int {
 			fmt.Printf("serve: udp feed listening on %s\n", uf.Addr())
 			feeder = uf
 		default:
-			feeder, err = serve.NewSyntheticFeeder(serve.SyntheticConfig{
-				Seed: p.seed, SizeBytes: p.size, Pattern: pattern,
-				RatePerMille: sf.Rate, SliceCycles: sf.SliceCycles,
-			})
+			if p.workload != nil {
+				feeder, err = serve.NewWorkloadFeeder(p.workload, sf.SliceCycles)
+			} else {
+				feeder, err = serve.NewSyntheticFeeder(serve.SyntheticConfig{
+					Seed: p.seed, SizeBytes: p.size, Pattern: pattern,
+					RatePerMille: sf.Rate, SliceCycles: sf.SliceCycles,
+				})
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -19,19 +19,24 @@
 // Usage:
 //
 //	rawsim [-cycles 1000] [-in tile:side:w1,w2,...] [-regs 0,4]
+//	       [-workload SPEC -workloadpkts N]
 //	       [-faults SCHEDULE] [-faultseed N]
 //	       [-checkpoint FILE] [-restore FILE] prog.rawasm
 //
 // -in pushes words into a boundary static input before the run; -regs
 // dumps those tiles' registers afterwards; all boundary static outputs
-// that received words are printed. -faults installs a deterministic
-// fault schedule (internal/fault text encoding, e.g. "freeze@100+50:t3");
-// -faultseed adds a seeded schedule of recoverable faults. -checkpoint
-// FILE writes a deterministic chip checkpoint blob after the run;
-// -restore FILE replays one before running -cycles more. A -restore run
-// must load the same program and pass the same -faults/-faultseed as the
-// run that wrote the blob — the restore verifies the replay and rejects
-// a mismatched environment.
+// that received words are printed. -workload preloads each router
+// ingress pin (the Figure 7-2 port layout) with on-wire IP packets
+// drawn from a declarative workload spec instead of hand-typed word
+// lists — -workloadpkts packets per port; it replaces -in and the two
+// conflict. -faults installs a deterministic fault schedule
+// (internal/fault text encoding, e.g. "freeze@100+50:t3"); -faultseed
+// adds a seeded schedule of recoverable faults. -checkpoint FILE writes
+// a deterministic chip checkpoint blob after the run; -restore FILE
+// replays one before running -cycles more. A -restore run must load the
+// same program and pass the same -faults/-faultseed as the run that
+// wrote the blob — the restore verifies the replay and rejects a
+// mismatched environment.
 package main
 
 import (
@@ -43,8 +48,11 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/ip"
 	"repro/internal/raw"
 	"repro/internal/raw/asm"
+	"repro/internal/router"
+	"repro/internal/traffic"
 )
 
 // main delegates to run so deferred cleanups (profile flush) execute
@@ -58,13 +66,19 @@ func run() int {
 	inputs := flag.String("in", "", "edge inputs: tile:side:w1,w2,... (comma-free words use ; between specs)")
 	regs := flag.String("regs", "", "tiles whose registers to dump, comma separated")
 	workerStats := flag.Bool("workerstats", false, "print per-worker phase accounting after the run")
+	workloadPkts := flag.Int("workloadpkts", 4, "packets per port preloaded onto the router ingress pins by -workload")
 	var common cli.Common
+	var wflags cli.WorkloadFlags
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterFaults(flag.CommandLine)
 	common.RegisterCheckpoint(flag.CommandLine)
 	common.RegisterProfile(flag.CommandLine)
+	wflags.RegisterWorkload(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
+		return fail(err)
+	}
+	if err := wflags.CheckConflicts(flag.CommandLine, "in"); err != nil {
 		return fail(err)
 	}
 	if flag.NArg() != 1 {
@@ -120,6 +134,19 @@ func run() int {
 				return fail(err)
 			}
 		}
+	}
+	if wl, given, err := wflags.Build(); err != nil {
+		return fail(err)
+	} else if given {
+		if n, wrote, err := wflags.MaybeRecord(wl, 4096); err != nil {
+			return fail(err)
+		} else if wrote {
+			fmt.Printf("workload: recorded %d arrivals -> %s\n", n, wflags.RecordTrace)
+		}
+		if err := pushWorkload(chip, wl, *workloadPkts); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("workload: preloaded %d packet(s)/port from %s\n", *workloadPkts, wl.Spec.String())
 	}
 
 	chip.SetWorkers(common.Workers)
@@ -258,6 +285,32 @@ func pushInput(chip *raw.Chip, spec string) error {
 			return fmt.Errorf("bad word %q in %q", ws, spec)
 		}
 		in.Push(raw.Word(v))
+	}
+	return nil
+}
+
+// pushWorkload preloads each router ingress pin (the Figure 7-2 port
+// layout) with the workload's first pkts closed-loop packets, on-wire.
+func pushWorkload(chip *raw.Chip, wl *traffic.Workload, pkts int) error {
+	if pkts <= 0 {
+		return fmt.Errorf("-workloadpkts: must be positive, got %d", pkts)
+	}
+	srcs, err := wl.Sources()
+	if err != nil {
+		return err
+	}
+	if len(srcs) != len(router.Layout) {
+		return fmt.Errorf("-workload: the chip has %d router ports, the spec describes %d", len(router.Layout), len(srcs))
+	}
+	for p, src := range srcs {
+		in := chip.StaticIn(router.Layout[p].Ingress, router.Layout[p].InSide)
+		for i := 0; i < pkts; i++ {
+			pkt := src.Next()
+			wire := ip.NewPacket(pkt.SrcIP, pkt.DstIP, 64, pkt.SizeBytes, uint16(p<<8|i))
+			for _, w := range wire.Words() {
+				in.Push(raw.Word(w))
+			}
+		}
 	}
 	return nil
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	reproduce [-quick] [-workers 1] [-reprobe N]
+//	reproduce [-quick] [-workers 1] [-reprobe N] [-workload SPEC]
+//
+// -workload re-points the production-traffic section (heavy-tailed
+// fabric comparison) at an arbitrary workload spec; -recordtrace
+// additionally freezes that workload's arrival stream as a TRAF1 trace.
 package main
 
 import (
@@ -21,12 +25,29 @@ func main() {
 	quick := flag.Bool("quick", false, "use the short benchmark durations")
 	reprobe := flag.Int("reprobe", 0, "line-flap retry backoff base in quanta for the recovery experiment (0 = latched LineDown)")
 	var common cli.Common
+	var wflags cli.WorkloadFlags
 	common.RegisterSim(flag.CommandLine)
 	common.RegisterProfile(flag.CommandLine)
+	wflags.RegisterWorkload(flag.CommandLine)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
+	}
+	if err := wflags.CheckConflicts(flag.CommandLine); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	if wl, given, err := wflags.Build(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	} else if given {
+		if n, wrote, err := wflags.MaybeRecord(wl, 4096); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		} else if wrote {
+			fmt.Printf("workload: recorded %d arrivals -> %s\n", n, wflags.RecordTrace)
+		}
 	}
 	stopProf, err := common.StartProfile()
 	if err != nil {
@@ -171,5 +192,20 @@ func main() {
 	done = section("telemetry plane: per-quantum metrics")
 	_, tb = exp.Telemetry(q)
 	fmt.Println(tb)
+	done()
+
+	done = section("traffic plane: heavy-tailed production workloads")
+	_, tb = exp.HeavyTail(q)
+	fmt.Println(tb)
+	fabricSpec := "flows:alpha=1.3,zipf=1.1"
+	if wflags.Given() {
+		fabricSpec = wflags.Workload
+	}
+	ftb, err := exp.HeavyTailFabric(q, fabricSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ftb)
 	done()
 }

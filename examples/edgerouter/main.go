@@ -39,12 +39,18 @@ func main() {
 
 	// Mixed workload: bursty flows, a size mix, 30% of traffic piling on
 	// port 2 (a busy uplink).
-	sizes := []int{64, 256, 1024}
-	weights := []float64{0.5, 0.3, 0.2}
-	gens := make([]traffic.Source, 4)
-	for p := 0; p < 4; p++ {
-		inner := traffic.NewBursty(4, 64, p, 8, rng.Fork(uint64(p)))
-		gens[p] = traffic.NewSizeMix(inner, sizes, weights, rng.Fork(uint64(p)+100))
+	wl := traffic.MustBuild(traffic.Spec{
+		Pattern: "bursty",
+		Ports:   4,
+		Size:    64,
+		Seed:    2026,
+		Sizes:   []int{64, 256, 1024},
+		Weights: []float64{0.5, 0.3, 0.2},
+		Params:  map[string]float64{"burst": 8},
+	})
+	gens, err := wl.Sources()
+	if err != nil {
+		log.Fatal(err)
 	}
 	hot := traffic.NewRNG(7)
 	gen := func(port int) core.Packet {

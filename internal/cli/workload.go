@@ -1,0 +1,133 @@
+package cli
+
+// The shared -workload flag group: one declarative workload spec
+// replaces the per-binary pattern/size/seed flags. The spec text is
+// traffic.ParseSpec's grammar — an inline `name:key=val,...` shorthand,
+// `json:FILE` for a spec document, `trace:FILE` for TRAF1 replay, or a
+// preset name — so every command that drives traffic accepts exactly
+// the same workload language.
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/traffic"
+)
+
+// WorkloadFlags holds the -workload flag group. Zero value is ready;
+// call RegisterWorkload before flag.Parse and Spec/Build after.
+type WorkloadFlags struct {
+	// Workload (-workload) is the spec text; empty means the command's
+	// legacy flags (or defaults) drive traffic.
+	Workload string
+	// RecordTrace (-recordtrace) writes the workload's open-loop arrival
+	// stream to FILE as a TRAF1 trace instead of (or before) running.
+	RecordTrace string
+	// RecordSlices (-recordslices) is how many slices -recordtrace
+	// captures.
+	RecordSlices int64
+}
+
+// RegisterWorkload installs the -workload flag group.
+func (w *WorkloadFlags) RegisterWorkload(fs *flag.FlagSet) {
+	fs.StringVar(&w.Workload, "workload", "",
+		"workload spec: NAME[:key=val,...] (patterns: "+strings.Join(traffic.Patterns(), ", ")+
+			"), json:FILE, trace:FILE, or a preset ("+strings.Join(presetNames(), ", ")+")")
+	fs.StringVar(&w.RecordTrace, "recordtrace", "",
+		"record the -workload open-loop arrival stream to FILE as a TRAF1 trace")
+	fs.Int64Var(&w.RecordSlices, "recordslices", 64,
+		"slices captured by -recordtrace")
+}
+
+func presetNames() []string {
+	var names []string
+	for n := range traffic.Presets() {
+		names = append(names, n)
+	}
+	// Deterministic help text.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Given reports whether -workload was set.
+func (w *WorkloadFlags) Given() bool { return w.Workload != "" }
+
+// Spec parses -workload. Returns ok=false with no error when the flag
+// was not given.
+func (w *WorkloadFlags) Spec() (traffic.Spec, bool, error) {
+	if w.Workload == "" {
+		return traffic.Spec{}, false, nil
+	}
+	s, err := traffic.ParseSpec(w.Workload)
+	if err != nil {
+		return traffic.Spec{}, false, fmt.Errorf("-workload: %w", err)
+	}
+	return s, true, nil
+}
+
+// Build parses and compiles -workload. Returns ok=false with no error
+// when the flag was not given.
+func (w *WorkloadFlags) Build() (*traffic.Workload, bool, error) {
+	s, ok, err := w.Spec()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	wl, err := traffic.Build(s)
+	if err != nil {
+		return nil, false, fmt.Errorf("-workload: %w", err)
+	}
+	return wl, true, nil
+}
+
+// CheckConflicts rejects mixing -workload with the command's legacy
+// traffic flags: a spec is the whole workload description, so an
+// explicitly set legacy flag would be silently ignored — fail instead.
+// Call after fs.Parse with the legacy flag names.
+func (w *WorkloadFlags) CheckConflicts(fs *flag.FlagSet, legacy ...string) error {
+	var clash []string
+	fs.Visit(func(f *flag.Flag) {
+		for _, l := range legacy {
+			if f.Name == l {
+				clash = append(clash, "-"+l)
+			}
+		}
+	})
+	if w.Workload == "" {
+		if w.RecordTrace != "" {
+			return fmt.Errorf("-recordtrace needs -workload")
+		}
+		return nil
+	}
+	if len(clash) > 0 {
+		return fmt.Errorf("-workload already describes the traffic; drop %s", strings.Join(clash, ", "))
+	}
+	if w.RecordSlices <= 0 && w.RecordTrace != "" {
+		return fmt.Errorf("-recordslices: must be positive, got %d", w.RecordSlices)
+	}
+	return nil
+}
+
+// MaybeRecord writes the TRAF1 trace requested by -recordtrace.
+// Returns (arrivals, true) when a trace was written; callers typically
+// report and continue (or stop, for record-only invocations).
+func (w *WorkloadFlags) MaybeRecord(wl *traffic.Workload, sliceCycles int64) (int, bool, error) {
+	if w.RecordTrace == "" {
+		return 0, false, nil
+	}
+	if sliceCycles <= 0 {
+		sliceCycles = 4096
+	}
+	tr, err := traffic.Record(wl, sliceCycles, w.RecordSlices)
+	if err != nil {
+		return 0, false, fmt.Errorf("-recordtrace: %w", err)
+	}
+	if err := tr.WriteFile(w.RecordTrace); err != nil {
+		return 0, false, fmt.Errorf("-recordtrace: %w", err)
+	}
+	return len(tr.Arrivals), true, nil
+}

@@ -24,9 +24,10 @@ func TestCollectiveRingAllReduce(t *testing.T) {
 	for _, spec := range smallSpecs() {
 		f := mustFabric(t, spec, nil)
 		ext := spec.Externals()
-		srcs := make([]*traffic.RingAllReduce, ext)
-		for e := 0; e < ext; e++ {
-			srcs[e] = traffic.NewRingAllReduce(ext, 256, e)
+		wl := traffic.MustBuild(traffic.Spec{Pattern: "allreduce", Ports: ext, Size: 256})
+		srcs, err := wl.Sources()
+		if err != nil {
+			t.Fatal(err)
 		}
 		id := uint16(0)
 		for round := 0; round < 40; round++ {
@@ -76,7 +77,11 @@ func TestCollectiveBroadcast(t *testing.T) {
 		f := mustFabric(t, spec, nil)
 		ext := spec.Externals()
 		root := 0
-		b := traffic.NewBroadcast(ext, 128, root)
+		wl := traffic.MustBuild(traffic.Spec{Pattern: "broadcast", Ports: ext, Size: 128})
+		b, err := wl.Source(root)
+		if err != nil {
+			t.Fatal(err)
+		}
 		id := uint16(0)
 		for round := 0; round < 60; round++ {
 			if f.InputBacklogWords(root) < 2048 {

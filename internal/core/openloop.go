@@ -24,6 +24,72 @@ func HotspotTraffic(sizeBytes int, seed uint64) TrafficGen {
 	}
 }
 
+// WorkloadTraffic adapts a compiled traffic.Workload to the closed-loop
+// TrafficGen contract: gen(port) draws the next packet from the
+// workload's per-port source stream. The declarative successor to the
+// UniformTraffic/PermutationTraffic/HotspotTraffic trio.
+func WorkloadTraffic(w *traffic.Workload) (TrafficGen, error) {
+	srcs, err := w.Sources()
+	if err != nil {
+		return nil, err
+	}
+	return func(port int) Packet {
+		pkt := srcs[port].Next()
+		return Packet{Dst: pkt.Dst, SizeBytes: pkt.SizeBytes, SrcIP: pkt.SrcIP, DstIP: pkt.DstIP}
+	}, nil
+}
+
+// RunArrivals drives the router open-loop with a timestamped arrival
+// process for the given number of slices — packets are offered at their
+// arrival cycles, whether or not the router is keeping up — then drains
+// in-flight work within drainBudget cycles. It returns the per-egress
+// delivered words over the run and whether the drain reached
+// quiescence. The arrival stream is a pure function of the process, so
+// two routers driven by equal processes produce identical ledgers at
+// any engine/worker setting.
+func (r *Router) RunArrivals(proc traffic.Process, slices, drainBudget int64) ([]int64, bool) {
+	before := r.deliveredWords()
+	cyc := proc.SliceCycles()
+	now := int64(0) // offset from the run's first cycle
+	for k := int64(0); k < slices; k++ {
+		for _, a := range proc.Slice(k) {
+			if a.Cycle > now {
+				r.Step(a.Cycle - now)
+				now = a.Cycle
+			}
+			r.Offer(a.Port, Packet{Dst: a.Pkt.Dst, SizeBytes: a.Pkt.SizeBytes,
+				SrcIP: a.Pkt.SrcIP, DstIP: a.Pkt.DstIP})
+		}
+		if end := (k + 1) * cyc; end > now {
+			r.Step(end - now)
+			now = end
+		}
+	}
+	ok := r.DrainInFlight(drainBudget)
+	after := r.deliveredWords()
+	for p := range after {
+		after[p] -= before[p]
+	}
+	return after, ok
+}
+
+// deliveredWords is the cumulative per-egress delivered word count.
+func (r *Router) deliveredWords() []int64 {
+	if r.fab != nil {
+		n := r.fab.Config().Ports
+		out := make([]int64, n)
+		for p := 0; p < n; p++ {
+			out[p] = r.fab.WordsOut[p]
+		}
+		return out
+	}
+	out := make([]int64, 4)
+	for p := 0; p < 4; p++ {
+		out[p] = r.cyc.OutputWords(p)
+	}
+	return out
+}
+
 // Step advances the simulation by at least the given number of cycles
 // without offering any new traffic. The cycle engine advances exactly
 // cycles; the quantum-stepped fabric engine rounds up to its next quantum

@@ -1,0 +1,61 @@
+package exp_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestHeavyTail: the production-traffic comparison holds its headline
+// shapes at quick quality — permutation (conflict-free) beats the
+// conflicted workloads, every workload moves traffic, and the open-loop
+// runs at each spec's configured rate drain completely.
+func TestHeavyTail(t *testing.T) {
+	pts, tb := exp.HeavyTail(exp.Quick)
+	if len(pts) != 4 || tb == nil {
+		t.Fatalf("got %d workloads", len(pts))
+	}
+	perm := pts[0]
+	for _, p := range pts {
+		if p.Gbps <= 0 {
+			t.Fatalf("%s moved no traffic: %+v", p.Workload, p)
+		}
+		if p.DeliveredFrac < 0.999 || p.DeliveredFrac > 1.001 {
+			t.Fatalf("%s open-loop delivered fraction %.4f; router failed to keep up at the configured rate", p.Workload, p.DeliveredFrac)
+		}
+		if p.Workload != perm.Workload && p.Gbps >= perm.Gbps {
+			t.Fatalf("%s (%.2f Gbps) >= permutation (%.2f Gbps); output conflicts should cost throughput", p.Workload, p.Gbps, perm.Gbps)
+		}
+	}
+}
+
+// TestHeavyTailFabric: under Zipf-skewed flows the fabric ranking stays
+// FIFO < VOQ <= ideal OQ, but the hot output caps even OQ well below
+// the uniform-traffic saturation numbers.
+func TestHeavyTailFabric(t *testing.T) {
+	tb, err := exp.HeavyTailFabric(exp.Quick, "flows:alpha=1.3,zipf=1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("got %d fabric rows", len(tb.Rows))
+	}
+	thr := func(i int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[i][1], 64)
+		if err != nil {
+			t.Fatalf("row %d throughput %q: %v", i, tb.Rows[i][1], err)
+		}
+		return v
+	}
+	fifo, voq, oq := thr(0), thr(1), thr(2)
+	if !(fifo < voq) {
+		t.Fatalf("FIFO %.3f !< VOQ %.3f under skewed traffic", fifo, voq)
+	}
+	if voq > oq*1.01 {
+		t.Fatalf("VOQ %.3f exceeds ideal OQ %.3f", voq, oq)
+	}
+	if oq > 0.95 {
+		t.Fatalf("ideal OQ sustains %.3f under Zipf skew; hot-output saturation should cap it well below 1", oq)
+	}
+}

@@ -34,17 +34,52 @@ type Feeder interface {
 	Close() error
 }
 
-// mix64 is a splitmix64-style finalizer used to derive independent
-// per-(slice, port) RNG streams from one feeder seed.
-func mix64(z uint64) uint64 {
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	return z ^ z>>31
+// WorkloadFeeder bridges a traffic.Workload's open-loop arrival process
+// onto the daemon's slice time base. All purity lives in
+// internal/traffic: Process.Slice(k) is a pure function of (Spec, k), so
+// a daemon restored from a checkpoint taken at a slice boundary sees
+// exactly the arrival stream the uninterrupted run would have seen —
+// including heavy-tailed flow mixes, diurnal curves, and recorded TRAF1
+// traces.
+type WorkloadFeeder struct {
+	proc traffic.Process
 }
 
+// NewWorkloadFeeder compiles the workload's open-loop process on the
+// daemon's slice length. The daemon routes four edge ports, so the spec
+// must span exactly four.
+func NewWorkloadFeeder(w *traffic.Workload, sliceCycles int64) (*WorkloadFeeder, error) {
+	if sliceCycles <= 0 {
+		return nil, fmt.Errorf("serve: workload feeder needs a positive slice length")
+	}
+	proc, err := w.OpenLoop(sliceCycles)
+	if err != nil {
+		return nil, err
+	}
+	if proc.Ports() != 4 {
+		return nil, fmt.Errorf("serve: workload spans %d ports; the daemon routes 4", proc.Ports())
+	}
+	return &WorkloadFeeder{proc: proc}, nil
+}
+
+// Slice returns the arrivals for slice s, bucketed per edge port.
+func (f *WorkloadFeeder) Slice(s int64) [4][]ip.Packet {
+	var out [4][]ip.Packet
+	for _, a := range f.proc.Slice(s) {
+		id := uint16(a.Flow*0x9e37 + uint64(a.Seq))
+		out[a.Port] = append(out[a.Port],
+			ip.NewPacket(a.Pkt.SrcIP, a.Pkt.DstIP, 64, a.Pkt.SizeBytes, id))
+	}
+	return out
+}
+
+// Close is a no-op for the in-process feeder.
+func (f *WorkloadFeeder) Close() error { return nil }
+
 // SyntheticConfig parameterizes the deterministic in-process feeder.
+//
+// Deprecated: describe the workload with a traffic.Spec and use
+// NewWorkloadFeeder; this config maps onto one.
 type SyntheticConfig struct {
 	// Seed drives every random draw (destinations, address salts).
 	Seed uint64
@@ -61,18 +96,38 @@ type SyntheticConfig struct {
 	SliceCycles int64
 }
 
-// SyntheticFeeder is a deterministic open-loop packet source: the
-// arrivals for slice s are a pure function of (config, s) — no state
-// carries across slices — so a daemon restored from a checkpoint taken
-// at a slice boundary sees exactly the arrival stream the uninterrupted
-// run would have seen.
+// Spec translates the legacy config into the declarative workload spec
+// it is equivalent to.
+func (cfg SyntheticConfig) Spec() traffic.Spec {
+	s := traffic.Spec{
+		Pattern: cfg.Pattern,
+		Ports:   4,
+		Size:    cfg.SizeBytes,
+		Seed:    cfg.Seed,
+		Rate:    float64(cfg.RatePerMille) / 1000,
+	}
+	switch cfg.Pattern {
+	case "":
+		s.Pattern = "uniform"
+	case "permutation":
+		// The daemon's historical permutation is the offset-1 rotation.
+		s.Params = map[string]float64{"offset": 1}
+	}
+	return s
+}
+
+// SyntheticFeeder is the legacy deterministic feeder, now a thin shim
+// over WorkloadFeeder: the config compiles to a traffic.Spec and the
+// arrivals come from the workload's rate-paced open-loop process.
+//
+// Deprecated: use NewWorkloadFeeder with a traffic.Spec.
 type SyntheticFeeder struct {
-	cfg      SyntheticConfig
-	wordsPkt int64
-	perm     []int
+	WorkloadFeeder
 }
 
 // NewSyntheticFeeder validates the config and builds the feeder.
+//
+// Deprecated: use NewWorkloadFeeder with a traffic.Spec.
 func NewSyntheticFeeder(cfg SyntheticConfig) (*SyntheticFeeder, error) {
 	if cfg.SizeBytes == 0 {
 		cfg.SizeBytes = 1024
@@ -89,67 +144,16 @@ func NewSyntheticFeeder(cfg SyntheticConfig) (*SyntheticFeeder, error) {
 	if cfg.SliceCycles <= 0 {
 		return nil, fmt.Errorf("serve: synthetic feeder needs a positive slice length")
 	}
-	f := &SyntheticFeeder{cfg: cfg}
-	probe := ip.NewPacket(0, 0, 64, cfg.SizeBytes, 0)
-	f.wordsPkt = int64(probe.LenWords())
-	switch cfg.Pattern {
-	case "", "uniform", "hotspot":
-	case "permutation":
-		f.perm = traffic.RotatedPerm(4, 1)
-	default:
-		return nil, fmt.Errorf("serve: unknown feed pattern %q (uniform, permutation, hotspot)", cfg.Pattern)
+	w, err := traffic.Build(cfg.Spec())
+	if err != nil {
+		return nil, fmt.Errorf("serve: feed config: %w", err)
 	}
-	return f, nil
-}
-
-// pktsThrough returns how many whole packets per port the offered rate
-// has accumulated by the END of slice s (integer fixed-point, so the
-// per-slice count is exact over any horizon with no drift).
-func (f *SyntheticFeeder) pktsThrough(s int64) int64 {
-	words := (s + 1) * f.cfg.SliceCycles * int64(f.cfg.RatePerMille) / 1000
-	return words / f.wordsPkt
-}
-
-// Slice returns the arrivals for slice s.
-func (f *SyntheticFeeder) Slice(s int64) [4][]ip.Packet {
-	var out [4][]ip.Packet
-	base := int64(0)
-	if s > 0 {
-		base = f.pktsThrough(s - 1)
+	wf, err := NewWorkloadFeeder(w, cfg.SliceCycles)
+	if err != nil {
+		return nil, err
 	}
-	n := f.pktsThrough(s) - base
-	for p := 0; p < 4; p++ {
-		if n == 0 {
-			continue
-		}
-		rng := traffic.NewRNG(mix64(f.cfg.Seed ^ uint64(s)*0x9e3779b97f4a7c15 ^ uint64(p) + 1))
-		pkts := make([]ip.Packet, 0, n)
-		for i := int64(0); i < n; i++ {
-			dst := 0
-			switch f.cfg.Pattern {
-			case "", "uniform":
-				dst = rng.Intn(4)
-			case "permutation":
-				dst = f.perm[p]
-			case "hotspot":
-				if rng.Float64() >= 0.7 {
-					dst = rng.Intn(4)
-				}
-			}
-			salt := uint32(rng.Uint64())
-			id := uint16(base + i)
-			pkts = append(pkts, ip.NewPacket(
-				traffic.PortAddr(p, salt),
-				traffic.PortAddr(dst, salt*2654435761+1),
-				64, f.cfg.SizeBytes, id))
-		}
-		out[p] = pkts
-	}
-	return out
+	return &SyntheticFeeder{WorkloadFeeder: *wf}, nil
 }
-
-// Close is a no-op for the in-process feeder.
-func (f *SyntheticFeeder) Close() error { return nil }
 
 // UDPFeeder is the live-socket shim: one datagram is one packet. The
 // first payload byte selects the ingress port (low two bits) and the

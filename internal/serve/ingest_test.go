@@ -60,9 +60,11 @@ func TestSyntheticFeederRate(t *testing.T) {
 	}
 	perPort := words / 4
 	budget := slices * cfg.SliceCycles * int64(cfg.RatePerMille) / 1000
-	if perPort > budget || budget-perPort >= f.wordsPkt {
+	probe := ip.NewPacket(0, 0, 64, cfg.SizeBytes, 0)
+	wordsPkt := int64(probe.LenWords())
+	if perPort > budget || budget-perPort >= wordsPkt {
 		t.Fatalf("per-port words %d, budget %d (residue must stay under one %d-word packet)",
-			perPort, budget, f.wordsPkt)
+			perPort, budget, wordsPkt)
 	}
 }
 

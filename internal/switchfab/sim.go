@@ -1,6 +1,14 @@
 package switchfab
 
-import "repro/internal/traffic"
+import (
+	"fmt"
+
+	"repro/internal/traffic"
+)
+
+func errPortMismatch(got, want int) error {
+	return fmt.Errorf("switchfab: workload has %d ports, fabric has %d", got, want)
+}
 
 // SaturationThroughput drives every input of a cell fabric at 100 % offered
 // load with uniform destinations for slots slots (after warmup) and returns
@@ -52,6 +60,34 @@ func LoadSweep(mk func() Fabric, rng *traffic.RNG, loads []float64, warmup, slot
 		pts = append(pts, LoadPoint{Offered: load, Throughput: m.Throughput(), MeanDelay: m.MeanDelay()})
 	}
 	return pts
+}
+
+// WorkloadSaturation drives a cell fabric at 100 % offered load with
+// destinations drawn from a compiled workload's per-port sources —
+// the declarative replacement for the hand-rolled uniform/Bernoulli
+// loops above. Cell fabrics move fixed-size cells, so only the
+// workload's destination process matters here; sizes are exercised by
+// the packet-granularity baselines.
+func WorkloadSaturation(f Fabric, w *traffic.Workload, warmup, slots int64) (float64, error) {
+	n := f.Ports()
+	srcs, err := w.Sources()
+	if err != nil {
+		return 0, err
+	}
+	if len(srcs) != n {
+		return 0, errPortMismatch(len(srcs), n)
+	}
+	m := NewMeter(n)
+	for t := int64(0); t < warmup+slots; t++ {
+		for i := 0; i < n; i++ {
+			f.Offer(i, Cell{Dst: srcs[i].Next().Dst, Arrived: f.Slot()})
+		}
+		out := f.Step()
+		if t >= warmup {
+			m.Observe(f.Slot()-1, out)
+		}
+	}
+	return m.Throughput(), nil
 }
 
 // VarLenSaturation drives a variable-length switch at full load with

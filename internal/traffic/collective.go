@@ -25,6 +25,9 @@ type RingAllReduce struct {
 }
 
 // NewRingAllReduce builds rank src's schedule.
+//
+// Deprecated: use Build(Spec{Pattern: "allreduce", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewRingAllReduce(ports, size, src int) *RingAllReduce {
 	return &RingAllReduce{Ports: ports, Size: size, Src: src}
 }
@@ -62,6 +65,9 @@ type Broadcast struct {
 }
 
 // NewBroadcast builds the root's schedule.
+//
+// Deprecated: use Build(Spec{Pattern: "broadcast", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewBroadcast(ports, size, root int) *Broadcast {
 	return &Broadcast{Ports: ports, Size: size, Root: root}
 }

@@ -8,8 +8,16 @@ import (
 
 func TestRingAllReduceSchedule(t *testing.T) {
 	const ports = 4
+	wl := traffic.MustBuild(traffic.Spec{Pattern: "allreduce", Ports: ports, Size: 256})
 	for src := 0; src < ports; src++ {
-		s := traffic.NewRingAllReduce(ports, 256, src)
+		gen, err := wl.Source(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := gen.(*traffic.RingAllReduce)
+		if !ok {
+			t.Fatalf("allreduce source is %T, want *RingAllReduce", gen)
+		}
 		want := (src + 1) % ports
 		for i := 0; i < 3*2*(ports-1); i++ {
 			step := s.Step()
@@ -30,7 +38,14 @@ func TestRingAllReduceSchedule(t *testing.T) {
 func TestBroadcastLeaves(t *testing.T) {
 	const ports = 5
 	for root := 0; root < ports; root++ {
-		b := traffic.NewBroadcast(ports, 128, root)
+		wl := traffic.MustBuild(traffic.Spec{
+			Pattern: "broadcast", Ports: ports, Size: 128,
+			Params: map[string]float64{"root": float64(root)},
+		})
+		b, err := wl.Source(root)
+		if err != nil {
+			t.Fatal(err)
+		}
 		counts := map[int]int{}
 		const rounds = 6
 		for i := 0; i < rounds*(ports-1); i++ {
@@ -47,6 +62,15 @@ func TestBroadcastLeaves(t *testing.T) {
 			if counts[d] != rounds {
 				t.Fatalf("root %d: leaf %d got %d copies, want %d", root, d, counts[d], rounds)
 			}
+		}
+		// Leaves synthesize an ack stream back to the root rather than
+		// deadlocking a closed-loop caller.
+		leaf, err := wl.Source((root + 1) % ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := leaf.Next(); p.Dst != root {
+			t.Fatalf("leaf ack went to %d, want root %d", p.Dst, root)
 		}
 	}
 }

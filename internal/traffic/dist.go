@@ -1,0 +1,110 @@
+package traffic
+
+// Heavy-tailed building blocks of the open-loop traffic plane: a
+// bounded-Pareto variate for flow sizes (the Internet's mice-and-
+// elephants mix — most flows are a few packets, a heavy tail carries
+// most of the bytes) and a Zipf sampler for destination popularity (a
+// few ports receive most of the traffic, rank-ordered by a power law).
+// Both sample by inverse CDF from one uniform draw, so a variate is a
+// pure function of its input — the property the replayable arrival
+// processes are built on.
+
+import "math"
+
+// BoundedPareto is a Pareto(alpha) distribution truncated to [lo, hi].
+// Alpha in (1, 2) gives the classic heavy tail with finite mean; the
+// upper bound keeps every flow's span finite, which is what lets a
+// trace window be generated without unbounded look-back.
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi float64
+	loA    float64 // Lo^-alpha
+	hiA    float64 // Hi^-alpha
+}
+
+// NewBoundedPareto builds the sampler. Requires alpha > 0 and
+// 0 < lo <= hi.
+func NewBoundedPareto(alpha, lo, hi float64) BoundedPareto {
+	p := BoundedPareto{Alpha: alpha, Lo: lo, Hi: hi}
+	p.loA = math.Pow(lo, -alpha)
+	p.hiA = math.Pow(hi, -alpha)
+	return p
+}
+
+// Sample maps a uniform u in [0, 1) through the inverse CDF.
+func (p BoundedPareto) Sample(u float64) float64 {
+	if p.Lo >= p.Hi {
+		return p.Lo
+	}
+	return math.Pow(p.loA-u*(p.loA-p.hiA), -1/p.Alpha)
+}
+
+// Mean returns the analytic expectation E[X] of the bounded variate.
+func (p BoundedPareto) Mean() float64 {
+	if p.Lo >= p.Hi {
+		return p.Lo
+	}
+	a, l, h := p.Alpha, p.Lo, p.Hi
+	if a == 1 {
+		return math.Log(h/l) / (1/l - 1/h)
+	}
+	num := a / (a - 1) * (math.Pow(l, 1-a) - math.Pow(h, 1-a))
+	den := math.Pow(l, -a) - math.Pow(h, -a)
+	return num / den
+}
+
+// Zipf samples ranks 0..N-1 with P(rank r) proportional to 1/(r+1)^S —
+// the destination-popularity law of Internet mixes. The CDF is
+// precomputed (N is a port count, always small).
+type Zipf struct {
+	S   float64
+	cdf []float64
+}
+
+// NewZipf builds the sampler over n ranks with exponent s. s = 0 is
+// uniform; larger s concentrates mass on the low ranks.
+func NewZipf(n int, s float64) Zipf {
+	z := Zipf{S: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		z.cdf[r] = sum
+	}
+	for r := range z.cdf {
+		z.cdf[r] /= sum
+	}
+	return z
+}
+
+// Sample maps a uniform u in [0, 1) to a rank.
+func (z Zipf) Sample(u float64) int {
+	// Linear scan: len(cdf) is a port count (4..64), and the scan's
+	// branch pattern is friendlier than binary search at that size.
+	for r, c := range z.cdf {
+		if u < c {
+			return r
+		}
+	}
+	return len(z.cdf) - 1
+}
+
+// Mass returns the probability of rank r (for distribution-shape tests).
+func (z Zipf) Mass(r int) float64 {
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
+// mix64 is a splitmix64-style finalizer: the one-way hash behind every
+// "pure function of (seed, k)" derivation in the open-loop plane.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// u01 maps a uint64 to a uniform float in [0, 1).
+func u01(v uint64) float64 { return float64(v>>11) / (1 << 53) }

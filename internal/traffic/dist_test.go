@@ -1,0 +1,136 @@
+package traffic_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// chiSquare sums (observed-expected)^2/expected over the buckets.
+func chiSquare(obs []int, exp []float64) float64 {
+	var x2 float64
+	for i := range obs {
+		if exp[i] <= 0 {
+			continue
+		}
+		d := float64(obs[i]) - exp[i]
+		x2 += d * d / exp[i]
+	}
+	return x2
+}
+
+// TestZipfShape: sampled destination frequencies match the analytic
+// Zipf masses under a chi-square test. With n-1 degrees of freedom the
+// 99.9th percentile is well under 2*n for the n here, so a generous
+// threshold catches real shape bugs without flaking.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 16, 200000
+	z := traffic.NewZipf(n, 1.1)
+	rng := traffic.NewRNG(77)
+	obs := make([]int, n)
+	for i := 0; i < draws; i++ {
+		obs[z.Sample(rng.Float64())]++
+	}
+	exp := make([]float64, n)
+	var mass float64
+	for r := 0; r < n; r++ {
+		exp[r] = z.Mass(r) * draws
+		mass += z.Mass(r)
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("Zipf masses sum to %v, want 1", mass)
+	}
+	if obs[0] <= obs[n-1] {
+		t.Fatalf("rank 0 drew %d <= rank %d's %d; no skew", obs[0], n-1, obs[n-1])
+	}
+	// 99.9th percentile of chi-square with 15 df ≈ 37.7.
+	if x2 := chiSquare(obs, exp); x2 > 45 {
+		t.Fatalf("Zipf chi-square %.1f over 15 df; distribution shape off", x2)
+	}
+}
+
+// TestZipfUniformLimit: skew 0 degenerates to the uniform distribution.
+func TestZipfUniformLimit(t *testing.T) {
+	z := traffic.NewZipf(8, 0)
+	for r := 0; r < 8; r++ {
+		if math.Abs(z.Mass(r)-0.125) > 1e-9 {
+			t.Fatalf("rank %d mass %v, want 1/8", r, z.Mass(r))
+		}
+	}
+}
+
+// TestBoundedParetoShape: samples bucketed by the analytic CDF land
+// uniformly across equal-probability buckets (the probability integral
+// transform), and the empirical mean tracks the analytic Mean.
+func TestBoundedParetoShape(t *testing.T) {
+	const alpha, lo, hi = 1.3, 1.0, 1024.0
+	const draws, buckets = 200000, 20
+	p := traffic.NewBoundedPareto(alpha, lo, hi)
+	cdf := func(x float64) float64 {
+		return (1 - math.Pow(lo/x, alpha)) / (1 - math.Pow(lo/hi, alpha))
+	}
+	rng := traffic.NewRNG(99)
+	obs := make([]int, buckets)
+	var sum float64
+	for i := 0; i < draws; i++ {
+		x := p.Sample(rng.Float64())
+		if x < lo || x > hi {
+			t.Fatalf("sample %v outside [%v, %v]", x, lo, hi)
+		}
+		sum += x
+		b := int(cdf(x) * buckets)
+		if b == buckets {
+			b--
+		}
+		obs[b]++
+	}
+	exp := make([]float64, buckets)
+	for i := range exp {
+		exp[i] = float64(draws) / buckets
+	}
+	// 99.9th percentile of chi-square with 19 df ≈ 43.8.
+	if x2 := chiSquare(obs, exp); x2 > 52 {
+		t.Fatalf("bounded-Pareto chi-square %.1f over 19 df; inverse CDF off", x2)
+	}
+	mean := sum / draws
+	if want := p.Mean(); math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("empirical mean %.2f vs analytic %.2f", mean, want)
+	}
+}
+
+// TestBoundedParetoHeavyTail: the defining property — a small fraction
+// of flows carries a large fraction of the mass (mice and elephants).
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	p := traffic.NewBoundedPareto(1.3, 1, 1024)
+	rng := traffic.NewRNG(5)
+	const draws = 100000
+	samples := make([]float64, draws)
+	var total float64
+	for i := range samples {
+		samples[i] = p.Sample(rng.Float64())
+		total += samples[i]
+	}
+	var big float64
+	for _, x := range samples {
+		if x >= 100 {
+			big += x
+		}
+	}
+	count := 0
+	for _, x := range samples {
+		if x >= 100 {
+			count++
+		}
+	}
+	// Elephants (>=100 pkts) are ~1% of flows yet carry >10% of the
+	// words — the mice-and-elephants asymmetry heavy-tail workloads are
+	// about.
+	frac := big / total
+	if frac < 0.1 {
+		t.Fatalf("flows >= 100 pkts carry only %.2f of the mass; tail not heavy", frac)
+	}
+	if float64(count)/draws > 0.05 {
+		t.Fatalf("%.3f of flows are elephants; tail too fat for alpha=1.3", float64(count)/draws)
+	}
+}

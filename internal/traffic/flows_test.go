@@ -1,0 +1,135 @@
+package traffic_test
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func flowsProcess(t *testing.T, s traffic.Spec, cyc int64) *traffic.FlowProcess {
+	t.Helper()
+	proc, err := traffic.MustBuild(s).OpenLoop(cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := proc.(*traffic.FlowProcess)
+	if !ok {
+		t.Fatalf("flows process is %T", proc)
+	}
+	return fp
+}
+
+// TestFlowsZipfSkew: with a skewed destination distribution, the hot
+// destination receives the plurality of arrivals.
+func TestFlowsZipfSkew(t *testing.T) {
+	fp := flowsProcess(t, traffic.Spec{
+		Pattern: "flows", Size: 256, Seed: 21, Rate: 0.8,
+		Params: map[string]float64{"zipf": 1.4},
+	}, 4096)
+	counts := make([]int, 4)
+	for k := int64(0); k < 64; k++ {
+		for _, a := range fp.Slice(k) {
+			counts[a.Pkt.Dst]++
+		}
+	}
+	hot, hotN, total := 0, 0, 0
+	for d, c := range counts {
+		total += c
+		if c > hotN {
+			hot, hotN = d, c
+		}
+	}
+	if total == 0 {
+		t.Fatal("no arrivals")
+	}
+	if frac := float64(hotN) / float64(total); frac < 0.35 {
+		t.Fatalf("hot dst %d carries only %.2f of arrivals; Zipf skew missing (counts %v)", hot, frac, counts)
+	}
+}
+
+// TestFlowsSeqComplete: collecting a flow's arrivals across slices
+// yields a gap-free Seq sequence — no packet is emitted twice or lost
+// at slice boundaries.
+func TestFlowsSeqComplete(t *testing.T) {
+	fp := flowsProcess(t, traffic.Spec{
+		Pattern: "flows", Size: 512, Seed: 33, Rate: 0.7,
+		Params: map[string]float64{"maxflow": 64},
+	}, 1024)
+	seqs := map[uint64][]uint32{}
+	for k := int64(0); k < 96; k++ {
+		for _, a := range fp.Slice(k) {
+			seqs[a.Flow] = append(seqs[a.Flow], a.Seq)
+		}
+	}
+	if len(seqs) < 10 {
+		t.Fatalf("only %d flows seen", len(seqs))
+	}
+	complete := 0
+	for flow, got := range seqs {
+		for i, s := range got {
+			if int(s) != i {
+				t.Fatalf("flow %d: seq %d at position %d (duplicate or gap)", flow, s, i)
+			}
+		}
+		if len(got) > 1 {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no multi-packet flow crossed a slice boundary")
+	}
+}
+
+// TestMillionFlowDay: the day1m preset is the seeded million-flow day
+// of the traffic-plane design — the flow horizon lands at ~1.37M flows,
+// and sampled slices from across the day are identical on independent
+// process instances (including far-out-of-order evaluation), which is
+// what makes the artifact a pure function of its spec.
+func TestMillionFlowDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day flow horizon in -short mode")
+	}
+	spec := traffic.Presets()["day1m"]
+	a := flowsProcess(t, spec, 4096)
+	b := flowsProcess(t, spec, 4096)
+
+	flows := a.FlowsThrough(spec.DayCycles)
+	if flows < 1_000_000 || flows > 2_000_000 {
+		t.Fatalf("day1m generates %d flows over the day, want ~1.37M", flows)
+	}
+
+	// Sample slices spread across the day, reading b in reverse order.
+	day := spec.DayCycles / 4096
+	ks := []int64{0, 1, day / 4, day / 2, 3 * day / 4, day - 1}
+	digest := func(arr []traffic.Arrival) uint64 {
+		h := fnv.New64a()
+		for _, x := range arr {
+			var buf [8]byte
+			for i, v := range []uint64{uint64(x.Cycle), uint64(x.Port), x.Flow, uint64(x.Seq),
+				uint64(x.Pkt.Dst), uint64(x.Pkt.SizeBytes), uint64(x.Pkt.SrcIP), uint64(x.Pkt.DstIP)} {
+				for j := 0; j < 8; j++ {
+					buf[j] = byte(v >> (8 * j))
+				}
+				_, _ = h.Write(buf[:])
+				_ = i
+			}
+		}
+		return h.Sum64()
+	}
+	want := make(map[int64]uint64)
+	for i := len(ks) - 1; i >= 0; i-- {
+		want[ks[i]] = digest(b.Slice(ks[i]))
+	}
+	total := 0
+	for _, k := range ks {
+		arr := a.Slice(k)
+		total += len(arr)
+		if digest(arr) != want[k] {
+			t.Fatalf("slice %d differs between instances/orders", k)
+		}
+	}
+	if total == 0 {
+		t.Fatal("sampled slices were all empty")
+	}
+}

@@ -1,0 +1,83 @@
+package traffic_test
+
+// The checked-in trace artifact. testdata/daymini.traf is the opening
+// sixteen 4,096-cycle slices of the daymini preset — a seeded,
+// diurnal-shaped heavy-tailed day at CI scale. CI regenerates the trace
+// from the preset spec and byte-compares it against the artifact, so
+// any drift in the RNG, the flow derivation, the load-shape inversion,
+// or the TRAF1 encoder shows up as a diff, not as silently different
+// experiments.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+const goldenSlices = 16
+
+func goldenEncode(t *testing.T) []byte {
+	t.Helper()
+	w, err := traffic.Build(traffic.Presets()["daymini"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.Record(w, 4096, goldenSlices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestGoldenTraceArtifact(t *testing.T) {
+	path := filepath.Join("testdata", "daymini.traf")
+	enc := goldenEncode(t)
+	if os.Getenv("UPDATE_TRAF") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(enc))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden artifact missing (regenerate with UPDATE_TRAF=1 go test ./internal/traffic -run TestGoldenTrace): %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("regenerated daymini trace differs from %s (%d vs %d bytes): the workload is no longer a pure function of its spec, or the TRAF1 encoding changed — if intentional, refresh with UPDATE_TRAF=1",
+			path, len(enc), len(want))
+	}
+
+	// The artifact must also load and replay as a first-class workload.
+	tr, err := traffic.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("golden trace is empty")
+	}
+	var words int64
+	for _, w := range tr.DstWords() {
+		words += w
+	}
+	if words == 0 {
+		t.Fatal("golden trace carries no words")
+	}
+	proc := tr.Process(4096)
+	n := 0
+	for k := int64(0); k < goldenSlices; k++ {
+		n += len(proc.Slice(k))
+	}
+	if n != len(tr.Arrivals) {
+		t.Fatalf("replay enumerates %d arrivals, trace holds %d", n, len(tr.Arrivals))
+	}
+}

@@ -1,0 +1,205 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestOpenLoopPurity: Slice(k) is a pure function of (Spec, k) — two
+// processes agree arrival for arrival even when one is read out of
+// order, for both the generic paced adapter and the native flows
+// process.
+func TestOpenLoopPurity(t *testing.T) {
+	specs := []traffic.Spec{
+		{Pattern: "uniform", Size: 512, Seed: 3, Rate: 0.7},
+		{Pattern: "hotspot", Size: 256, Seed: 4, Rate: 0.5},
+		{Pattern: "flows", Size: 1024, Seed: 5, Rate: 0.6},
+	}
+	for _, s := range specs {
+		w := traffic.MustBuild(s)
+		a, err := w.OpenLoop(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := traffic.MustBuild(s).OpenLoop(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want17 := b.Slice(17) // out-of-order read, as a restore would
+		for k := int64(0); k < 20; k++ {
+			as, bs := a.Slice(k), b.Slice(k)
+			if len(as) != len(bs) {
+				t.Fatalf("%s slice %d: %d vs %d arrivals", s.Pattern, k, len(as), len(bs))
+			}
+			for i := range as {
+				if as[i] != bs[i] {
+					t.Fatalf("%s slice %d arrival %d differs", s.Pattern, k, i)
+				}
+			}
+			if k == 17 && len(as) != len(want17) {
+				t.Fatalf("%s: out-of-order read of slice 17 diverged", s.Pattern)
+			}
+		}
+	}
+}
+
+// TestOpenLoopSliceBounds: every arrival lands inside its slice's cycle
+// window, sorted by (Cycle, Port, Flow, Seq).
+func TestOpenLoopSliceBounds(t *testing.T) {
+	for _, pat := range []string{"uniform", "flows"} {
+		w := traffic.MustBuild(traffic.Spec{Pattern: pat, Size: 512, Seed: 9, Rate: 0.9})
+		proc, err := w.OpenLoop(2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < 12; k++ {
+			lo, hi := k*2048, (k+1)*2048
+			prev := traffic.Arrival{Cycle: -1}
+			for _, a := range proc.Slice(k) {
+				if a.Cycle < lo || a.Cycle >= hi {
+					t.Fatalf("%s: arrival at cycle %d outside slice %d [%d, %d)", pat, a.Cycle, k, lo, hi)
+				}
+				if a.Cycle < prev.Cycle {
+					t.Fatalf("%s: slice %d not cycle-sorted", pat, k)
+				}
+				if a.Pkt.Dst < 0 || a.Pkt.Dst >= 4 || a.Port < 0 || a.Port >= 4 {
+					t.Fatalf("%s: port/dst out of range: %+v", pat, a)
+				}
+				prev = a
+			}
+		}
+	}
+}
+
+// TestPacedBudget: the fixed-point pacer delivers the configured rate
+// exactly over any horizon — per-port residue stays under one packet.
+func TestPacedBudget(t *testing.T) {
+	const size, cyc, slices = 1024, 4096, 64
+	rate := 0.8
+	w := traffic.MustBuild(traffic.Spec{Pattern: "uniform", Size: size, Seed: 1, Rate: rate})
+	proc, err := w.OpenLoop(cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]int64, 4)
+	for k := int64(0); k < slices; k++ {
+		for _, a := range proc.Slice(k) {
+			words[a.Port] += int64((a.Pkt.SizeBytes + 3) / 4)
+		}
+	}
+	budget := int64(float64(rate) * float64(cyc) * float64(slices))
+	wordsPkt := int64((size + 3) / 4)
+	for p, got := range words {
+		if got > budget || budget-got >= wordsPkt {
+			t.Fatalf("port %d delivered %d words of %d budget (residue must stay under one %d-word packet)",
+				p, got, budget, wordsPkt)
+		}
+	}
+}
+
+// TestDiurnalCurveShapesLoad: with a low-then-high curve, the first
+// half-day carries visibly less traffic than the second, and the total
+// still matches the mean rate (the curve is normalized).
+func TestDiurnalCurveShapesLoad(t *testing.T) {
+	const day = 1 << 16
+	w := traffic.MustBuild(traffic.Spec{
+		Pattern: "uniform", Size: 512, Seed: 2, Rate: 0.6,
+		DayCycles: day, Curve: []float64{0.25, 0.25, 1.75, 1.75},
+	})
+	proc, err := w.OpenLoop(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := int64(day / 2 / 1024)
+	var first, second int64
+	for k := int64(0); k < 2*half; k++ {
+		n := int64(len(proc.Slice(k)))
+		if k < half {
+			first += n
+		} else {
+			second += n
+		}
+	}
+	if first == 0 || second == 0 {
+		t.Fatal("curve starved a half-day entirely")
+	}
+	if ratio := float64(second) / float64(first); ratio < 1.5 {
+		t.Fatalf("second half carried only %.2fx the first; curve not applied", ratio)
+	}
+	total := float64(first+second) / float64(2*half)
+	// Total arrivals should track the flat-rate count within ~15%.
+	flatW := traffic.MustBuild(traffic.Spec{Pattern: "uniform", Size: 512, Seed: 2, Rate: 0.6})
+	flatP, _ := flatW.OpenLoop(1024)
+	var flat int64
+	for k := int64(0); k < 2*half; k++ {
+		flat += int64(len(flatP.Slice(k)))
+	}
+	flatMean := float64(flat) / float64(2*half)
+	if total < flatMean*0.85 || total > flatMean*1.15 {
+		t.Fatalf("curve mean %.1f arrivals/slice vs flat %.1f; normalization broken", total, flatMean)
+	}
+}
+
+// TestSurgeAddsLoad: a flash-crowd surge multiplies arrivals inside its
+// window and leaves the rest of the day untouched.
+func TestSurgeAddsLoad(t *testing.T) {
+	base := traffic.Spec{Pattern: "uniform", Size: 512, Seed: 6, Rate: 0.4}
+	surged := base
+	surged.Surges = []traffic.Surge{{At: 8 * 1024, Dur: 8 * 1024, Mult: 4}}
+	pb, err := traffic.MustBuild(base).OpenLoop(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := traffic.MustBuild(surged).OpenLoop(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(p traffic.Process, lo, hi int64) int64 {
+		var n int64
+		for k := lo; k < hi; k++ {
+			n += int64(len(p.Slice(k)))
+		}
+		return n
+	}
+	before := count(ps, 0, 8)
+	inside := count(ps, 8, 16)
+	baseInside := count(pb, 8, 16)
+	if before != count(pb, 0, 8) {
+		t.Fatal("surge changed traffic before its window")
+	}
+	if inside < 3*baseInside {
+		t.Fatalf("surge window carried %d arrivals vs %d base; want ~4x", inside, baseInside)
+	}
+}
+
+// TestClosedLoopAdapter: the processSource adapter hands out exactly
+// the open-loop stream's packets for its port, in order.
+func TestClosedLoopAdapter(t *testing.T) {
+	s := traffic.Spec{Pattern: "flows", Size: 512, Seed: 8, Rate: 0.7}
+	w := traffic.MustBuild(s)
+	proc, err := w.OpenLoop(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []traffic.Pkt
+	for k := int64(0); k < 4 && len(want) < 50; k++ {
+		for _, a := range proc.Slice(k) {
+			if a.Port == 2 {
+				want = append(want, a.Pkt)
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("port 2 saw no arrivals")
+	}
+	src, err := w.Source(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wp := range want {
+		if got := src.Next(); got != wp {
+			t.Fatalf("adapter packet %d = %+v, want %+v", i, got, wp)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package traffic
+
+// Named workload presets — the "one spec name = one reproducible
+// artifact" entry points. ParseSpec resolves these before pattern
+// shorthand, so `-workload day1m` just works.
+
+// Presets returns the named specs. The map is rebuilt per call so a
+// caller mutating a spec cannot corrupt the registry.
+func Presets() map[string]Spec {
+	// A scaled diurnal profile: overnight trough, morning ramp, evening
+	// peak. Mean level is normalized away, so Rate stays the mean load.
+	diurnal := []float64{0.35, 0.55, 0.9, 1.3, 1.45, 1.1, 0.75, 0.6}
+	imixSizes := []int{64, 576, 1500}
+	imixWeights := []float64{7, 4, 1}
+	return map[string]Spec{
+		// imix: flat-rate heavy-tailed flows over the classic three-point
+		// Internet mix. The quick sanity workload.
+		"imix": {
+			Pattern: "flows",
+			Sizes:   append([]int(nil), imixSizes...),
+			Weights: append([]float64(nil), imixWeights...),
+		},
+		// day1m: the million-flow day. A 2^27-cycle "day" with the diurnal
+		// curve and two flash crowds; at the default 0.8 words/cycle/port
+		// across 4 ports the bounded-Pareto flow mix yields ~1.28M flows.
+		// Nothing is materialized — FlowProcess generates any slice of it
+		// on demand as a pure function of this spec.
+		"day1m": {
+			Pattern:   "flows",
+			Seed:      1,
+			Rate:      0.8,
+			DayCycles: 1 << 27,
+			Curve:     append([]float64(nil), diurnal...),
+			Surges: []Surge{
+				{At: 44739242, Dur: 2097152, Mult: 3},  // mid-morning flash crowd
+				{At: 100663296, Dur: 1048576, Mult: 5}, // evening spike
+			},
+			Sizes:   append([]int(nil), imixSizes...),
+			Weights: append([]float64(nil), imixWeights...),
+		},
+		// daymini: the same profile scaled to a 2^18-cycle day — small
+		// enough to record whole as the versioned CI trace artifact.
+		"daymini": {
+			Pattern:   "flows",
+			Seed:      1,
+			Rate:      0.8,
+			DayCycles: 1 << 18,
+			Curve:     append([]float64(nil), diurnal...),
+			Surges: []Surge{
+				{At: 87381, Dur: 4096, Mult: 3},
+				{At: 196608, Dur: 2048, Mult: 5},
+			},
+			Sizes:   append([]int(nil), imixSizes...),
+			Weights: append([]float64(nil), imixWeights...),
+		},
+	}
+}

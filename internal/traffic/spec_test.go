@@ -1,0 +1,178 @@
+package traffic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestParseSpecShorthand: the inline grammar parses, defaults fill in,
+// and String() re-renders a form that parses back to the same spec.
+func TestParseSpecShorthand(t *testing.T) {
+	s, err := traffic.ParseSpec("flows:alpha=1.5,ports=8,rate=0.25,sizes=64/1500,weights=3/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pattern != "flows" || s.Ports != 8 || s.Rate != 0.25 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Params["alpha"] != 1.5 {
+		t.Fatalf("alpha = %v", s.Params["alpha"])
+	}
+	if len(s.Sizes) != 2 || s.Sizes[1] != 1500 || s.Weights[0] != 3 {
+		t.Fatalf("sizes %v weights %v", s.Sizes, s.Weights)
+	}
+
+	w, err := traffic.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := traffic.ParseSpec(w.Spec.String())
+	if err != nil {
+		t.Fatalf("String() %q does not re-parse: %v", w.Spec.String(), err)
+	}
+	w2, err := traffic.Build(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Spec.String() != w.Spec.String() {
+		t.Fatalf("round trip: %q vs %q", w2.Spec.String(), w.Spec.String())
+	}
+}
+
+// TestParseSpecPreset: presets resolve to full specs and build.
+func TestParseSpecPreset(t *testing.T) {
+	for name := range traffic.Presets() {
+		s, err := traffic.ParseSpec(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if _, err := traffic.Build(s); err != nil {
+			t.Fatalf("preset %s does not build: %v", name, err)
+		}
+	}
+}
+
+// TestSpecRejects: the loud-failure cases.
+func TestSpecRejects(t *testing.T) {
+	bad := []string{
+		"",                      // empty
+		"nosuchpattern",         // unknown pattern
+		"uniform:ports=1",       // too few ports
+		"uniform:ports=9999",    // too many ports
+		"uniform:size=4",        // below the IP header
+		"uniform:rate=99",       // above line rate bound
+		"uniform:bogus=1",       // unknown parameter key
+		"hotspot:frac=2",        // out of range
+		"flows:alpha=0",         // degenerate tail
+		"flows:maxflow=0.5",     // below minflow
+		"uniform:sizes=64",      // sizes without weights
+		"permutation:offset=-1", // negative rotation
+		"uniform:ports=abc",     // not a number
+		"trace:",                // empty path
+		"uniform:curve=1",       // 1-point curve (needs day too)
+		"uniform:day=-5",        // negative day
+		"broadcast:root=7",      // root outside default 4 ports
+		"json:/nonexistent/x.json",
+	}
+	for _, text := range bad {
+		s, err := traffic.ParseSpec(text)
+		if err != nil {
+			continue // rejected at parse — fine
+		}
+		if _, err := traffic.Build(s); err == nil {
+			t.Fatalf("spec %q accepted; want rejection", text)
+		}
+	}
+}
+
+// TestSpecJSONUnknownField: typos in a JSON spec fail loudly.
+func TestSpecJSONUnknownField(t *testing.T) {
+	if _, err := traffic.ParseSpecJSON([]byte(`{"pattern":"uniform","prots":8}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	}
+	s, err := traffic.ParseSpecJSON([]byte(`{"pattern":"flows","params":{"zipf":1.3},"rate":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Params["zipf"] != 1.3 || s.Rate != 0.5 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+// TestRegistryComplete: every pattern the redesign absorbed is
+// registered, and registration is idempotent-hostile (dup panics).
+func TestRegistryComplete(t *testing.T) {
+	have := strings.Join(traffic.Patterns(), ",")
+	for _, want := range []string{"uniform", "permutation", "hotspot", "bursty", "allreduce", "broadcast", "flows", "trace"} {
+		if !strings.Contains(have, want) {
+			t.Fatalf("pattern %q missing from registry (%s)", want, have)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	traffic.Register(traffic.Pattern{Name: "uniform"})
+}
+
+// FuzzWorkloadSpec: any spec text either fails to parse/build or
+// yields a workload whose first open-loop slice is pure (two
+// evaluations agree) and in-bounds. Run under make fuzz.
+func FuzzWorkloadSpec(f *testing.F) {
+	seeds := []string{
+		"uniform", "imix", "daymini",
+		"flows:alpha=1.3,zipf=1.1",
+		"hotspot:frac=0.9,hot=1,ports=8",
+		"permutation:offset=3,size=64",
+		"bursty:burst=4,rate=0.1",
+		"uniform:sizes=64/1500,weights=1/1",
+		"uniform:day=4096,curve=0.5/1.5",
+		"json:nope", "trace:nope", "x:y=z", ":", "a=b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if strings.HasPrefix(text, "json:") || strings.HasPrefix(text, "trace:") {
+			return // filesystem-touching forms are exercised in unit tests
+		}
+		s, err := traffic.ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if s.TracePath != "" {
+			return
+		}
+		w, err := traffic.Build(s)
+		if err != nil {
+			return
+		}
+		// Bound the work: a fuzzed day length or port count can make a
+		// single slice arbitrarily expensive without being a bug.
+		if w.Spec.Ports > 64 || w.Spec.DayCycles > 1<<22 || w.Spec.Rate > 4 {
+			return
+		}
+		proc, err := w.OpenLoop(256)
+		if err != nil {
+			t.Fatalf("built workload rejects OpenLoop: %v", err)
+		}
+		a, b := proc.Slice(1), proc.Slice(1)
+		if len(a) != len(b) {
+			t.Fatalf("Slice(1) impure: %d vs %d arrivals", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Slice(1) impure at %d", i)
+			}
+			if a[i].Cycle < 256 || a[i].Cycle >= 512 {
+				t.Fatalf("arrival cycle %d outside slice 1", a[i].Cycle)
+			}
+			if a[i].Port < 0 || a[i].Port >= w.Spec.Ports || a[i].Pkt.Dst < 0 || a[i].Pkt.Dst >= w.Spec.Ports {
+				t.Fatalf("arrival out of port range: %+v", a[i])
+			}
+		}
+	})
+}

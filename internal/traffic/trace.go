@@ -1,0 +1,291 @@
+package traffic
+
+// TRAF1 — the replayable binary trace format. A trace is a recorded
+// window of an open-loop arrival process: the generating Spec (as JSON,
+// for provenance), the slice length it was recorded on, and every
+// timestamped arrival. Encoding follows the repo's checkpoint-blob
+// discipline (RTRCKPT1/SRVCKPT1/FABCKPT1): an 8-byte magic, little-
+// endian u64 framing, an FNV-64a trailer over everything that precedes
+// it, and a decoder that bounds-checks every read. Encode(Parse(b)) == b
+// for any valid blob, so "recorded once, versioned forever" is testable
+// as byte identity.
+//
+//	"TRAF1\x00\x00\x00"
+//	u64 sliceCycles | u64 ports
+//	u64 specLen | specLen bytes of Spec JSON
+//	u64 count   | count × (u64 cycle, u64 flow,
+//	                       u32 seq, u32 size, u32 port, u32 dst,
+//	                       u32 srcIP, u32 dstIP)
+//	u64 fnv64a of all preceding bytes
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+
+	"repro/internal/ip"
+)
+
+// specToJSON renders the provenance spec deterministically (struct field
+// order is fixed; encoding/json sorts the Params map keys), so the same
+// Trace always encodes to the same bytes.
+func specToJSON(s Spec) ([]byte, error) { return json.Marshal(s) }
+
+const traceMagic = "TRAF1\x00\x00\x00"
+
+func init() {
+	Register(Pattern{
+		Name:     "trace",
+		Doc:      "replay a recorded TRAF1 trace file (spec field trace=FILE)",
+		Defaults: map[string]float64{},
+		Process: func(s *Spec, sliceCycles int64) (Process, error) {
+			tr, err := LoadTrace(s.TracePath)
+			if err != nil {
+				return nil, err
+			}
+			return tr.Process(sliceCycles), nil
+		},
+		Check: func(s *Spec) error {
+			if s.TracePath == "" {
+				return fmt.Errorf("traffic: trace pattern needs a trace file (trace:FILE)")
+			}
+			return nil
+		},
+	})
+}
+
+// Trace is a decoded TRAF1 blob.
+type Trace struct {
+	// Spec is the generating workload spec (provenance; replay does not
+	// re-run it).
+	Spec Spec
+	// SliceCyclesRec is the slice length the trace was recorded on.
+	SliceCyclesRec int64
+	// NumPorts is the port count the arrivals span.
+	NumPorts int
+	// Arrivals is the full recorded stream in canonical order.
+	Arrivals []Arrival
+}
+
+// Record materializes the first `slices` slices of the workload's
+// open-loop process into a trace.
+func Record(w *Workload, sliceCycles, slices int64) (*Trace, error) {
+	proc, err := w.OpenLoop(sliceCycles)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Spec: w.Spec, SliceCyclesRec: sliceCycles, NumPorts: proc.Ports()}
+	for k := int64(0); k < slices; k++ {
+		tr.Arrivals = append(tr.Arrivals, proc.Slice(k)...)
+	}
+	return tr, nil
+}
+
+// Encode serializes the trace to a TRAF1 blob.
+func (t *Trace) Encode() ([]byte, error) {
+	specJSON, err := specToJSON(t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 64+len(specJSON)+36*len(t.Arrivals))
+	b = append(b, traceMagic...)
+	b = appendU64(b, uint64(t.SliceCyclesRec))
+	b = appendU64(b, uint64(t.NumPorts))
+	b = appendU64(b, uint64(len(specJSON)))
+	b = append(b, specJSON...)
+	b = appendU64(b, uint64(len(t.Arrivals)))
+	for i := range t.Arrivals {
+		a := &t.Arrivals[i]
+		b = appendU64(b, uint64(a.Cycle))
+		b = appendU64(b, a.Flow)
+		b = appendU32(b, a.Seq)
+		b = appendU32(b, uint32(a.Pkt.SizeBytes))
+		b = appendU32(b, uint32(a.Port))
+		b = appendU32(b, uint32(a.Pkt.Dst))
+		b = appendU32(b, uint32(a.Pkt.SrcIP))
+		b = appendU32(b, uint32(a.Pkt.DstIP))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	b = appendU64(b, h.Sum64())
+	return b, nil
+}
+
+// ParseTrace decodes a TRAF1 blob, verifying framing and checksum.
+func ParseTrace(b []byte) (*Trace, error) {
+	bad := func(format string, args ...any) (*Trace, error) {
+		return nil, fmt.Errorf("traffic: bad TRAF1 blob: "+format, args...)
+	}
+	if len(b) < len(traceMagic)+8 || string(b[:len(traceMagic)]) != traceMagic {
+		return bad("missing magic")
+	}
+	body, tail := b[:len(b)-8], b[len(b)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.LittleEndian.Uint64(tail) {
+		return bad("checksum mismatch")
+	}
+	r := &blobReader{b: body, off: len(traceMagic)}
+	t := &Trace{}
+	t.SliceCyclesRec = int64(r.u64())
+	t.NumPorts = int(r.u64())
+	specLen := r.u64()
+	if specLen > uint64(len(body)) {
+		return bad("spec length %d exceeds blob", specLen)
+	}
+	specJSON := r.bytes(int(specLen))
+	count := r.u64()
+	if count > uint64(len(body))/36 {
+		return bad("arrival count %d exceeds blob", count)
+	}
+	t.Arrivals = make([]Arrival, count)
+	for i := range t.Arrivals {
+		a := &t.Arrivals[i]
+		a.Cycle = int64(r.u64())
+		a.Flow = r.u64()
+		a.Seq = r.u32()
+		a.Pkt.SizeBytes = int(r.u32())
+		a.Port = int(r.u32())
+		a.Pkt.Dst = int(r.u32())
+		a.Pkt.SrcIP = ip.Addr(r.u32())
+		a.Pkt.DstIP = ip.Addr(r.u32())
+	}
+	if r.err {
+		return bad("truncated")
+	}
+	if r.off != len(body) {
+		return bad("%d trailing bytes", len(body)-r.off)
+	}
+	if t.SliceCyclesRec <= 0 || t.NumPorts < 1 || t.NumPorts > 1024 {
+		return bad("sliceCycles %d / ports %d out of range", t.SliceCyclesRec, t.NumPorts)
+	}
+	for i := range t.Arrivals {
+		a := &t.Arrivals[i]
+		if a.Cycle < 0 || a.Port < 0 || a.Port >= t.NumPorts ||
+			a.Pkt.Dst < 0 || a.Pkt.Dst >= t.NumPorts || a.Pkt.SizeBytes < ip.HeaderBytes {
+			return bad("arrival %d out of range", i)
+		}
+	}
+	if len(specJSON) > 0 {
+		s, err := ParseSpecJSON(specJSON)
+		if err != nil {
+			return bad("embedded spec: %v", err)
+		}
+		t.Spec = s
+	}
+	return t, nil
+}
+
+// WriteFile atomically writes the trace next to path.
+func (t *Trace) WriteFile(path string) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTrace reads and decodes a TRAF1 file.
+func LoadTrace(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: trace file: %w", err)
+	}
+	return ParseTrace(b)
+}
+
+// DstWords sums on-wire words per destination port — the ledger the
+// cross-engine acceptance test compares delivered words against.
+func (t *Trace) DstWords() []int64 {
+	out := make([]int64, t.NumPorts)
+	for i := range t.Arrivals {
+		a := &t.Arrivals[i]
+		out[a.Pkt.Dst] += int64(wordsOf(a.Pkt.SizeBytes))
+	}
+	return out
+}
+
+// Process returns a replay view of the trace on the given slice length
+// (re-bucketing the timestamped arrivals; the recorded slice length
+// need not match).
+func (t *Trace) Process(sliceCycles int64) Process {
+	if sliceCycles <= 0 {
+		sliceCycles = t.SliceCyclesRec
+	}
+	return &traceProcess{tr: t, cyc: sliceCycles}
+}
+
+type traceProcess struct {
+	tr  *Trace
+	cyc int64
+}
+
+// Slice implements Process: the arrivals with Cycle in [k*S, (k+1)*S).
+// The stored stream is in canonical order, so a contiguous cycle range
+// is a contiguous slice of it.
+func (p *traceProcess) Slice(k int64) []Arrival {
+	arr := p.tr.Arrivals
+	lo := sort.Search(len(arr), func(i int) bool { return arr[i].Cycle >= k*p.cyc })
+	hi := sort.Search(len(arr), func(i int) bool { return arr[i].Cycle >= (k+1)*p.cyc })
+	if lo == hi {
+		return nil
+	}
+	return arr[lo:hi:hi]
+}
+
+// SliceCycles implements Process.
+func (p *traceProcess) SliceCycles() int64 { return p.cyc }
+
+// Ports implements Process.
+func (p *traceProcess) Ports() int { return p.tr.NumPorts }
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+type blobReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *blobReader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *blobReader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *blobReader) bytes(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}

@@ -1,0 +1,155 @@
+package traffic_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func testTraceSpec() traffic.Spec {
+	return traffic.Spec{
+		Pattern: "flows", Size: 256, Seed: 11, Rate: 0.5,
+		Sizes: []int{64, 576, 1500}, Weights: []float64{7, 4, 1},
+	}
+}
+
+// TestTraceRoundTrip: Encode(Parse(Encode(t))) is byte-identical, the
+// file round trip preserves everything, and the re-bucketed replay
+// process reproduces the recorded arrivals exactly.
+func TestTraceRoundTrip(t *testing.T) {
+	w := traffic.MustBuild(testTraceSpec())
+	const cyc, slices = 512, 24
+	tr, err := traffic.Record(w, cyc, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("recorded nothing")
+	}
+
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := traffic.ParseTrace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("trace does not re-encode byte-identically")
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.traf")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := traffic.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc3, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc3) {
+		t.Fatal("file round trip is not byte-identical")
+	}
+
+	// Replay through the trace process: every slice equals the live one.
+	proc, err := w.OpenLoop(cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := loaded.Process(cyc)
+	for k := int64(0); k < slices; k++ {
+		live, rep := proc.Slice(k), replay.Slice(k)
+		if len(live) != len(rep) {
+			t.Fatalf("slice %d: %d live vs %d replayed arrivals", k, len(live), len(rep))
+		}
+		for i := range live {
+			if live[i] != rep[i] {
+				t.Fatalf("slice %d arrival %d: live %+v vs replay %+v", k, i, live[i], rep[i])
+			}
+		}
+	}
+
+	// DstWords matches a direct sum over arrivals.
+	want := make([]int64, loaded.NumPorts)
+	for _, a := range loaded.Arrivals {
+		want[a.Pkt.Dst] += int64((a.Pkt.SizeBytes + 3) / 4)
+	}
+	got := loaded.DstWords()
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("dst %d ledger %d, want %d", d, got[d], want[d])
+		}
+	}
+}
+
+// TestTraceRejects: corruption, truncation, and foreign blobs all fail
+// parse, loudly.
+func TestTraceRejects(t *testing.T) {
+	w := traffic.MustBuild(testTraceSpec())
+	tr, err := traffic.Record(w, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traffic.ParseTrace(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/2] ^= 1
+	if _, err := traffic.ParseTrace(flipped); err == nil {
+		t.Fatal("corrupted trace accepted (checksum not enforced)")
+	}
+	if _, err := traffic.ParseTrace([]byte("SRVCKPT1 not a trace")); err == nil {
+		t.Fatal("foreign blob accepted")
+	}
+	if _, err := traffic.ParseTrace(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+// TestTracePattern: the "trace" registry pattern replays a recorded
+// file through the ordinary Spec/Build pipeline.
+func TestTracePattern(t *testing.T) {
+	w := traffic.MustBuild(testTraceSpec())
+	tr, err := traffic.Record(w, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "replay.traf")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := traffic.ParseSpec("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := traffic.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := rw.OpenLoop(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for k := int64(0); k < 8; k++ {
+		n += len(proc.Slice(k))
+	}
+	if n != len(tr.Arrivals) {
+		t.Fatalf("trace pattern replayed %d arrivals, recorded %d", n, len(tr.Arrivals))
+	}
+}

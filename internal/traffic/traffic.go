@@ -88,6 +88,9 @@ type Uniform struct {
 }
 
 // NewUniform builds a uniform source for input port src.
+//
+// Deprecated: use Build(Spec{Pattern: "uniform", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewUniform(ports, size, src int, rng *RNG) *Uniform {
 	return &Uniform{Ports: ports, Size: size, Src: src, rng: rng}
 }
@@ -126,6 +129,9 @@ func RotatedPerm(n, offset int) []int {
 }
 
 // NewPermutation builds the fixed-destination source for input port src.
+//
+// Deprecated: use Build(Spec{Pattern: "permutation", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewPermutation(perm []int, size, src int) *Permutation {
 	return &Permutation{Perm: perm, Size: size, Src: src}
 }
@@ -155,6 +161,9 @@ type Hotspot struct {
 }
 
 // NewHotspot builds a hotspot source.
+//
+// Deprecated: use Build(Spec{Pattern: "hotspot", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewHotspot(ports, size, src, hot int, frac float64, rng *RNG) *Hotspot {
 	return &Hotspot{Ports: ports, Size: size, Src: src, Hot: hot, Frac: frac, rng: rng}
 }
@@ -184,6 +193,9 @@ type SizeMix struct {
 }
 
 // NewSizeMix builds a size-mixing wrapper; weights need not sum to 1.
+//
+// Deprecated: set Spec.Sizes/Spec.Weights instead; Build wraps every
+// pattern source automatically. This shim remains for one release.
 func NewSizeMix(inner Source, sizes []int, weights []float64, rng *RNG) *SizeMix {
 	if len(sizes) != len(weights) || len(sizes) == 0 {
 		panic("traffic: sizes and weights must align")
@@ -225,6 +237,9 @@ type Bursty struct {
 
 // NewBursty builds a bursty source with geometric bursts of mean length
 // burst.
+//
+// Deprecated: use Build(Spec{Pattern: "bursty", ...}) and
+// Workload.Source; this shim remains for one release.
 func NewBursty(ports, size, src, burst int, rng *RNG) *Bursty {
 	return &Bursty{Ports: ports, Size: size, Src: src, Burst: burst, rng: rng}
 }

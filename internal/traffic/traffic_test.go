@@ -33,8 +33,18 @@ func TestRNGUniformity(t *testing.T) {
 	}
 }
 
+// mustSource compiles a spec and returns one port's closed-loop source.
+func mustSource(t *testing.T, s traffic.Spec, port int) traffic.Source {
+	t.Helper()
+	src, err := traffic.MustBuild(s).Source(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
 func TestUniformDestinations(t *testing.T) {
-	src := traffic.NewUniform(4, 64, 1, traffic.NewRNG(9))
+	src := mustSource(t, traffic.Spec{Pattern: "uniform", Size: 64, Seed: 9}, 1)
 	var counts [4]int
 	for i := 0; i < 40000; i++ {
 		p := src.Next()
@@ -56,12 +66,19 @@ func TestUniformDestinations(t *testing.T) {
 func TestPermutationConflictFree(t *testing.T) {
 	perm := traffic.RotatedPerm(4, 2)
 	seen := make(map[int]bool)
+	wl := traffic.MustBuild(traffic.Spec{
+		Pattern: "permutation", Size: 256,
+		Params: map[string]float64{"offset": 2},
+	})
 	for i, d := range perm {
 		if seen[d] {
 			t.Fatalf("perm maps two inputs to output %d", d)
 		}
 		seen[d] = true
-		src := traffic.NewPermutation(perm, 256, i)
+		src, err := wl.Source(i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for k := 0; k < 10; k++ {
 			if p := src.Next(); p.Dst != d {
 				t.Fatalf("input %d sent to %d, want %d", i, p.Dst, d)
@@ -71,7 +88,10 @@ func TestPermutationConflictFree(t *testing.T) {
 }
 
 func TestHotspotFraction(t *testing.T) {
-	src := traffic.NewHotspot(4, 64, 0, 2, 0.75, traffic.NewRNG(3))
+	src := mustSource(t, traffic.Spec{
+		Pattern: "hotspot", Size: 64, Seed: 3,
+		Params: map[string]float64{"hot": 2, "frac": 0.75},
+	}, 0)
 	hot := 0
 	const n = 40000
 	for i := 0; i < n; i++ {
@@ -87,7 +107,10 @@ func TestHotspotFraction(t *testing.T) {
 }
 
 func TestBurstyRuns(t *testing.T) {
-	src := traffic.NewBursty(4, 64, 0, 8, traffic.NewRNG(5))
+	src := mustSource(t, traffic.Spec{
+		Pattern: "bursty", Size: 64, Seed: 5,
+		Params: map[string]float64{"burst": 8},
+	}, 0)
 	prev := -1
 	runs, changes := 0, 0
 	const n = 20000
@@ -107,12 +130,14 @@ func TestBurstyRuns(t *testing.T) {
 }
 
 func TestSizeMix(t *testing.T) {
-	inner := traffic.NewUniform(4, 64, 0, traffic.NewRNG(1))
-	mix := traffic.NewSizeMix(inner, []int{64, 1024}, []float64{0.5, 0.5}, traffic.NewRNG(2))
+	src := mustSource(t, traffic.Spec{
+		Pattern: "uniform", Size: 64,
+		Sizes: []int{64, 1024}, Weights: []float64{0.5, 0.5},
+	}, 0)
 	small := 0
 	const n = 20000
 	for i := 0; i < n; i++ {
-		if mix.Next().SizeBytes == 64 {
+		if src.Next().SizeBytes == 64 {
 			small++
 		}
 	}
@@ -131,5 +156,33 @@ func TestPortAddressing(t *testing.T) {
 		if uint32(a)>>24 != prefix>>24 {
 			t.Fatalf("addr %v outside port %d prefix", a, p)
 		}
+	}
+}
+
+// TestDeprecatedShims is the one remaining caller of the constructor
+// zoo: the shims must keep producing the documented streams until they
+// are removed.
+func TestDeprecatedShims(t *testing.T) {
+	if p := traffic.NewUniform(4, 64, 1, traffic.NewRNG(9)).Next(); p.SizeBytes != 64 {
+		t.Fatalf("NewUniform size %d", p.SizeBytes)
+	}
+	if p := traffic.NewPermutation(traffic.RotatedPerm(4, 1), 256, 0).Next(); p.Dst != 1 {
+		t.Fatalf("NewPermutation dst %d, want 1", p.Dst)
+	}
+	if p := traffic.NewHotspot(4, 64, 0, 2, 1.0, traffic.NewRNG(3)).Next(); p.Dst != 2 {
+		t.Fatalf("NewHotspot frac=1 dst %d, want 2", p.Dst)
+	}
+	if p := traffic.NewBursty(4, 64, 0, 8, traffic.NewRNG(5)).Next(); p.SizeBytes != 64 {
+		t.Fatalf("NewBursty size %d", p.SizeBytes)
+	}
+	inner := traffic.NewUniform(4, 64, 0, traffic.NewRNG(1))
+	if p := traffic.NewSizeMix(inner, []int{640}, []float64{1}, traffic.NewRNG(2)).Next(); p.SizeBytes != 640 {
+		t.Fatalf("NewSizeMix size %d, want 640", p.SizeBytes)
+	}
+	if p := traffic.NewRingAllReduce(4, 256, 1).Next(); p.Dst != 2 {
+		t.Fatalf("NewRingAllReduce dst %d, want successor 2", p.Dst)
+	}
+	if p := traffic.NewBroadcast(4, 128, 3).Next(); p.Dst == 3 {
+		t.Fatal("NewBroadcast root sent to itself")
 	}
 }

@@ -84,6 +84,19 @@ echo "== healing: idle-overhead gate =="
 # until a fault happens.
 sh scripts/bench_fault.sh
 
+echo "== traffic: open-loop determinism + ledger conformance + generation-overhead gate =="
+# The production traffic plane: open-loop arrivals must be a pure
+# function of (spec, slice) — the checked-in seeded daymini trace
+# regenerates byte-identically, record->replay round-trips exactly, and
+# one heavy-tailed trace drives the Raw router (both engines, workers 1
+# and NumCPU), the serve daemon, and the Click baseline to the identical
+# per-destination delivered-word ledger. Generating arrivals must cost
+# <1% of the reference engine stepping the same cycles (see
+# scripts/bench_traffic.sh and BENCH_traffic.json).
+go test -race ./internal/traffic
+go test -race -run 'TestTraceLedgerAcrossConsumers|TestHeavyTail' ./internal/exp
+sh scripts/bench_traffic.sh
+
 echo "== serve: daemon-mode smoke =="
 # Boot rawrouter -serve as a real process and drive the whole lifecycle
 # over HTTP: healthz/readyz, a latched degrade arc that trips the
