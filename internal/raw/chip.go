@@ -42,6 +42,10 @@ type dynBinding struct {
 	dev    DynDevice
 	outBuf []Word
 	in     *unboundedFIFO
+	// quiescer is dev's DeviceQuiescer, resolved once at attach time so
+	// the macro-step gate is a direct call, not a per-cycle assertion.
+	// nil when the device makes no quiescence promise.
+	quiescer DeviceQuiescer
 }
 
 // Chip is a simulated Raw processor.
@@ -75,8 +79,14 @@ type Chip struct {
 	faults FaultPlane
 
 	// cycleHook, when non-nil, runs at the end of every Step (see
-	// SetCycleHook).
+	// SetCycleHook). Its presence disarms macro-stepping; supervisors
+	// that can batch their observation register a StepHook instead.
 	cycleHook func(cycle int64)
+
+	// stepHooks are the capability-scoped observation hooks (see
+	// AddStepHook): each declares its next due cycle, so macro windows
+	// can cover the gaps between observations.
+	stepHooks []StepHook
 
 	// rec, when non-nil, logs external static-input pushes so the chip
 	// can checkpoint by record-replay (see snapshot.go).
@@ -88,9 +98,11 @@ type Chip struct {
 	engine  Engine
 	fe      *fastEngine
 	feDirty bool
-	// macro-step engagement counters (see MacroStats).
+	// macro-step engagement counters (see MacroStats) and the per-cause
+	// disarm histogram (see MacroDisarms).
 	macroWindows int64
 	macroCycles  int64
+	macroDisarms [NumMacroCauses]int64
 
 	// fifoSlab backs every bounded fifo on the chip in one contiguous
 	// allocation (index-addressed ring buffers): the per-cycle commit
@@ -249,6 +261,9 @@ func (c *Chip) AttachDynDevice(tileID int, d Dir, net int, dev DynDevice) {
 	}
 	b := &dynBinding{tile: tileID, dir: d, net: net, dev: dev,
 		in: t.dyn[net].in[d].(*unboundedFIFO)}
+	if q, ok := dev.(DeviceQuiescer); ok {
+		b.quiescer = q
+	}
 	c.bindings = append(c.bindings, b)
 	c.dynEdgeSinks[[3]int{tileID, int(d), net}] = b
 	c.invalidateFast()
@@ -350,6 +365,9 @@ func (c *Chip) Step() {
 	}
 	if c.cycleHook != nil {
 		c.cycleHook(c.cycle)
+	}
+	for _, h := range c.stepHooks {
+		h.Tick(c.cycle)
 	}
 	if c.cfg.Tracer != nil {
 		for _, t := range c.tiles {

@@ -47,6 +47,21 @@ type Quiescer interface {
 	Quiesced() bool
 }
 
+// SteadyFirmware is an optional Firmware extension for live state
+// machines that cannot quiesce but can declare steady phases.
+// SteadyState reports that the firmware's compiled cycle-cost schedule
+// (see internal/router's firmware schedules) is currently in a phase
+// whose per-cycle profile is constant — every queued micro-op either
+// blocks without side effects or moves words at a fixed one-cycle-per-
+// word rate — so the macro-step flow analysis may reason about the tile
+// while the firmware is mid-quantum. Firmware in a non-steady phase
+// (multi-cycle-per-word buffering, cache probes, cryptographic
+// transforms) must return false and falls back to per-cycle stepping.
+type SteadyFirmware interface {
+	Firmware
+	SteadyState() bool
+}
+
 // swBind is one static switch's compiled execution context: the switch
 // state it advances plus every queue endpoint its routes can touch,
 // resolved to concrete types. Exactly one of srcF/srcU is non-nil per
@@ -98,8 +113,11 @@ type fastEngine struct {
 	dy []dynBind // [tile*numDynNets + net]
 
 	// fwq caches each tile firmware's Quiescer, nil when the firmware
-	// does not implement it (or there is none).
+	// does not implement it (or there is none). sfw is the analogous
+	// cache for SteadyFirmware (live state machines with declared steady
+	// phases).
 	fwq []Quiescer
+	sfw []SteadyFirmware
 
 	// asleep is the idle-tile skip list. Only maintained when sleepOn:
 	// under the parallel pool, wake hooks would be cross-worker writes,
@@ -109,11 +127,16 @@ type fastEngine struct {
 	sleepOn bool
 
 	// Macro-step scratch (see macro.go): per-switch membership and route
-	// masks for the current scan, and the reusable plan buffer.
+	// masks for the current scan, the reusable plan buffer of admitted
+	// streamers, the frozen (provably blocked) switch list awaiting
+	// witness verification, and the per-tile processor state each window
+	// cycle accrues.
 	macroOn   []bool
 	macroSrcM []uint8
 	macroDstM []uint8
 	plan      []int32
+	frozen    []int32
+	macroSt   []TileState
 }
 
 // buildFastEngine resolves all bindings from the chip's current
@@ -125,16 +148,21 @@ func buildFastEngine(c *Chip) *fastEngine {
 		sw:        make([]swBind, n*NumStaticNets),
 		dy:        make([]dynBind, n*numDynNets),
 		fwq:       make([]Quiescer, n),
+		sfw:       make([]SteadyFirmware, n),
 		asleep:    make([]bool, n),
 		sleepOn:   c.pool == nil,
 		macroOn:   make([]bool, n*NumStaticNets),
 		macroSrcM: make([]uint8, n*NumStaticNets),
 		macroDstM: make([]uint8, n*NumStaticNets),
+		macroSt:   make([]TileState, n),
 	}
 	for _, t := range c.tiles {
 		if fw := t.exec.fw; fw != nil {
 			if q, ok := fw.(Quiescer); ok {
 				fe.fwq[t.id] = q
+			}
+			if s, ok := fw.(SteadyFirmware); ok {
+				fe.sfw[t.id] = s
 			}
 		}
 		for net := 0; net < NumStaticNets; net++ {

@@ -15,6 +15,13 @@ type xbarFW struct {
 	port int
 	prog *XbarProgram
 
+	// sched is the compiled cycle-cost schedule (shared by all four
+	// crossbar instances, surviving degrade/restore/park); phase indexes
+	// it. Written only while the tile executes firmware ops, read by the
+	// macro-stepper between cycles (workers parked).
+	sched *FWSchedule
+	phase int
+
 	token int
 	dwell int
 	hdrs  [4]raw.Word
@@ -35,7 +42,7 @@ type xbarFW struct {
 	quantum int64
 
 	// Telemetry capture (armed only when cfg.Metrics is set): the
-	// boundary snapshot the router's cycle hook samples. Written at the
+	// boundary snapshot the router's step hook samples. Written at the
 	// quantum boundary and read by the hook before the next boundary —
 	// both see committed state on the report port's tile, so the values
 	// are identical at any worker count.
@@ -45,7 +52,12 @@ type xbarFW struct {
 	lastWords [4]int
 }
 
+// SteadyState implements raw.SteadyFirmware: the compiled schedule says
+// whether the current phase presents a constant per-cycle profile.
+func (x *xbarFW) SteadyState() bool { return x.sched.Steady(x.phase) }
+
 func (x *xbarFW) Refill(e *raw.Exec) {
+	x.phase = xbarPhaseHdr
 	// Headers arrive own-first, then from 1, 2, 3 hops clockwise-upstream.
 	// The degraded exchange delivers only the two surviving neighbors, in
 	// an order that depends on where the hole is (see
@@ -83,6 +95,7 @@ func (x *xbarFW) decide(e *raw.Exec) {
 		x.decideMixed(e)
 		return
 	}
+	x.phase = xbarPhaseStream
 	var hdrs [4]rotor.Hdr
 	var prios [4]uint8
 	for i, w := range x.hdrs {
@@ -154,6 +167,7 @@ func (x *xbarFW) decide(e *raw.Exec) {
 // decideMixed is the §8.6 variant: member-mask requests through the
 // mixed allocator and the 51-routine jump table.
 func (x *xbarFW) decideMixed(e *raw.Exec) {
+	x.phase = xbarPhaseStream
 	reqs := make([]rotor.McastReq, 4)
 	for i, w := range x.hdrs {
 		reqs[i] = McastReqOf(w)

@@ -40,11 +40,23 @@ type lookupFW struct {
 	rt   *Router
 	port int
 
+	// sched is the compiled cycle-cost schedule (shared by all four
+	// lookup instances, surviving degrade/restore/park); phase indexes
+	// it. Written only while the tile executes firmware ops, read by the
+	// macro-stepper between cycles (workers parked).
+	sched *FWSchedule
+	phase int
+
 	dst raw.Word
 	v1  raw.Word
 }
 
+// SteadyState implements raw.SteadyFirmware: the compiled schedule says
+// whether the current phase presents a constant per-cycle profile.
+func (f *lookupFW) SteadyState() bool { return f.sched.Steady(f.phase) }
+
 func (f *lookupFW) Refill(e *raw.Exec) {
+	f.phase = lkPhaseAwait
 	e.Recv(func(w raw.Word) { f.dst = w })
 	e.Then(func(e *raw.Exec) {
 		// Class D (224.0.0.0/4): the §8.6 multicast group table, modeled
@@ -66,6 +78,7 @@ func (f *lookupFW) Refill(e *raw.Exec) {
 }
 
 func (f *lookupFW) probe(e *raw.Exec) {
+	f.phase = lkPhaseProbe
 	l1, chunks := tableBases(f.rt.tableEpoch)
 	// Level-1 probe.
 	e.CacheRead(func() raw.Word { return l1 + f.dst>>16 },

@@ -8,8 +8,8 @@ import (
 
 // Port re-admission (robustness extension). Degrade is fail-stop and
 // instantaneous; Restore is its inverse and must be hitless for the
-// survivors, so it runs as a small state machine driven by the chip's
-// cycle hook:
+// survivors, so it runs as a small state machine driven by the router's
+// step hook (Router.Tick):
 //
 //	degraded --Restore--> draining --quiesce--> re-admitting --window--> live
 //
@@ -58,7 +58,7 @@ type control struct {
 }
 
 // ScheduleRestore arranges for Restore(port) to run at the given cycle
-// (from the cycle hook, so it is deterministic and checkpoint-replayable;
+// (from the step hook, so it is deterministic and checkpoint-replayable;
 // a failing Restore — wrong port, not degraded — is a recorded no-op).
 func (r *Router) ScheduleRestore(cycle int64, port int) {
 	r.controls = append(r.controls, control{cycle: cycle, port: port, kind: ctlRestore})
@@ -71,11 +71,21 @@ func (r *Router) ScheduleReprobe(cycle int64, port int) {
 	r.controls = append(r.controls, control{cycle: cycle, port: port, kind: ctlReprobe})
 }
 
-// tick is the chip's single cycle hook: it runs between cycles on the
-// simulation's main goroutine (workers parked), so it may read firmware
-// state and reconfigure tiles without racing. Everything here is a few
-// nil checks per cycle against sixteen tile steps.
-func (r *Router) tick(cycle int64) {
+// Tick implements raw.StepHook: the router is the chip's single
+// observation hook. It runs between cycles on the simulation's main
+// goroutine (workers parked), so it may read firmware state and
+// reconfigure tiles without racing. Everything here is a few nil checks
+// per cycle against sixteen tile steps — and on the fast engine the
+// cycles between NextDue boundaries may be covered by macro windows, so
+// every observation below is batched to a boundary the hook declares:
+// the watchdog to its 1024-cycle check mask, the restore/probation/
+// line-event scans to the 256-cycle restoreCheckMask, scheduled controls
+// to their exact cycles. Telemetry quantum sampling needs no boundary of
+// its own: a quantum counter only advances inside a crossbar processor
+// op (advanceToken's boundary closure), which makes that tile busy for
+// the cycle, so a macro window can never cover a quantum boundary and
+// the per-cycle counter comparison always runs on the boundary cycle.
+func (r *Router) Tick(cycle int64) {
 	if r.wd != nil {
 		r.wd.tick(cycle)
 	}
@@ -107,6 +117,42 @@ func (r *Router) tick(cycle int64) {
 	if r.cfg.Metrics != nil {
 		r.sampleTelemetry(cycle)
 	}
+}
+
+// NextDue implements raw.StepHook: the earliest cycle >= cycle at which
+// Tick must observe an individually simulated cycle, or -1 when nothing
+// is scheduled. The bounds mirror Tick's own gating exactly: the
+// watchdog's next check-mask boundary while it is armed and the router
+// has not fail-stopped; the next restoreCheckMask boundary while any
+// 256-cycle scan is live (restore drain, probation expiry, or the
+// line-state scan armed by Events/Metrics); and every unfired scheduled
+// control's cycle. Quantum-coupled observations (telemetry sampling,
+// watchdog heartbeat reads) need no bound here — quantum boundaries
+// happen inside crossbar processor ops, which the macro-stepper can
+// never cover (see Tick).
+func (r *Router) NextDue(cycle int64) int64 {
+	due := int64(-1)
+	add := func(d int64) {
+		if d >= cycle && (due < 0 || d < due) {
+			due = d
+		}
+	}
+	if r.wd != nil && !r.failed {
+		add((cycle + r.wd.checkMask) &^ r.wd.checkMask)
+	}
+	if r.restoring || r.probationPort >= 0 || r.cfg.Events != nil || r.cfg.Metrics != nil {
+		add((cycle + restoreCheckMask) &^ restoreCheckMask)
+	}
+	for i := range r.controls {
+		if c := &r.controls[i]; !c.fired {
+			d := c.cycle
+			if d < cycle {
+				d = cycle
+			}
+			add(d)
+		}
+	}
+	return due
 }
 
 func (r *Router) runControls(cycle int64) {

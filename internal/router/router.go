@@ -185,9 +185,19 @@ type Stats struct {
 // returned by Stats(). Schema tracks telemetry.SchemaVersion; Cycle is
 // the chip cycle the snapshot was taken at. The embedded Stats fields
 // are values, so a snapshot never changes as the simulation advances.
+//
+// MacroWindows, MacroCycles, and MacroDisarms surface the fast engine's
+// macro-step engagement (raw.Chip.MacroStats / MacroDisarms): how many
+// multi-cycle windows executed, the cycles they covered, and the
+// per-cause histogram of declined windows. All zero under the reference
+// engine; they are host-engine observability, not part of the
+// cross-engine equivalence surface.
 type StatsSnapshot struct {
-	Schema int
-	Cycle  int64
+	Schema       int
+	Cycle        int64
+	MacroWindows int64
+	MacroCycles  int64
+	MacroDisarms [raw.NumMacroCauses]int64
 	Stats
 }
 
@@ -250,6 +260,11 @@ type Router struct {
 	parsed   [4]int64
 	cuts     [4][]int64
 
+	// scheds are the compiled firmware cycle-cost schedules (see
+	// fwsched.go): one per kind, shared by all four instances and
+	// re-presented unchanged across degrade/restore/park.
+	scheds fwSchedules
+
 	// tableEpoch selects which double-buffered DRAM table the lookup
 	// tiles consult (§2.2.1 table management; flipped by UpdateTable).
 	tableEpoch int
@@ -297,6 +312,7 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Multicast {
 		r.ci = sharedMixedIndex()
 	}
+	r.scheds = compileFWSchedules(cfg)
 	r.Chip.SetWorkers(cfg.Workers)
 	r.Mem = mem.Attach(r.Chip, cfg.DRAMLatency)
 	// DRAM latency spikes from an installed fault plane (zero-cost nil
@@ -325,7 +341,7 @@ func New(cfg Config) (*Router, error) {
 		}
 		r.Chip.Tile(pt.Crossbar).SetCompiledSwitchProgram(xprog.Compiled)
 		r.xprogs[p] = xprog
-		r.xbars[p] = &xbarFW{rt: r, port: p, prog: xprog, dead: -1}
+		r.xbars[p] = &xbarFW{rt: r, port: p, prog: xprog, dead: -1, sched: r.scheds.xbar}
 		r.Chip.Tile(pt.Crossbar).Exec().SetFirmware(r.xbars[p])
 
 		iprog, err := GenIngressProgram(p)
@@ -336,7 +352,7 @@ func New(cfg Config) (*Router, error) {
 		in := r.Chip.StaticIn(pt.Ingress, pt.InSide)
 		r.ings[p] = &ingressFW{
 			rt: r, port: p, prog: iprog, backlog: in.Len, in: in, dead: -1,
-			rng: reprobeSeed(cfg.ReprobeSeed, p),
+			rng: reprobeSeed(cfg.ReprobeSeed, p), sched: r.scheds.ing,
 		}
 		r.Chip.Tile(pt.Ingress).Exec().SetFirmware(r.ings[p])
 
@@ -345,11 +361,11 @@ func New(cfg Config) (*Router, error) {
 			return nil, err
 		}
 		r.Chip.Tile(pt.Egress).SetCompiledSwitchProgram(eprog.Compiled)
-		r.egrs[p] = &egressFW{rt: r, port: p, prog: eprog}
+		r.egrs[p] = &egressFW{rt: r, port: p, prog: eprog, sched: r.scheds.egr}
 		r.Chip.Tile(pt.Egress).Exec().SetFirmware(r.egrs[p])
 
 		r.Chip.Tile(pt.Lookup).SetCompiledSwitchProgram(CompiledLookupProgram(p))
-		r.lookups[p] = &lookupFW{rt: r, port: p}
+		r.lookups[p] = &lookupFW{rt: r, port: p, sched: r.scheds.lk}
 		r.Chip.Tile(pt.Lookup).Exec().SetFirmware(r.lookups[p])
 
 		r.ins[p] = r.Chip.StaticIn(pt.Ingress, pt.InSide)
@@ -358,10 +374,13 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Watchdog {
 		r.installWatchdog()
 	}
-	// A single chip cycle hook dispatches to every router-level observer:
-	// watchdog, scheduled recovery controls, restore quiescence checks,
-	// probation expiry, and event sampling (see restore.go).
-	r.Chip.SetCycleHook(r.tick)
+	// The router is the chip's single step hook (see restore.go): Tick
+	// dispatches to every router-level observer — watchdog, scheduled
+	// recovery controls, restore quiescence checks, probation expiry, and
+	// event/telemetry sampling — and NextDue declares the next cycle any
+	// of them must observe, so the fast engine can macro-step the gaps
+	// between quantum and mask boundaries instead of disarming.
+	r.Chip.AddStepHook(r)
 	if cfg.Checkpoint {
 		if err := r.Chip.EnableRecording(); err != nil {
 			return nil, err
@@ -383,10 +402,14 @@ func (r *Router) Config() Config { return r.cfg }
 // copy is cheap (a few hundred bytes) and safe to hold across Run calls:
 // it never changes as the simulation advances.
 func (r *Router) Stats() StatsSnapshot {
+	windows, cycles := r.Chip.MacroStats()
 	return StatsSnapshot{
-		Schema: telemetry.SchemaVersion,
-		Cycle:  r.Chip.Cycle(),
-		Stats:  r.stats,
+		Schema:       telemetry.SchemaVersion,
+		Cycle:        r.Chip.Cycle(),
+		MacroWindows: windows,
+		MacroCycles:  cycles,
+		MacroDisarms: r.Chip.MacroDisarms(),
+		Stats:        r.stats,
 	}
 }
 

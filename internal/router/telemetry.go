@@ -6,12 +6,18 @@ import (
 )
 
 // Telemetry-plane wiring. The collector (cfg.Metrics) is fed entirely
-// from the chip's cycle hook on the simulation's main goroutine: the
-// report-port crossbar captures each quantum's scheduler decision at the
-// boundary (xbarFW.captureQuantum), and sampleTelemetry hands it to the
-// collector together with cumulative drop and blocked-cycle counters.
-// Everything the collector sees is bit-for-bit identical at any worker
-// count, so exports are too.
+// from the router's step hook (Router.Tick) on the simulation's main
+// goroutine: the report-port crossbar captures each quantum's scheduler
+// decision at the boundary (xbarFW.captureQuantum), and sampleTelemetry
+// hands it to the collector together with cumulative drop and
+// blocked-cycle counters. Everything the collector sees is bit-for-bit
+// identical at any worker count, so exports are too.
+//
+// Sampling is quantum-granular by construction: the boundary commits
+// inside a crossbar processor op, so the fast engine can never cover a
+// boundary cycle with a macro window (the tile is busy that cycle), and
+// the hook's counter comparison observes every boundary at the exact
+// cycle it commits — on either engine, at any worker count.
 
 // tileRoles orders one port's tiles for snapshot role labels.
 var tileRoles = [4]string{"ingress", "lookup", "xbar", "egress"}
@@ -67,6 +73,18 @@ func (r *Router) TelemetrySnapshot() telemetry.Snapshot {
 	m.ProbationPort = r.probationPort
 	m.Failed = r.failed
 	m.FabricLost = r.stats.FabricLost
+	// Engine observability (schema v3): the fast engine's macro-step
+	// engagement and the per-cause disarm histogram, in raw.MacroCauses
+	// order for a stable export series. Zero under the reference engine;
+	// cross-engine equivalence comparisons normalize these out.
+	m.MacroWindows, m.MacroCycles = r.Chip.MacroStats()
+	disarms := r.Chip.MacroDisarms()
+	m.MacroDisarms = make([]telemetry.MacroDisarm, 0, len(disarms))
+	for _, cause := range raw.MacroCauses() {
+		m.MacroDisarms = append(m.MacroDisarms, telemetry.MacroDisarm{
+			Cause: cause.String(), Count: disarms[cause],
+		})
+	}
 	st := &r.stats
 	for p := 0; p < 4; p++ {
 		m.Ports[p] = telemetry.PortCounters{

@@ -42,6 +42,13 @@ type jsonlMeta struct {
 	ProbationPort int     `json:"probation_port"`
 	Failed        bool    `json:"failed"`
 	FabricLost    int64   `json:"fabric_lost"`
+	MacroWindows  int64   `json:"macro_windows"`
+	MacroCycles   int64   `json:"macro_cycles"`
+}
+
+type jsonlMacroDisarm struct {
+	Record string `json:"record"`
+	MacroDisarm
 }
 
 type jsonlPort struct {
@@ -80,7 +87,11 @@ func (s *Snapshot) JSONL() []byte {
 		Record: "meta", Schema: s.Schema, Cycle: s.Cycle, ClockHz: s.ClockHz,
 		Quanta: s.Quanta, DeadPort: s.DeadPort, ProbationPort: s.ProbationPort,
 		Failed: s.Failed, FabricLost: s.FabricLost,
+		MacroWindows: s.MacroWindows, MacroCycles: s.MacroCycles,
 	})
+	for _, d := range s.MacroDisarms {
+		line(jsonlMacroDisarm{Record: "macro_disarm", MacroDisarm: d})
+	}
 	for p := range s.Ports {
 		line(jsonlPort{Record: "port", PortSnap: s.Ports[p]})
 	}
@@ -102,9 +113,17 @@ func csvF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 // #events), each a plain comma-separated table.
 func (s *Snapshot) CSV() []byte {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#meta\nschema,cycle,clock_hz,quanta,dead_port,probation_port,failed,fabric_lost\n")
-	fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%v,%d\n", s.Schema, s.Cycle, csvF(s.ClockHz),
-		s.Quanta, s.DeadPort, s.ProbationPort, s.Failed, s.FabricLost)
+	fmt.Fprintf(&b, "#meta\nschema,cycle,clock_hz,quanta,dead_port,probation_port,failed,fabric_lost,macro_windows,macro_cycles\n")
+	fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%v,%d,%d,%d\n", s.Schema, s.Cycle, csvF(s.ClockHz),
+		s.Quanta, s.DeadPort, s.ProbationPort, s.Failed, s.FabricLost,
+		s.MacroWindows, s.MacroCycles)
+
+	if len(s.MacroDisarms) > 0 {
+		b.WriteString("#macro_disarms\ncause,count\n")
+		for _, d := range s.MacroDisarms {
+			fmt.Fprintf(&b, "%s,%d\n", d.Cause, d.Count)
+		}
+	}
 
 	b.WriteString("#ports\nport,accepted,dropped,denied,frags_sent,pkts_in,pkts_out," +
 		"reassembled,lookups,mcast_in,mcast_copies,abort_dropped,underruns," +
@@ -178,6 +197,16 @@ func (s *Snapshot) Prometheus() []byte {
 	fmt.Fprintf(&b, "raw_router_failed %d\n", failed)
 	counter("raw_router_fabric_lost_total", "Packets lost inside the fabric by degraded-mode resets.")
 	fmt.Fprintf(&b, "raw_router_fabric_lost_total %d\n", s.FabricLost)
+	counter("raw_router_macro_windows_total", "Fast-engine macro-step windows executed (0 on the reference engine).")
+	fmt.Fprintf(&b, "raw_router_macro_windows_total %d\n", s.MacroWindows)
+	counter("raw_router_macro_cycles_total", "Cycles covered by fast-engine macro-step windows.")
+	fmt.Fprintf(&b, "raw_router_macro_cycles_total %d\n", s.MacroCycles)
+	if len(s.MacroDisarms) > 0 {
+		counter("raw_router_macro_disarms_total", "Macro-step windows declined, by cause.")
+		for _, d := range s.MacroDisarms {
+			fmt.Fprintf(&b, "raw_router_macro_disarms_total{cause=\"%s\"} %d\n", d.Cause, d.Count)
+		}
+	}
 
 	perPort := func(name, help, kind string, val func(p *PortSnap) string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)

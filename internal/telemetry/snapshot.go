@@ -34,10 +34,21 @@ type TileMeta struct {
 	Idle    int64  `json:"idle"`
 }
 
+// MacroDisarm is one macro-step disarm cause and its declined-window
+// count (see raw.MacroCause): the engine-side histogram explaining why
+// the fast engine fell back to per-cycle stepping.
+type MacroDisarm struct {
+	Cause string `json:"cause"`
+	Count int64  `json:"count"`
+}
+
 // Meta is everything the router contributes to a snapshot (the collector
 // contributes the quantum plane). Host-side knobs like the worker count
 // are deliberately absent: a snapshot — and therefore every export — is
-// bit-for-bit identical at any worker count.
+// bit-for-bit identical at any worker count. The macro fields are the
+// one deliberate exception: they describe the host engine's macro-step
+// engagement (always zero under the reference engine), so equivalence
+// suites normalize them out before comparing exports across engines.
 type Meta struct {
 	Cycle         int64
 	ClockHz       float64
@@ -45,6 +56,9 @@ type Meta struct {
 	ProbationPort int
 	Failed        bool
 	FabricLost    int64
+	MacroWindows  int64
+	MacroCycles   int64
+	MacroDisarms  []MacroDisarm
 	Ports         [NumPorts]PortCounters
 	Tiles         [NumTiles]TileMeta
 }
@@ -96,6 +110,14 @@ type Snapshot struct {
 	Failed        bool    `json:"failed"`
 	FabricLost    int64   `json:"fabric_lost"`
 
+	// MacroWindows/MacroCycles/MacroDisarms surface the fast engine's
+	// macro-step engagement (zero under the reference engine). They are
+	// host-engine observability: cross-engine equivalence comparisons
+	// normalize them to zero/nil before encoding.
+	MacroWindows int64         `json:"macro_windows"`
+	MacroCycles  int64         `json:"macro_cycles"`
+	MacroDisarms []MacroDisarm `json:"macro_disarms,omitempty"`
+
 	Ports [NumPorts]PortSnap `json:"ports"`
 	Tiles [NumTiles]TileSnap `json:"tiles"`
 
@@ -118,6 +140,9 @@ func (c *Collector) Snapshot(m Meta) Snapshot {
 		ProbationPort: m.ProbationPort,
 		Failed:        m.Failed,
 		FabricLost:    m.FabricLost,
+		MacroWindows:  m.MacroWindows,
+		MacroCycles:   m.MacroCycles,
+		MacroDisarms:  m.MacroDisarms,
 	}
 	for p := 0; p < NumPorts; p++ {
 		s.Ports[p] = PortSnap{Port: p, PortCounters: m.Ports[p]}

@@ -40,7 +40,12 @@ import "repro/internal/trace"
 // v2: fabric healing plane — trunk samples gained retrans/frames/acked,
 // fabric snapshots gained dead_trunks and the heal record, and the
 // event vocabulary gained trunk-kill/trunk-restore/heal-reroute/partition.
-const SchemaVersion = 2
+// v3: engine observability — snapshots carry the fast engine's
+// macro-step engagement (macro_windows/macro_cycles) and the per-cause
+// disarm histogram (macro_disarms). Always zero under the reference
+// engine; excluded (normalized out) from cross-engine equivalence
+// comparisons.
+const SchemaVersion = 3
 
 // NumPorts is the paper router's port count; the plane is sized for it.
 const NumPorts = 4

@@ -24,14 +24,6 @@ type RingAllReduce struct {
 	n     uint32
 }
 
-// NewRingAllReduce builds rank src's schedule.
-//
-// Deprecated: use Build(Spec{Pattern: "allreduce", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewRingAllReduce(ports, size, src int) *RingAllReduce {
-	return &RingAllReduce{Ports: ports, Size: size, Src: src}
-}
-
 // Step returns the collective step the next packet belongs to (wraps at
 // 2(N-1), one full all-reduce).
 func (r *RingAllReduce) Step() int {
@@ -62,14 +54,6 @@ type Broadcast struct {
 	Root  int
 	i     int
 	n     uint32
-}
-
-// NewBroadcast builds the root's schedule.
-//
-// Deprecated: use Build(Spec{Pattern: "broadcast", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewBroadcast(ports, size, root int) *Broadcast {
-	return &Broadcast{Ports: ports, Size: size, Root: root}
 }
 
 // Next implements Source.

@@ -87,14 +87,6 @@ type Uniform struct {
 	n     uint32
 }
 
-// NewUniform builds a uniform source for input port src.
-//
-// Deprecated: use Build(Spec{Pattern: "uniform", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewUniform(ports, size, src int, rng *RNG) *Uniform {
-	return &Uniform{Ports: ports, Size: size, Src: src, rng: rng}
-}
-
 // Next implements Source.
 func (u *Uniform) Next() Pkt {
 	u.n++
@@ -128,14 +120,6 @@ func RotatedPerm(n, offset int) []int {
 	return p
 }
 
-// NewPermutation builds the fixed-destination source for input port src.
-//
-// Deprecated: use Build(Spec{Pattern: "permutation", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewPermutation(perm []int, size, src int) *Permutation {
-	return &Permutation{Perm: perm, Size: size, Src: src}
-}
-
 // Next implements Source.
 func (p *Permutation) Next() Pkt {
 	p.n++
@@ -160,14 +144,6 @@ type Hotspot struct {
 	n     uint32
 }
 
-// NewHotspot builds a hotspot source.
-//
-// Deprecated: use Build(Spec{Pattern: "hotspot", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewHotspot(ports, size, src, hot int, frac float64, rng *RNG) *Hotspot {
-	return &Hotspot{Ports: ports, Size: size, Src: src, Hot: hot, Frac: frac, rng: rng}
-}
-
 // Next implements Source.
 func (h *Hotspot) Next() Pkt {
 	h.n++
@@ -190,17 +166,6 @@ type SizeMix struct {
 	SizesB  []int
 	Weights []float64
 	rng     *RNG
-}
-
-// NewSizeMix builds a size-mixing wrapper; weights need not sum to 1.
-//
-// Deprecated: set Spec.Sizes/Spec.Weights instead; Build wraps every
-// pattern source automatically. This shim remains for one release.
-func NewSizeMix(inner Source, sizes []int, weights []float64, rng *RNG) *SizeMix {
-	if len(sizes) != len(weights) || len(sizes) == 0 {
-		panic("traffic: sizes and weights must align")
-	}
-	return &SizeMix{Inner: inner, SizesB: sizes, Weights: weights, rng: rng}
 }
 
 // Next implements Source.
@@ -233,15 +198,6 @@ type Bursty struct {
 	cur   int
 	left  int
 	n     uint32
-}
-
-// NewBursty builds a bursty source with geometric bursts of mean length
-// burst.
-//
-// Deprecated: use Build(Spec{Pattern: "bursty", ...}) and
-// Workload.Source; this shim remains for one release.
-func NewBursty(ports, size, src, burst int, rng *RNG) *Bursty {
-	return &Bursty{Ports: ports, Size: size, Src: src, Burst: burst, rng: rng}
 }
 
 // Next implements Source.

@@ -158,31 +158,3 @@ func TestPortAddressing(t *testing.T) {
 		}
 	}
 }
-
-// TestDeprecatedShims is the one remaining caller of the constructor
-// zoo: the shims must keep producing the documented streams until they
-// are removed.
-func TestDeprecatedShims(t *testing.T) {
-	if p := traffic.NewUniform(4, 64, 1, traffic.NewRNG(9)).Next(); p.SizeBytes != 64 {
-		t.Fatalf("NewUniform size %d", p.SizeBytes)
-	}
-	if p := traffic.NewPermutation(traffic.RotatedPerm(4, 1), 256, 0).Next(); p.Dst != 1 {
-		t.Fatalf("NewPermutation dst %d, want 1", p.Dst)
-	}
-	if p := traffic.NewHotspot(4, 64, 0, 2, 1.0, traffic.NewRNG(3)).Next(); p.Dst != 2 {
-		t.Fatalf("NewHotspot frac=1 dst %d, want 2", p.Dst)
-	}
-	if p := traffic.NewBursty(4, 64, 0, 8, traffic.NewRNG(5)).Next(); p.SizeBytes != 64 {
-		t.Fatalf("NewBursty size %d", p.SizeBytes)
-	}
-	inner := traffic.NewUniform(4, 64, 0, traffic.NewRNG(1))
-	if p := traffic.NewSizeMix(inner, []int{640}, []float64{1}, traffic.NewRNG(2)).Next(); p.SizeBytes != 640 {
-		t.Fatalf("NewSizeMix size %d, want 640", p.SizeBytes)
-	}
-	if p := traffic.NewRingAllReduce(4, 256, 1).Next(); p.Dst != 2 {
-		t.Fatalf("NewRingAllReduce dst %d, want successor 2", p.Dst)
-	}
-	if p := traffic.NewBroadcast(4, 128, 3).Next(); p.Dst == 3 {
-		t.Fatal("NewBroadcast root sent to itself")
-	}
-}
